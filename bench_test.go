@@ -1,0 +1,144 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one per experiment (see DESIGN.md for the index and
+// EXPERIMENTS.md for paper-vs-measured results). Each benchmark prints
+// the regenerated table on its first iteration, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation; benchmark timings measure the cost of
+// one full experiment run.
+package whitefi
+
+import (
+	"fmt"
+	"testing"
+
+	"whitefi/internal/exp"
+)
+
+func BenchmarkSec21SpatialVariation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Sec21(5).String())
+	}
+}
+
+func BenchmarkFig2Fragmentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Fig2().String())
+	}
+}
+
+func BenchmarkSec23MicInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Sec23().String())
+	}
+}
+
+func BenchmarkFig5TimeDomain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Fig5().String())
+	}
+}
+
+func BenchmarkTable1SIFTDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Table1(3).String())
+	}
+}
+
+func BenchmarkFig6Airtime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Fig6(2).String())
+	}
+}
+
+func BenchmarkFig7Attenuation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Fig7Table(2).String())
+	}
+}
+
+func BenchmarkFig8Discovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Fig8Table(3, []int{1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 30}).String())
+	}
+}
+
+func BenchmarkFig9DiscoveryLocales(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Fig9(10).String())
+	}
+}
+
+func BenchmarkSec53Disconnection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Sec53(5).String())
+	}
+}
+
+func BenchmarkFig10MCham(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Fig10Table(3).String())
+	}
+}
+
+func BenchmarkFig11Background(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Fig11(3, []int{0, 4, 8, 12, 17, 24}).String())
+	}
+}
+
+func BenchmarkFig12Spatial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Fig12(3, []float64{0, 0.01, 0.02, 0.05, 0.08, 0.10, 0.14}).String())
+	}
+}
+
+func BenchmarkFig13Churn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Fig13(3).String())
+	}
+}
+
+func BenchmarkFig14Adaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.Fig14Table(42).String())
+	}
+}
+
+func BenchmarkAblationSIFTWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.AblationSIFTWindow(3).String())
+	}
+}
+
+func BenchmarkAblationMChamAggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.AblationMChamAggregation(2).String())
+	}
+}
+
+func BenchmarkAblationJSIFTEndgame(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.AblationJSIFTEndgame(3).String())
+	}
+}
+
+func BenchmarkAblationHysteresis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.AblationHysteresis(3).String())
+	}
+}
+
+func BenchmarkAblationAPWeight(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.AblationAPWeight(100).String())
+	}
+}
+
+// printish prints the rendered table on the first iteration.
+func printish(i int, s string) {
+	if i == 0 {
+		fmt.Println(s)
+	}
+}

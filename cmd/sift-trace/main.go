@@ -1,0 +1,96 @@
+// Command sift-trace dumps the time-domain amplitude view of a 132-byte
+// data-ACK exchange at each channel width — the reproduction of the
+// paper's Figure 5 — either as an ASCII plot or as CSV samples.
+//
+// Usage:
+//
+//	sift-trace            # ASCII plots for 5, 10, 20 MHz
+//	sift-trace -csv       # time_us,amplitude rows for plotting
+//	sift-trace -width 10  # a single width
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"whitefi/internal/exp"
+	"whitefi/internal/iq"
+	"whitefi/internal/spectrum"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of ASCII plots")
+	width := flag.Int("width", 0, "only this width in MHz (5, 10 or 20); 0 = all")
+	seed := flag.Int64("seed", 1, "noise seed")
+	flag.Parse()
+
+	widths := []spectrum.Width{spectrum.W20, spectrum.W10, spectrum.W5}
+	if *width != 0 {
+		w := spectrum.Width(*width)
+		if !w.Valid() {
+			fmt.Println("width must be 5, 10 or 20")
+			return
+		}
+		widths = []spectrum.Width{w}
+	}
+
+	for _, w := range widths {
+		samples, pulses := exp.Fig5Trace(w, *seed)
+		if *csv {
+			fmt.Printf("# %v 132-byte data-ack exchange\n", w)
+			fmt.Println("time_us,amplitude")
+			for i, v := range samples {
+				fmt.Printf("%.3f,%.2f\n", float64(iq.SampleTime(i))/1000, v)
+			}
+			continue
+		}
+		fmt.Printf("a %v 132 byte 6Mbps-base data-ack packet transmission\n", w)
+		plot(samples)
+		for _, p := range pulses {
+			fmt.Printf("  pulse: %v .. %v (%.0f us)\n", p.Start, p.End, float64(p.Duration())/1000)
+		}
+		fmt.Println()
+	}
+}
+
+// plot renders the amplitude series as a coarse ASCII waveform.
+func plot(samples []float64) {
+	const cols = 110
+	const rows = 12
+	if len(samples) == 0 {
+		return
+	}
+	bucket := (len(samples) + cols - 1) / cols
+	var maxes []float64
+	peak := 0.0
+	for i := 0; i < len(samples); i += bucket {
+		m := 0.0
+		for j := i; j < i+bucket && j < len(samples); j++ {
+			if samples[j] > m {
+				m = samples[j]
+			}
+		}
+		maxes = append(maxes, m)
+		if m > peak {
+			peak = m
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	for r := rows; r >= 1; r-- {
+		var b strings.Builder
+		thr := peak * float64(r) / rows
+		for _, m := range maxes {
+			if m >= thr {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Printf("  |%s\n", b.String())
+	}
+	fmt.Printf("  +%s> time (%.0f us total, peak amplitude %.0f)\n",
+		strings.Repeat("-", cols), float64(iq.SampleTime(len(samples)))/1000, peak)
+}

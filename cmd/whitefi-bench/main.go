@@ -1,0 +1,92 @@
+// Command whitefi-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	whitefi-bench -exp all
+//	whitefi-bench -exp table1,fig8,fig14 -reps 5
+//
+// Experiment ids match DESIGN.md's per-experiment index: sec2.1, fig2,
+// sec2.3, fig5, table1, fig6, fig7, fig8, fig9, sec5.3, fig10, fig11,
+// fig12, fig13, fig14, and the ablations ablation-window,
+// ablation-mcham, ablation-jsift, ablation-hysteresis, ablation-weight.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"whitefi/internal/exp"
+	"whitefi/internal/trace"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	reps := flag.Int("reps", 3, "repetitions / random placements per data point")
+	flag.Parse()
+
+	runners := map[string]func(int) *trace.Table{
+		"sec2.1": func(r int) *trace.Table { return exp.Sec21(r) },
+		"fig2":   func(int) *trace.Table { return exp.Fig2() },
+		"sec2.3": func(int) *trace.Table { return exp.Sec23() },
+		"fig5":   func(int) *trace.Table { return exp.Fig5() },
+		"table1": exp.Table1,
+		"fig6":   exp.Fig6,
+		"fig7":   exp.Fig7Table,
+		"fig8": func(r int) *trace.Table {
+			return exp.Fig8Table(r, []int{1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 30})
+		},
+		"fig9":   exp.Fig9,
+		"sec5.3": exp.Sec53,
+		"fig10":  exp.Fig10Table,
+		"fig11": func(r int) *trace.Table {
+			return exp.Fig11(r, []int{0, 4, 8, 12, 17, 24})
+		},
+		"fig12": func(r int) *trace.Table {
+			return exp.Fig12(r, []float64{0, 0.01, 0.02, 0.05, 0.08, 0.10, 0.14})
+		},
+		"fig13": exp.Fig13,
+		"fig14": func(int) *trace.Table { return exp.Fig14Table(42) },
+
+		"ablation-window":     exp.AblationSIFTWindow,
+		"ablation-mcham":      exp.AblationMChamAggregation,
+		"ablation-jsift":      exp.AblationJSIFTEndgame,
+		"ablation-hysteresis": exp.AblationHysteresis,
+		"ablation-weight": func(int) *trace.Table {
+			return exp.AblationAPWeight(100)
+		},
+	}
+	order := []string{
+		"sec2.1", "fig2", "sec2.3", "fig5", "table1", "fig6", "fig7",
+		"fig8", "fig9", "sec5.3", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "ablation-window", "ablation-mcham", "ablation-jsift",
+		"ablation-hysteresis", "ablation-weight",
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := runners[id]; !ok {
+				known := make([]string, 0, len(runners))
+				for k := range runners {
+					known = append(known, k)
+				}
+				sort.Strings(known)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(known, ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		fmt.Printf("=== %s ===\n", id)
+		runners[id](*reps).Render(os.Stdout)
+		fmt.Println()
+	}
+}

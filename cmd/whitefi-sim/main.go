@@ -1,0 +1,100 @@
+// Command whitefi-sim runs a WhiteFi network scenario and prints a
+// periodic trace of the operating channel, the MCham-driven switches,
+// and the achieved goodput.
+//
+// Usage:
+//
+//	whitefi-sim -clients 3 -duration 60s -background 8 -seed 7
+//	whitefi-sim -map building5 -mic-at 20s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"whitefi/internal/core"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/radio"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+	"whitefi/internal/trace"
+)
+
+func main() {
+	clients := flag.Int("clients", 2, "number of associated clients")
+	duration := flag.Duration("duration", 60*time.Second, "virtual run time")
+	background := flag.Int("background", 4, "background AP/client pairs on random free channels")
+	bgDelay := flag.Duration("bg-delay", 30*time.Millisecond, "background CBR inter-packet delay")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	mapName := flag.String("map", "campus", "spectrum map: campus | building5 | empty")
+	micAt := flag.Duration("mic-at", 0, "turn a wireless mic on on the AP's channel at this time (0 = never)")
+	flag.Parse()
+
+	base := incumbent.SimulationBaseMap()
+	switch *mapName {
+	case "campus":
+		base = incumbent.SimulationBaseMap()
+	case "building5":
+		base = incumbent.BuildingFiveMap()
+	case "empty":
+		base = incumbent.SimulationBaseMap().And(incumbent.BuildingFiveMap()) // few incumbents
+	default:
+		fmt.Fprintf(os.Stderr, "unknown map %q\n", *mapName)
+		os.Exit(2)
+	}
+
+	eng := sim.New(*seed)
+	air := mac.NewAir(eng)
+
+	mic := incumbent.NewMic(eng, 0)
+	sensors := make([]*radio.IncumbentSensor, *clients+1)
+	for i := range sensors {
+		sensors[i] = &radio.IncumbentSensor{Base: base, Mics: []*incumbent.Mic{mic}}
+	}
+	net := core.NewNetwork(eng, air, core.Config{ProbePeriod: 2 * time.Second}, sensors)
+	net.StartDownlink(1000)
+
+	rng := rand.New(rand.NewSource(*seed * 13))
+	free := base.FreeChannels()
+	for i := 0; i < *background && len(free) > 0; i++ {
+		u := free[rng.Intn(len(free))]
+		mac.NewBackgroundPair(eng, air, 2000+2*i, 2001+2*i,
+			spectrum.Chan(u, spectrum.W5), 1000, *bgDelay)
+	}
+
+	if *micAt > 0 {
+		eng.Schedule(*micAt, func() {
+			mic.Channel = net.AP.Channel().Center
+			mic.TurnOn()
+			fmt.Printf("%8s  mic ON at %v (AP channel)\n", eng.Now(), mic.Channel)
+		})
+	}
+
+	fmt.Printf("map: %s   clients: %d   background: %d @ %v\n", base, *clients, *background, *bgDelay)
+	var last int64
+	step := 5 * time.Second
+	for t := step; t <= *duration; t += step {
+		eng.RunUntil(t)
+		cur := net.GoodputBytes()
+		bps := float64(cur-last) * 8 / step.Seconds()
+		last = cur
+		assoc := 0
+		for _, c := range net.Clients {
+			if c.Associated() {
+				assoc++
+			}
+		}
+		fmt.Printf("%8s  channel=%-14v backup=%-14v goodput=%6s Mbps  associated=%d/%d\n",
+			t, net.AP.Channel(), net.AP.Backup(), trace.Mbps(bps), assoc, len(net.Clients))
+		air.Compact(t - 15*time.Second)
+	}
+
+	fmt.Println("\nswitch log:")
+	for _, s := range net.AP.Switches {
+		fmt.Printf("  %8s  %-14v -> %-14v  %s (metric %.2f)\n", s.At, s.From, s.To, s.Reason, s.Metric)
+	}
+}

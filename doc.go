@@ -1,0 +1,15 @@
+// Package whitefi is a from-scratch Go reproduction of "White Space
+// Networking with Wi-Fi like Connectivity" (Bahl, Chandra, Moscibroda,
+// Murty, Welsh — SIGCOMM 2009): the WhiteFi system, its SIFT
+// time-domain signal analysis, the MCham spectrum-assignment metric,
+// the chirping disconnection protocol, and every substrate the paper's
+// evaluation depends on (a discrete-event CSMA/CA simulator standing in
+// for QualNet, an I/Q amplitude renderer standing in for the USRP
+// scanner, and synthetic incumbent datasets standing in for TV Fool and
+// the authors' campus measurements).
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root-level benchmarks (bench_test.go) regenerate every
+// table and figure of the paper's evaluation.
+package whitefi

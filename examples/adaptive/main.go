@@ -1,0 +1,34 @@
+// Adaptive: the Section 5.4.2 prototype experiment. The network lives
+// on the Building 5 spectrum map (fragments of 20, 10, 5 and 5 MHz);
+// background traffic floods the 20 MHz fragment at t=50s and the 10 MHz
+// fragment at t=100s, then recedes. WhiteFi rides the MCham metric
+// through 20 -> 10 -> 5 -> 10 -> 20 MHz.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"whitefi/internal/exp"
+)
+
+func main() {
+	fmt.Println("running the 250s Building-5 adaptive trace (Figure 14)...")
+	r := exp.Fig14(42)
+
+	fmt.Println("\nper-10s trace (width the AP operates at, MCham of each fragment):")
+	fmt.Println("  t(s)  width  MCham20  MCham10  MCham5  goodput(Mbps)")
+	for s := 10; s <= 250; s += 10 {
+		at := time.Duration(s) * time.Second
+		fmt.Printf("  %4d  %3.0f    %5.2f    %5.2f    %5.2f   %6.2f\n",
+			s, r.Widths.At(at), r.MCham20.At(at), r.MCham10.At(at), r.MCham5.At(at),
+			r.Throughput.At(at)/1e6)
+	}
+
+	fmt.Println("\nswitch log:")
+	for _, s := range r.Switches {
+		fmt.Printf("  %8v  %-14v -> %-14v  %s (metric %.2f)\n", s.At, s.From, s.To, s.Reason, s.Metric)
+	}
+}

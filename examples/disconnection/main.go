@@ -1,0 +1,68 @@
+// Disconnection: a wireless microphone turns on mid-transfer on the
+// network's channel, audible only at the client. The client vacates
+// without transmitting another bit on that channel, chirps on the
+// backup channel, and the AP's secondary radio picks the chirp up and
+// reassigns the network (Section 4.3 of the paper).
+//
+//	go run ./examples/disconnection
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"whitefi/internal/core"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/radio"
+	"whitefi/internal/sim"
+	"whitefi/internal/trace"
+)
+
+func main() {
+	eng := sim.New(7)
+	air := mac.NewAir(eng)
+	base := incumbent.SimulationBaseMap()
+
+	mic := incumbent.NewMic(eng, 0)
+	apSensor := &radio.IncumbentSensor{Base: base} // AP cannot hear this mic
+	clSensor := &radio.IncumbentSensor{Base: base, Mics: []*incumbent.Mic{mic}}
+	net := core.NewNetwork(eng, air, core.Config{SSID: "demo"}, []*radio.IncumbentSensor{apSensor, clSensor})
+
+	eng.RunUntil(2 * time.Second)
+	net.StartDownlink(1000)
+	eng.RunUntil(4 * time.Second)
+	fmt.Printf("t=4s     network on %v, backup %v, transfer running\n", net.AP.Channel(), net.AP.Backup())
+
+	mic.Channel = net.AP.Channel().Center
+	onAt := 4500 * time.Millisecond
+	mic.ScheduleOn(onAt)
+	fmt.Printf("t=4.5s   wireless mic turns ON at %v — audible only at the client\n", mic.Channel)
+
+	cl := net.Clients[0]
+	var last int64
+	for t := 5 * time.Second; t <= 12*time.Second; t += time.Second {
+		eng.RunUntil(t)
+		cur := net.GoodputBytes()
+		bps := float64(cur-last) * 8
+		last = cur
+		state := "connected"
+		if !cl.Associated() {
+			state = "DISCONNECTED (chirping on backup)"
+		}
+		fmt.Printf("t=%-6v channel=%-14v goodput=%5s Mbps  client: %s\n",
+			t, net.AP.Channel(), trace.Mbps(bps), state)
+	}
+
+	fmt.Println("\nswitch log:")
+	for _, s := range net.AP.Switches {
+		fmt.Printf("  %8v  %-14v -> %-14v  %s\n", s.At, s.From, s.To, s.Reason)
+	}
+	for _, s := range net.AP.Switches {
+		if s.Reason == core.SwitchIncumbent {
+			fmt.Printf("\nrecovery lag: %v after mic onset (AP scans the backup channel every %v)\n",
+				s.At-onAt, core.DefaultBackupScanPeriod)
+			break
+		}
+	}
+}

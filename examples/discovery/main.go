@@ -1,0 +1,57 @@
+// Discovery: a client hunting for an AP that could be beaconing on any
+// of the 84 (center, width) channel combinations, in urban, suburban
+// and rural white spaces. Compares the non-SIFT baseline against
+// L-SIFT and J-SIFT (Section 4.2 of the paper).
+//
+//	go run ./examples/discovery
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"whitefi/internal/discovery"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/radio"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+func run(algo string, f func(*discovery.Prober) discovery.Result, m spectrum.Map, apCh spectrum.Channel, seed int64) {
+	eng := sim.New(seed)
+	air := mac.NewAir(eng)
+	discovery.NewBeaconAP(eng, air, 1, apCh, 100*time.Millisecond)
+	sc := radio.NewScanner(air, 50, rand.New(rand.NewSource(seed)))
+	p := &discovery.Prober{Eng: eng, Air: air, Scanner: sc, Map: m}
+	res := f(p)
+	fmt.Printf("  %-9s found=%v channel=%-14v elapsed=%-8v scans=%d decodes=%d\n",
+		algo, res.Found, res.Channel, res.Elapsed, res.Scans, res.Decodes)
+}
+
+func main() {
+	for _, s := range []incumbent.Setting{incumbent.Urban, incumbent.Suburban, incumbent.Rural} {
+		m := incumbent.GenerateLocales(s, 10, 42)[3]
+		avail := m.AvailableChannels()
+		if len(avail) == 0 {
+			continue
+		}
+		// Put the AP on the widest channel the locale supports.
+		apCh := avail[0]
+		for _, c := range avail {
+			if c.Width > apCh.Width {
+				apCh = c
+			}
+		}
+		fmt.Printf("%s locale: map %s\n", s, m)
+		fmt.Printf("  AP beacons on %v; the client does not know where\n", apCh)
+		run("baseline", discovery.Baseline, m, apCh, 7)
+		run("L-SIFT", discovery.LSIFT, m, apCh, 7)
+		run("J-SIFT", discovery.JSIFT, m, apCh, 7)
+		fmt.Println()
+	}
+	fmt.Println("analytical expectations over 30 free channels:")
+	fmt.Printf("  L-SIFT %.1f scans, J-SIFT %.1f scans (crossover near 10 channels)\n",
+		discovery.ExpectedScansLSIFT(30), discovery.ExpectedScansJSIFT(30, 3))
+}

@@ -1,0 +1,196 @@
+// Package assign implements WhiteFi's adaptive spectrum assignment
+// (Section 4.1): the multichannel airtime metric MCham and the
+// client-aware channel selection that picks both the center frequency
+// and the channel width.
+//
+// Every node maintains, per UHF channel c, an incumbent occupancy bit
+// (the spectrum map), an airtime utilization estimate A_c, and an
+// estimate B_c of the number of other APs operating on c. The expected
+// share of channel c at node n is
+//
+//	rho_n(c) = max(1 - A_c, 1/(B_c + 1))
+//
+// — the residual airtime when the channel is mostly free, but never less
+// than the fair share CSMA grants against B_c contending APs. The
+// multichannel airtime metric for a candidate channel (F, W) is
+//
+//	MCham_n(F, W) = (W / 5 MHz) * prod_{c in (F,W)} rho_n(c)
+//
+// the product capturing that traffic on any spanned UHF channel contends
+// with the whole wider channel, scaled by the channel's capacity
+// relative to a single 5 MHz channel. The AP selects the channel
+// maximizing N*MCham_AP + sum_n MCham_n, weighting its own (downlink)
+// view by the number of clients N.
+package assign
+
+import (
+	"whitefi/internal/spectrum"
+)
+
+// Observation is one node's view of the spectrum: incumbent occupancy
+// plus per-UHF-channel airtime and AP-count estimates, as measured by
+// the node's scanning radio with SIFT.
+type Observation struct {
+	// Map marks incumbent-occupied UHF channels; they are never
+	// eligible regardless of airtime.
+	Map spectrum.Map
+	// Airtime is the busy-airtime estimate A_c in [0, 1] per UHF
+	// channel. Values for incumbent-occupied channels are ignored.
+	Airtime [spectrum.NumUHF]float64
+	// APs is the estimated number of other APs operating on each UHF
+	// channel (B_c).
+	APs [spectrum.NumUHF]int
+}
+
+// Rho is the expected share rho_n(c) of a UHF channel: Equation (1).
+func Rho(airtime float64, aps int) float64 {
+	if airtime < 0 {
+		airtime = 0
+	}
+	if airtime > 1 {
+		airtime = 1
+	}
+	if aps < 0 {
+		aps = 0
+	}
+	residual := 1 - airtime
+	fair := 1 / float64(aps+1)
+	if residual > fair {
+		return residual
+	}
+	return fair
+}
+
+// MCham computes MCham_n(F, W) for a candidate channel from one node's
+// observation: Equation (2). It returns 0 when any spanned UHF channel
+// is incumbent-occupied or the channel is invalid.
+func MCham(obs Observation, c spectrum.Channel) float64 {
+	if !c.Valid() || !obs.Map.ChannelFree(c) {
+		return 0
+	}
+	m := c.Width.MHz() / spectrum.W5.MHz()
+	lo, hi := c.Bounds()
+	for u := lo; u <= hi; u++ {
+		m *= Rho(obs.Airtime[u], obs.APs[u])
+	}
+	return m
+}
+
+// Aggregate is the AP's client-weighted objective for a candidate
+// channel: N*MCham_AP + sum over clients of MCham_n, where N is the
+// number of clients. Since most traffic is downlink, the AP's own view
+// is weighted proportionally higher.
+func Aggregate(ap Observation, clients []Observation, c spectrum.Channel) float64 {
+	n := len(clients)
+	total := float64(n) * MCham(ap, c)
+	if n == 0 {
+		// Bootstrapping: no clients yet, use the AP's view alone.
+		total = MCham(ap, c)
+	}
+	for _, cl := range clients {
+		total += MCham(cl, c)
+	}
+	return total
+}
+
+// CombinedMap returns the bitwise OR of the AP's and all clients'
+// spectrum maps: the set of UHF channels free at every node.
+func CombinedMap(ap Observation, clients []Observation) spectrum.Map {
+	m := ap.Map
+	for _, c := range clients {
+		m = m.Or(c.Map)
+	}
+	return m
+}
+
+// Selection is the result of a spectrum assignment round.
+type Selection struct {
+	Channel spectrum.Channel
+	Metric  float64 // aggregate objective of the winning channel
+	OK      bool    // false when no channel is free at all nodes
+}
+
+// Select evaluates every candidate channel available at all nodes and
+// returns the one maximizing the aggregate objective. Ties go to the
+// widest, then lowest-frequency channel (the iteration order already
+// yields lowest-frequency; widest wins by strict improvement since
+// MCham scales with width on empty spectrum).
+func Select(ap Observation, clients []Observation) Selection {
+	combined := CombinedMap(ap, clients)
+	var best Selection
+	for _, c := range spectrum.AllChannels() {
+		if !combined.ChannelFree(c) {
+			continue
+		}
+		m := Aggregate(ap, clients, c)
+		if !best.OK || m > best.Metric {
+			best = Selection{Channel: c, Metric: m, OK: true}
+		}
+	}
+	return best
+}
+
+// DefaultHysteresis is the relative improvement a candidate channel must
+// show over the current channel's metric before a voluntary switch is
+// made, preventing ping-ponging between two near-equal channels (the
+// mechanism borrowed from [19], Section 4.1).
+const DefaultHysteresis = 0.10
+
+// Selector wraps Select with hysteresis state for voluntary switches.
+// The zero value uses DefaultHysteresis and no current channel.
+type Selector struct {
+	// Hysteresis overrides DefaultHysteresis when positive.
+	Hysteresis float64
+
+	current    spectrum.Channel
+	hasCurrent bool
+}
+
+// Current returns the channel the selector believes the network is on.
+func (s *Selector) Current() (spectrum.Channel, bool) { return s.current, s.hasCurrent }
+
+// ForceChannel sets the current channel without evaluation (used after
+// an involuntary switch, when the old channel became unusable).
+func (s *Selector) ForceChannel(c spectrum.Channel) {
+	s.current = c
+	s.hasCurrent = true
+}
+
+// Invalidate clears the current channel so the next Evaluate switches
+// unconditionally (used when an incumbent appears on the current
+// channel).
+func (s *Selector) Invalidate() { s.hasCurrent = false }
+
+func (s *Selector) hysteresis() float64 {
+	if s.Hysteresis > 0 {
+		return s.Hysteresis
+	}
+	return DefaultHysteresis
+}
+
+// Evaluate runs a selection round. A voluntary switch away from a still
+// usable current channel happens only when the best candidate beats the
+// current channel's metric by the hysteresis margin. It returns the
+// selection and whether a switch (or initial assignment) is required.
+func (s *Selector) Evaluate(ap Observation, clients []Observation) (Selection, bool) {
+	best := Select(ap, clients)
+	if !best.OK {
+		return best, false
+	}
+	if !s.hasCurrent {
+		s.current = best.Channel
+		s.hasCurrent = true
+		return best, true
+	}
+	if best.Channel == s.current {
+		return best, false
+	}
+	combined := CombinedMap(ap, clients)
+	currentUsable := combined.ChannelFree(s.current)
+	currentMetric := Aggregate(ap, clients, s.current)
+	if currentUsable && best.Metric < currentMetric*(1+s.hysteresis()) {
+		return Selection{Channel: s.current, Metric: currentMetric, OK: true}, false
+	}
+	s.current = best.Channel
+	return best, true
+}

@@ -1,0 +1,305 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whitefi/internal/spectrum"
+)
+
+func freeObs() Observation { return Observation{} }
+
+func TestRho(t *testing.T) {
+	cases := []struct {
+		airtime float64
+		aps     int
+		want    float64
+	}{
+		{0, 0, 1},      // empty channel: full share
+		{0.3, 0, 1},    // airtime but no contending AP: fair share 1 wins
+		{0.3, 1, 0.7},  // light traffic: residual airtime wins
+		{1.0, 1, 0.5},  // saturated, one other AP: fair share
+		{1.0, 3, 0.25}, // saturated, three other APs
+		{0.9, 1, 0.5},  // fair share beats residual 0.1
+		{0.2, 4, 0.8},  // residual beats fair share 0.2
+		{-1, 0, 1},     // clamped
+		{2, 0, 1},      // clamped to fair share 1/(0+1)
+		{0.5, -3, 1},   // negative AP count clamped to 0: fair share 1
+	}
+	for _, c := range cases {
+		if got := Rho(c.airtime, c.aps); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Rho(%v, %d) = %v, want %v", c.airtime, c.aps, got, c.want)
+		}
+	}
+}
+
+func TestMChamExample1(t *testing.T) {
+	// Paper Example 1: empty spectrum gives the optimal capacity:
+	// 1 for 5 MHz, 2 for 10 MHz, 4 for 20 MHz.
+	obs := freeObs()
+	for _, c := range []struct {
+		ch   spectrum.Channel
+		want float64
+	}{
+		{spectrum.Chan(10, spectrum.W5), 1},
+		{spectrum.Chan(10, spectrum.W10), 2},
+		{spectrum.Chan(10, spectrum.W20), 4},
+	} {
+		if got := MCham(obs, c.ch); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MCham(%v) = %v, want %v", c.ch, got, c.want)
+		}
+	}
+}
+
+func TestMChamExample2(t *testing.T) {
+	// Paper Example 2: 20 MHz channel spanning 5 UHF channels; three
+	// empty, one with 1 AP at airtime 0.9, one with 1 AP at 0.2:
+	// MCham = 4 * 0.5 * 0.8 = 1.6.
+	obs := freeObs()
+	obs.Airtime[8] = 0.9
+	obs.APs[8] = 1
+	obs.Airtime[9] = 0.2
+	obs.APs[9] = 1
+	got := MCham(obs, spectrum.Chan(10, spectrum.W20))
+	if math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("MCham = %v, want 1.6", got)
+	}
+}
+
+func TestMChamZeroOnIncumbent(t *testing.T) {
+	obs := freeObs()
+	obs.Map = obs.Map.SetOccupied(9)
+	if got := MCham(obs, spectrum.Chan(10, spectrum.W20)); got != 0 {
+		t.Errorf("MCham over incumbent = %v, want 0", got)
+	}
+	if got := MCham(obs, spectrum.Chan(20, spectrum.W5)); got != 1 {
+		t.Errorf("MCham on clear channel = %v, want 1", got)
+	}
+	if got := MCham(obs, spectrum.Channel{Center: 0, Width: spectrum.W20}); got != 0 {
+		t.Error("invalid channel must score 0")
+	}
+}
+
+func TestSelectPrefersWidestWhenEmpty(t *testing.T) {
+	sel := Select(freeObs(), nil)
+	if !sel.OK {
+		t.Fatal("no selection on empty spectrum")
+	}
+	if sel.Channel.Width != spectrum.W20 {
+		t.Errorf("selected %v, want a 20MHz channel", sel.Channel)
+	}
+	if sel.Metric != 4 {
+		t.Errorf("metric = %v, want 4", sel.Metric)
+	}
+}
+
+func TestSelectAvoidsBusyWideChannel(t *testing.T) {
+	// Heavy traffic across most channels except a clean 10 MHz slot:
+	// a narrower but cleaner channel must win.
+	obs := freeObs()
+	for u := spectrum.UHF(0); u < spectrum.NumUHF; u++ {
+		obs.Airtime[u] = 0.95
+		obs.APs[u] = 3
+	}
+	for _, u := range []spectrum.UHF{20, 21, 22} {
+		obs.Airtime[u] = 0
+		obs.APs[u] = 0
+	}
+	sel := Select(obs, nil)
+	if sel.Channel != spectrum.Chan(21, spectrum.W10) {
+		t.Errorf("selected %v, want (21, 10MHz)", sel.Channel)
+	}
+}
+
+func TestSelectRespectsClientMaps(t *testing.T) {
+	// The AP's best fragment is blocked at a client; the AP must pick a
+	// channel free at both (OR of maps).
+	ap := freeObs()
+	client := freeObs()
+	for u := spectrum.UHF(0); u < 15; u++ {
+		client.Map = client.Map.SetOccupied(u)
+	}
+	sel := Select(ap, []Observation{client})
+	lo, _ := sel.Channel.Bounds()
+	if lo < 15 {
+		t.Errorf("selected %v overlaps channels blocked at the client", sel.Channel)
+	}
+}
+
+func TestSelectNoChannelAvailable(t *testing.T) {
+	blocked := Observation{Map: spectrum.MapFromBits(^uint32(0))}
+	sel := Select(blocked, nil)
+	if sel.OK {
+		t.Error("selection should fail with no free channels")
+	}
+}
+
+func TestAggregateWeightsAP(t *testing.T) {
+	// With N clients, the AP's MCham counts N times.
+	ap := freeObs()
+	ap.Airtime[10] = 0.5 // AP sees traffic from one other AP on channel 10
+	ap.APs[10] = 1
+	clean := freeObs()
+	c := spectrum.Chan(10, spectrum.W5)
+	got := Aggregate(ap, []Observation{clean, clean, clean}, c)
+	want := 3*0.5 + 3*1.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("aggregate = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateBootstrap(t *testing.T) {
+	ap := freeObs()
+	if got := Aggregate(ap, nil, spectrum.Chan(10, spectrum.W20)); got != 4 {
+		t.Errorf("bootstrap aggregate = %v, want AP-only MCham 4", got)
+	}
+}
+
+func TestSelectorHysteresis(t *testing.T) {
+	var s Selector
+	// Initial assignment always switches.
+	sel, sw := s.Evaluate(freeObs(), nil)
+	if !sw || !sel.OK {
+		t.Fatal("initial evaluation must assign a channel")
+	}
+	first := sel.Channel
+
+	// A marginally better alternative must NOT trigger a switch.
+	obs := freeObs()
+	lo, hi := first.Bounds()
+	for u := lo; u <= hi; u++ {
+		obs.Airtime[u] = 0.02 // current channel now slightly busy
+	}
+	sel2, sw2 := s.Evaluate(obs, nil)
+	if sw2 {
+		t.Errorf("hysteresis failed: switched to %v for a ~2%% gain", sel2.Channel)
+	}
+
+	// A big improvement must trigger the switch.
+	for u := lo; u <= hi; u++ {
+		obs.Airtime[u] = 0.9
+		obs.APs[u] = 2
+	}
+	sel3, sw3 := s.Evaluate(obs, nil)
+	if !sw3 {
+		t.Error("selector failed to leave a badly degraded channel")
+	}
+	if sel3.Channel == first {
+		t.Error("switched to the same channel")
+	}
+}
+
+func TestSelectorInvalidate(t *testing.T) {
+	var s Selector
+	s.Evaluate(freeObs(), nil)
+	cur, _ := s.Current()
+	// Incumbent appears on the current channel: after Invalidate the
+	// next evaluation must assign a fresh channel even at equal metric.
+	obs := freeObs()
+	lo, hi := cur.Bounds()
+	for u := lo; u <= hi; u++ {
+		obs.Map = obs.Map.SetOccupied(u)
+	}
+	s.Invalidate()
+	sel, sw := s.Evaluate(obs, nil)
+	if !sw || sel.Channel.Overlaps(cur) {
+		t.Errorf("post-incumbent selection = %v (switch=%v)", sel.Channel, sw)
+	}
+}
+
+func TestSelectorSwitchesWhenCurrentBlocked(t *testing.T) {
+	// Even without Invalidate, a current channel that is no longer free
+	// in the combined map must be abandoned.
+	var s Selector
+	s.Evaluate(freeObs(), nil)
+	cur, _ := s.Current()
+	obs := freeObs()
+	lo, hi := cur.Bounds()
+	for u := lo; u <= hi; u++ {
+		obs.Map = obs.Map.SetOccupied(u)
+	}
+	sel, sw := s.Evaluate(obs, nil)
+	if !sw || sel.Channel.Overlaps(cur) {
+		t.Errorf("blocked current channel not abandoned: %v, %v", sel.Channel, sw)
+	}
+}
+
+func TestForceChannel(t *testing.T) {
+	var s Selector
+	c := spectrum.Chan(20, spectrum.W5)
+	s.ForceChannel(c)
+	got, ok := s.Current()
+	if !ok || got != c {
+		t.Errorf("current = %v, %v", got, ok)
+	}
+}
+
+// Property: MCham is bounded by the optimal capacity W/5 and
+// non-negative; and it never increases when airtime grows.
+func TestQuickMChamBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var obs Observation
+		for u := 0; u < spectrum.NumUHF; u++ {
+			obs.Airtime[u] = rng.Float64()
+			obs.APs[u] = rng.Intn(5)
+		}
+		for _, c := range spectrum.AllChannels() {
+			m := MCham(obs, c)
+			if m < 0 || m > c.Width.MHz()/5 {
+				return false
+			}
+			// Raise airtime on one spanned channel: metric can't rise.
+			lo, _ := c.Bounds()
+			bumped := obs
+			bumped.Airtime[lo] = 1
+			if MCham(bumped, c) > m+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Select's winner is always free in the combined map and has
+// the maximal aggregate among all available channels.
+func TestQuickSelectIsArgmax(t *testing.T) {
+	f := func(seed int64, bits uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ap := Observation{Map: spectrum.MapFromBits(bits)}
+		var clients []Observation
+		for i := 0; i < rng.Intn(4); i++ {
+			var cl Observation
+			for u := 0; u < spectrum.NumUHF; u++ {
+				cl.Airtime[u] = rng.Float64()
+				cl.APs[u] = rng.Intn(4)
+			}
+			clients = append(clients, cl)
+		}
+		for u := 0; u < spectrum.NumUHF; u++ {
+			ap.Airtime[u] = rng.Float64()
+		}
+		sel := Select(ap, clients)
+		combined := CombinedMap(ap, clients)
+		if !sel.OK {
+			return len(combined.AvailableChannels()) == 0
+		}
+		if !combined.ChannelFree(sel.Channel) {
+			return false
+		}
+		for _, c := range combined.AvailableChannels() {
+			if Aggregate(ap, clients, c) > sel.Metric+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package audio
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"whitefi/internal/spectrum"
+)
+
+func TestCalibrationPoint(t *testing.T) {
+	// The paper's anechoic experiment: 70 B / 100 ms at -30 dBm,
+	// MOS drop 0.9.
+	got := MOSDrop(70, 100*time.Millisecond, spectrum.W5, -30)
+	if math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("calibration drop = %v, want 0.9", got)
+	}
+	if mos := MOS(70, 100*time.Millisecond, spectrum.W5, -30); math.Abs(mos-3.6) > 1e-9 {
+		t.Errorf("MOS = %v, want 3.6", mos)
+	}
+}
+
+func TestEvenSparseTrafficIsAudible(t *testing.T) {
+	// Section 2.3: "even a single packet transmission causes audible
+	// interference" — a packet a second is still well above 0.1.
+	drop := MOSDrop(70, time.Second, spectrum.W5, -30)
+	if !Audible(drop) {
+		t.Errorf("1 packet/s drop = %v, should exceed the 0.1 audibility threshold", drop)
+	}
+}
+
+func TestDropMonotoneInRate(t *testing.T) {
+	prev := math.Inf(1)
+	for _, iv := range []time.Duration{10, 20, 50, 100, 500, 1000} {
+		d := MOSDrop(70, iv*time.Millisecond, spectrum.W5, -30)
+		if d > prev {
+			t.Fatalf("drop not monotone at interval %v", iv)
+		}
+		prev = d
+	}
+}
+
+func TestDropMonotoneInPower(t *testing.T) {
+	prev := 0.0
+	for p := -60.0; p <= 0; p += 5 {
+		d := MOSDrop(70, 100*time.Millisecond, spectrum.W5, p)
+		if d < prev {
+			t.Fatalf("drop not monotone at power %v", p)
+		}
+		prev = d
+	}
+}
+
+func TestDropBounded(t *testing.T) {
+	// Saturating interference cannot push MOS below the PESQ floor.
+	d := MOSDrop(1500, time.Microsecond, spectrum.W5, 20)
+	if d > CleanMOS-1 {
+		t.Errorf("drop %v exceeds PESQ range", d)
+	}
+	if MOS(1500, time.Microsecond, spectrum.W5, 20) < 1 {
+		t.Error("MOS below 1")
+	}
+}
+
+func TestAudible(t *testing.T) {
+	if Audible(0.05) {
+		t.Error("0.05 should be inaudible")
+	}
+	if !Audible(0.2) {
+		t.Error("0.2 should be audible")
+	}
+}

@@ -1,0 +1,123 @@
+// Package chirp implements the backup-channel machinery of WhiteFi's
+// disconnection handling (Section 4.3): choosing the 5 MHz backup
+// channel an AP advertises in its beacons, falling back to a secondary
+// backup when an incumbent occupies the primary one, and the periodic
+// chirping a disconnected node performs.
+//
+// Chirps are ordinary CSMA frames on the backup channel whose *length*
+// encodes the chirper's SSID hash (see package sift), so an AP scanning
+// the backup channel with its secondary radio can tell whether a chirp
+// concerns its own network without retuning the main radio. The chirp
+// frame body carries the node's current spectrum map; once the AP's main
+// radio joins the backup channel it decodes those maps and re-runs
+// spectrum assignment.
+package chirp
+
+import (
+	"math/rand"
+	"time"
+
+	"whitefi/internal/mac"
+	"whitefi/internal/phy"
+	"whitefi/internal/sift"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// DefaultPeriod is the interval between chirps from a disconnected node.
+const DefaultPeriod = 200 * time.Millisecond
+
+// Meta is the decodable payload of a chirp frame: the chirper's network
+// and its current white-space availability.
+type Meta struct {
+	SSID string
+	Map  spectrum.Map
+	Node int
+}
+
+// ChooseBackup picks a 5 MHz backup channel from the free channels of m,
+// preferring one that does not overlap the main channel so that an
+// incumbent appearing on the main channel is unlikely to also block the
+// backup. It reports ok=false when no 5 MHz channel is free at all.
+// Overlap with other APs' main channels is acceptable: chirps contend
+// with CSMA like any other traffic.
+func ChooseBackup(m spectrum.Map, main spectrum.Channel, rng *rand.Rand) (spectrum.Channel, bool) {
+	var clear, any []spectrum.Channel
+	for _, c := range spectrum.ChannelsOfWidth(spectrum.W5) {
+		if !m.ChannelFree(c) {
+			continue
+		}
+		any = append(any, c)
+		if !c.Overlaps(main) {
+			clear = append(clear, c)
+		}
+	}
+	pick := func(s []spectrum.Channel) (spectrum.Channel, bool) {
+		if len(s) == 0 {
+			return spectrum.Channel{}, false
+		}
+		return s[rng.Intn(len(s))], true
+	}
+	if c, ok := pick(clear); ok {
+		return c, true
+	}
+	return pick(any)
+}
+
+// Frame builds the chirp frame for a node: broadcast, with the SSID hash
+// length-coded for SIFT and the full Meta carried for post-retune
+// decoding.
+func Frame(node int, ssid string, m spectrum.Map, code int) phy.Frame {
+	return phy.Frame{
+		Kind:  phy.KindChirp,
+		Src:   node,
+		Dst:   phy.Broadcast,
+		Bytes: sift.EncodeChirpBytes(code),
+		Meta:  Meta{SSID: ssid, Map: m, Node: node},
+	}
+}
+
+// Chirper periodically transmits chirps from a node that has moved to
+// the backup channel. The caller retunes the node before starting.
+type Chirper struct {
+	Node   *mac.Node
+	SSID   string
+	Code   int
+	Period time.Duration
+	// MapFn returns the node's current spectrum map at chirp time (it
+	// can change while disconnected, e.g. when the mic moves).
+	MapFn func() spectrum.Map
+
+	eng     *sim.Engine
+	running bool
+	Sent    int
+}
+
+// NewChirper creates a stopped chirper.
+func NewChirper(eng *sim.Engine, n *mac.Node, ssid string, code int, mapFn func() spectrum.Map) *Chirper {
+	return &Chirper{Node: n, SSID: ssid, Code: code, Period: DefaultPeriod, MapFn: mapFn, eng: eng}
+}
+
+// Start begins chirping immediately and then every Period.
+func (c *Chirper) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.tick()
+}
+
+// Stop halts chirping.
+func (c *Chirper) Stop() { c.running = false }
+
+// Running reports whether the chirper is active.
+func (c *Chirper) Running() bool { return c.running }
+
+func (c *Chirper) tick() {
+	if !c.running {
+		return
+	}
+	c.Node.Send(Frame(c.Node.ID, c.SSID, c.MapFn(), c.Code))
+	c.Sent++
+	c.eng.After(c.Period, c.tick)
+}

@@ -1,0 +1,128 @@
+package chirp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"whitefi/internal/mac"
+	"whitefi/internal/phy"
+	"whitefi/internal/sift"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+func TestChooseBackupAvoidsMain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	main := spectrum.Chan(10, spectrum.W20) // spans 8..12
+	for i := 0; i < 50; i++ {
+		b, ok := ChooseBackup(spectrum.Map{}, main, rng)
+		if !ok {
+			t.Fatal("no backup on empty spectrum")
+		}
+		if b.Width != spectrum.W5 {
+			t.Fatalf("backup width = %v", b.Width)
+		}
+		if b.Overlaps(main) {
+			t.Fatalf("backup %v overlaps main %v despite alternatives", b, main)
+		}
+	}
+}
+
+func TestChooseBackupFallsBackToOverlap(t *testing.T) {
+	// Only the main channel's span is free: overlap is then allowed.
+	rng := rand.New(rand.NewSource(2))
+	m := spectrum.MapFromBits(^uint32(0))
+	for u := spectrum.UHF(8); u <= 12; u++ {
+		m = m.SetFree(u)
+	}
+	main := spectrum.Chan(10, spectrum.W20)
+	b, ok := ChooseBackup(m, main, rng)
+	if !ok {
+		t.Fatal("expected a backup channel")
+	}
+	if !b.Overlaps(main) {
+		t.Errorf("backup %v should overlap main (only option)", b)
+	}
+}
+
+func TestChooseBackupNoneFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := spectrum.MapFromBits(^uint32(0))
+	if _, ok := ChooseBackup(m, spectrum.Channel{}, rng); ok {
+		t.Error("backup found on fully occupied spectrum")
+	}
+}
+
+func TestFrameCarriesMetaAndCode(t *testing.T) {
+	m := spectrum.Map{}.SetOccupied(5)
+	f := Frame(7, "net", m, 33)
+	if f.Kind != phy.KindChirp || f.Dst != phy.Broadcast {
+		t.Errorf("frame = %+v", f)
+	}
+	if f.Bytes != sift.EncodeChirpBytes(33) {
+		t.Errorf("bytes = %d", f.Bytes)
+	}
+	meta, ok := f.Meta.(Meta)
+	if !ok || meta.SSID != "net" || meta.Map != m || meta.Node != 7 {
+		t.Errorf("meta = %+v", f.Meta)
+	}
+}
+
+func TestChirperPeriodics(t *testing.T) {
+	eng := sim.New(4)
+	air := mac.NewAir(eng)
+	n := mac.NewNode(eng, air, 1, spectrum.Chan(20, spectrum.W5), false)
+	c := NewChirper(eng, n, "net", 12, func() spectrum.Map { return spectrum.Map{} })
+	c.Start()
+	c.Start() // idempotent
+	eng.RunUntil(time.Second)
+	c.Stop()
+	// 1s / 200ms period = ~5-6 chirps.
+	if c.Sent < 5 || c.Sent > 6 {
+		t.Errorf("sent %d chirps, want 5-6", c.Sent)
+	}
+	sent := c.Sent
+	eng.RunUntil(2 * time.Second)
+	if c.Sent != sent {
+		t.Error("chirper kept sending after Stop")
+	}
+	// The chirps actually aired with the coded length.
+	count := 0
+	for _, tx := range air.History() {
+		if tx.Frame.Kind == phy.KindChirp && tx.Frame.Bytes == sift.EncodeChirpBytes(12) {
+			count++
+		}
+	}
+	if count != sent {
+		t.Errorf("aired %d coded chirps, want %d", count, sent)
+	}
+}
+
+func TestChirpMapFnEvaluatedPerChirp(t *testing.T) {
+	eng := sim.New(5)
+	air := mac.NewAir(eng)
+	n := mac.NewNode(eng, air, 1, spectrum.Chan(20, spectrum.W5), false)
+	cur := spectrum.Map{}
+	c := NewChirper(eng, n, "net", 1, func() spectrum.Map { return cur })
+	c.Start()
+	eng.RunUntil(250 * time.Millisecond)
+	cur = cur.SetOccupied(9) // the mic moved mid-disconnection
+	eng.RunUntil(time.Second)
+	c.Stop()
+	var maps []spectrum.Map
+	for _, tx := range air.History() {
+		if m, ok := tx.Frame.Meta.(Meta); ok {
+			maps = append(maps, m.Map)
+		}
+	}
+	if len(maps) < 4 {
+		t.Fatalf("chirps = %d", len(maps))
+	}
+	if maps[0].Occupied(9) {
+		t.Error("first chirp already had the late occupancy")
+	}
+	if !maps[len(maps)-1].Occupied(9) {
+		t.Error("last chirp missing the updated map")
+	}
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"whitefi/internal/assign"
+	"whitefi/internal/chirp"
+	"whitefi/internal/discovery"
+	"whitefi/internal/mac"
+	"whitefi/internal/phy"
+	"whitefi/internal/radio"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// Client is a WhiteFi client station.
+type Client struct {
+	ID  int
+	Cfg Config
+
+	eng     *sim.Engine
+	air     *mac.Air
+	Node    *mac.Node
+	Scanner *radio.Scanner
+	Sensor  *radio.IncumbentSensor
+	// Airtime is the airtime source for this client's observations.
+	Airtime radio.AirtimeSource
+
+	apID       int
+	associated bool
+	apChannel  spectrum.Channel
+	backup     spectrum.Channel
+	lastBeacon time.Duration
+	ssidCode   int
+
+	onBackup bool
+	chirper  *chirp.Chirper
+
+	// Reconnections counts recoveries from disconnection.
+	Reconnections int
+	// Disconnects counts entries into the disconnected state.
+	Disconnects int
+
+	running bool
+}
+
+// NewClient creates a client with its own incumbent sensor and attaches
+// it to the medium on the AP's channel, then associates. The caller
+// supplies the AP's current channel (as learned from discovery; see
+// package discovery for the scan algorithms).
+func NewClient(eng *sim.Engine, air *mac.Air, id int, cfg Config, sensor *radio.IncumbentSensor, ap *AP) *Client {
+	cfg.fill()
+	c := &Client{
+		ID:      id,
+		Cfg:     cfg,
+		eng:     eng,
+		air:     air,
+		Scanner: radio.NewScanner(air, id, rand.New(rand.NewSource(int64(id)*104729+3))),
+		Sensor:  sensor,
+		apID:    ap.ID,
+	}
+	c.ssidCode = discovery.ChirpValue(cfg.SSID)
+	c.apChannel = ap.Channel()
+	c.Node = mac.NewNode(eng, air, id, c.apChannel, false)
+	c.Node.OnReceive = c.receive
+	c.Airtime = &radio.TrueAirtime{Air: air, Exclude: ap.own}
+	ap.RegisterOwn(id)
+	c.lastBeacon = eng.Now()
+	c.running = true
+	c.watchMics()
+	c.associate()
+	eng.After(cfg.ControlPeriod, c.controlTick)
+	eng.After(cfg.BeaconTimeout/2, c.beaconWatchTick)
+	return c
+}
+
+// Stop halts all client activity.
+func (c *Client) Stop() { c.running = false }
+
+// Associated reports whether the client currently believes it is
+// associated with its AP.
+func (c *Client) Associated() bool { return c.associated && !c.onBackup }
+
+// Channel returns the client's current channel.
+func (c *Client) Channel() spectrum.Channel { return c.Node.Channel() }
+
+func (c *Client) associate() {
+	c.Node.Send(phy.Frame{Kind: phy.KindAssocReq, Src: c.ID, Dst: c.apID,
+		Bytes: 60, Meta: AssocMeta{SSID: c.Cfg.SSID}})
+}
+
+func (c *Client) observe() assign.Observation {
+	to := c.eng.Now()
+	from := to - c.Cfg.AirtimeWindow
+	if from < 0 {
+		from = 0
+	}
+	return radio.Observe(c.Airtime, c.Sensor.CurrentMap(), from, to, -1)
+}
+
+func (c *Client) receive(f phy.Frame, _ *mac.Transmission) {
+	switch f.Kind {
+	case phy.KindBeacon:
+		m, ok := f.Meta.(BeaconMeta)
+		if !ok || m.SSID != c.Cfg.SSID {
+			return
+		}
+		if c.onBackup {
+			// A beacon while disconnected only means the network has
+			// actually moved to the channel we are chirping on; the
+			// advertised operating channel must match.
+			if m.Channel != c.Node.Channel() {
+				return
+			}
+			c.onBackup = false
+			c.stopChirping()
+			c.Reconnections++
+		}
+		c.lastBeacon = c.eng.Now()
+		c.backup = m.Backup
+		c.apChannel = m.Channel
+		if !c.associated {
+			c.associate()
+		}
+	case phy.KindAssocResp:
+		if m, ok := f.Meta.(AssocMeta); ok && m.SSID == c.Cfg.SSID {
+			c.associated = true
+			c.lastBeacon = c.eng.Now()
+		}
+	case phy.KindSwitch:
+		m, ok := f.Meta.(SwitchMeta)
+		if !ok || m.SSID != c.Cfg.SSID {
+			return
+		}
+		// Follow the network to its new channel (both the normal
+		// switch path and the post-disconnection reassignment path) —
+		// unless this client's own sensor says the target is occupied
+		// by an incumbent it can hear but the AP cannot; then stay on
+		// (or return to) the backup channel and keep chirping so the
+		// AP learns our map (Section 4.1, footnote 1).
+		if c.Sensor.MicActiveOn(m.Target) || !c.Sensor.CurrentMap().ChannelFree(m.Target) {
+			if !c.onBackup {
+				c.backup = m.Backup
+				c.goToBackup()
+			}
+			return
+		}
+		wasBackup := c.onBackup
+		c.onBackup = false
+		c.stopChirping()
+		c.Node.ClearQueue() // drop frames composed for the old channel
+		c.Node.Retune(m.Target)
+		c.apChannel = m.Target
+		c.backup = m.Backup
+		c.lastBeacon = c.eng.Now()
+		if wasBackup {
+			c.Reconnections++
+		}
+	}
+}
+
+// controlTick periodically reports the client's observation to the AP.
+func (c *Client) controlTick() {
+	if !c.running {
+		return
+	}
+	defer c.eng.After(c.Cfg.ControlPeriod, c.controlTick)
+	if !c.associated || c.onBackup {
+		return
+	}
+	c.Node.Send(phy.Frame{Kind: phy.KindControl, Src: c.ID, Dst: c.apID,
+		Bytes: 120, Meta: ControlMeta{Obs: c.observe()}})
+}
+
+// beaconWatchTick detects disconnection: no beacon (or switch) heard for
+// BeaconTimeout means the AP has moved (e.g. it sensed a mic we cannot
+// hear, or we missed the switch announcement). The client reverts to the
+// disconnection protocol: go to the backup channel and chirp.
+func (c *Client) beaconWatchTick() {
+	if !c.running {
+		return
+	}
+	defer c.eng.After(c.Cfg.BeaconTimeout/2, c.beaconWatchTick)
+	if !c.associated || c.onBackup {
+		return
+	}
+	if c.eng.Now()-c.lastBeacon > c.Cfg.BeaconTimeout {
+		c.goToBackup()
+	}
+}
+
+func (c *Client) watchMics() {
+	for _, mic := range c.Sensor.Mics {
+		mic := mic
+		prev := mic.OnChange
+		mic.OnChange = func(active bool) {
+			if prev != nil {
+				prev(active)
+			}
+			c.micChanged(mic.Channel, active)
+		}
+	}
+}
+
+func (c *Client) micChanged(u spectrum.UHF, active bool) {
+	if !c.running || !active || c.onBackup {
+		return
+	}
+	if c.Node.Channel().Contains(u) {
+		// Incumbent on the operating channel: vacate at once. No
+		// farewell frame is permitted — that is the whole point of the
+		// chirping protocol.
+		c.goToBackup()
+	}
+}
+
+// goToBackup moves to the (possibly secondary) backup channel and chirps
+// until the AP shows up and reassigns the network.
+func (c *Client) goToBackup() {
+	c.Disconnects++
+	target := c.backup
+	m := c.Sensor.CurrentMap()
+	if target == (spectrum.Channel{}) || !m.ChannelFree(target) {
+		// The backup channel itself is occupied by an incumbent:
+		// choose an arbitrary free channel as a secondary backup; the
+		// AP's periodic all-channel scan will find us (Section 4.3).
+		if alt, ok := chirp.ChooseBackup(m, c.apChannel, c.eng.Rand()); ok {
+			target = alt
+		} else {
+			return // nowhere to go; keep waiting
+		}
+	}
+	c.Node.ClearQueue()
+	c.Node.Retune(target)
+	c.onBackup = true
+	c.chirper = chirp.NewChirper(c.eng, c.Node, c.Cfg.SSID, c.ssidCode, func() spectrum.Map {
+		return c.Sensor.CurrentMap()
+	})
+	c.chirper.Start()
+}
+
+func (c *Client) stopChirping() {
+	if c.chirper != nil {
+		c.chirper.Stop()
+		c.chirper = nil
+	}
+}

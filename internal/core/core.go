@@ -1,0 +1,651 @@
+// Package core implements the WhiteFi node logic: the access point and
+// client state machines that tie together spectrum assignment (package
+// assign), SIFT-based measurement (packages sift and radio), AP
+// discovery (package discovery) and disconnection handling (package
+// chirp) over the CSMA/CA medium (package mac).
+//
+// The protocol, following Section 4:
+//
+//   - The AP beacons every BeaconInterval; each beacon advertises the
+//     current channel and the 5 MHz backup channel, and is followed one
+//     SIFS later by a CTS-to-self so SIFT can fingerprint it.
+//   - Clients associate, then periodically report their spectrum map and
+//     airtime observations to the AP in control frames.
+//   - The AP periodically re-evaluates the channel with the MCham metric
+//     over its own and all clients' observations (client-weighted,
+//     hysteresis on voluntary switches, revert if throughput drops), and
+//     broadcasts switch announcements before retuning.
+//   - When an incumbent (wireless microphone) appears on the operating
+//     channel at any node, that node vacates immediately and moves to the
+//     backup channel, where it chirps. The AP's secondary radio scans the
+//     backup channel every BackupScanPeriod; on detecting a chirp of its
+//     own network it moves its main radio there, collects the chirped
+//     spectrum maps for ChirpCollect, reassigns spectrum, and announces
+//     the new channel.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"whitefi/internal/assign"
+	"whitefi/internal/chirp"
+	"whitefi/internal/discovery"
+	"whitefi/internal/mac"
+	"whitefi/internal/phy"
+	"whitefi/internal/radio"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// Default protocol timing.
+const (
+	DefaultBeaconInterval   = 100 * time.Millisecond
+	DefaultControlPeriod    = 1 * time.Second
+	DefaultProbePeriod      = 5 * time.Second
+	DefaultAirtimeWindow    = 500 * time.Millisecond
+	DefaultBackupScanPeriod = 3 * time.Second
+	DefaultFullScanPeriod   = 10 * time.Second
+	DefaultChirpCollect     = 500 * time.Millisecond
+	DefaultBeaconTimeout    = 1200 * time.Millisecond
+)
+
+// Config parameterises a WhiteFi network. Zero fields select defaults.
+type Config struct {
+	SSID             string
+	BeaconInterval   time.Duration
+	ControlPeriod    time.Duration // client observation reports
+	ProbePeriod      time.Duration // AP voluntary re-evaluation
+	AirtimeWindow    time.Duration // lookback for airtime measurement
+	BackupScanPeriod time.Duration // AP secondary-radio chirp scan
+	FullScanPeriod   time.Duration // AP all-channel scan for lost nodes
+	ChirpCollect     time.Duration // Tc: chirp collection before reassign
+	BeaconTimeout    time.Duration // client disconnect detection
+	Hysteresis       float64
+}
+
+func (c *Config) fill() {
+	if c.SSID == "" {
+		c.SSID = "whitefi"
+	}
+	if c.BeaconInterval <= 0 {
+		c.BeaconInterval = DefaultBeaconInterval
+	}
+	if c.ControlPeriod <= 0 {
+		c.ControlPeriod = DefaultControlPeriod
+	}
+	if c.ProbePeriod <= 0 {
+		c.ProbePeriod = DefaultProbePeriod
+	}
+	if c.AirtimeWindow <= 0 {
+		c.AirtimeWindow = DefaultAirtimeWindow
+	}
+	if c.BackupScanPeriod <= 0 {
+		c.BackupScanPeriod = DefaultBackupScanPeriod
+	}
+	if c.FullScanPeriod <= 0 {
+		c.FullScanPeriod = DefaultFullScanPeriod
+	}
+	if c.ChirpCollect <= 0 {
+		c.ChirpCollect = DefaultChirpCollect
+	}
+	if c.BeaconTimeout <= 0 {
+		c.BeaconTimeout = DefaultBeaconTimeout
+	}
+}
+
+// BeaconMeta is the payload of WhiteFi beacons.
+type BeaconMeta struct {
+	SSID    string
+	Channel spectrum.Channel
+	Backup  spectrum.Channel
+}
+
+// SwitchMeta announces a channel switch to all clients of an SSID.
+type SwitchMeta struct {
+	SSID   string
+	Target spectrum.Channel
+	Backup spectrum.Channel
+}
+
+// ControlMeta is a client's periodic observation report.
+type ControlMeta struct {
+	Obs assign.Observation
+}
+
+// AssocMeta is carried by association requests/responses.
+type AssocMeta struct {
+	SSID string
+}
+
+// SwitchReason distinguishes why the network changed channels.
+type SwitchReason int
+
+// Switch reasons.
+const (
+	SwitchInitial SwitchReason = iota
+	SwitchVoluntary
+	SwitchIncumbent
+	SwitchRevert
+)
+
+func (r SwitchReason) String() string {
+	switch r {
+	case SwitchInitial:
+		return "initial"
+	case SwitchVoluntary:
+		return "voluntary"
+	case SwitchIncumbent:
+		return "incumbent"
+	case SwitchRevert:
+		return "revert"
+	}
+	return "unknown"
+}
+
+// SwitchEvent records one channel change for tracing.
+type SwitchEvent struct {
+	At     time.Duration
+	From   spectrum.Channel
+	To     spectrum.Channel
+	Reason SwitchReason
+	Metric float64
+}
+
+type clientState struct {
+	id       int
+	obs      assign.Observation
+	hasObs   bool
+	lastSeen time.Duration
+}
+
+// AP is a WhiteFi access point.
+type AP struct {
+	ID  int
+	Cfg Config
+
+	eng     *sim.Engine
+	air     *mac.Air
+	Node    *mac.Node
+	Scanner *radio.Scanner
+	Sensor  *radio.IncumbentSensor
+	// Airtime is the airtime source used for MCham observations. The
+	// constructor installs ground-truth accounting excluding the
+	// network's own nodes; tests may replace it with a SIFT source.
+	Airtime radio.AirtimeSource
+
+	selector assign.Selector
+	clients  map[int]*clientState
+	backup   spectrum.Channel
+	ssidCode int
+
+	// Own-network node ids excluded from airtime measurement.
+	own map[int]bool
+
+	// Disconnection state.
+	onBackup          bool
+	collecting        bool
+	collectRetries    int
+	apSensedIncumbent bool
+	chirpMaps         []spectrum.Map
+	chirper           *chirp.Chirper
+	switchGen         int  // invalidates stale switch announcements
+	switchPending     bool // a switch is announced but not yet executed
+	lastSwitchDone    time.Duration
+
+	// Voluntary-switch revert bookkeeping.
+	lastGoodput   float64
+	prevChannel   spectrum.Channel
+	pendingRevert bool
+	goodputBase   int64
+	goodputBaseAt time.Duration
+
+	// Switches records every channel change.
+	Switches []SwitchEvent
+	// Reconnections counts completed disconnection recoveries.
+	Reconnections int
+
+	running bool
+}
+
+// NewAP creates an access point with the given static incumbent map and
+// audible microphones, performs the initial channel selection from its
+// own observations, and starts beaconing.
+func NewAP(eng *sim.Engine, air *mac.Air, id int, cfg Config, sensor *radio.IncumbentSensor) *AP {
+	cfg.fill()
+	ap := &AP{
+		ID:      id,
+		Cfg:     cfg,
+		eng:     eng,
+		air:     air,
+		Scanner: radio.NewScanner(air, id, rand.New(rand.NewSource(int64(id)*7919+1))),
+		Sensor:  sensor,
+		clients: map[int]*clientState{},
+		own:     map[int]bool{id: true},
+	}
+	ap.ssidCode = discovery.ChirpValue(cfg.SSID)
+	ap.selector.Hysteresis = cfg.Hysteresis
+	ap.Airtime = &radio.TrueAirtime{Air: air, Exclude: ap.own}
+
+	// Initial channel selection: AP-only observation (bootstrapping).
+	obs := ap.observe()
+	sel, _ := ap.selector.Evaluate(obs, nil)
+	ch := sel.Channel
+	if !sel.OK {
+		// Fully blocked spectrum: park on channel 0 silently; the
+		// probe loop keeps looking.
+		ch = spectrum.Chan(0, spectrum.W5)
+	}
+	ap.Node = mac.NewNode(eng, air, id, ch, true)
+	ap.Node.OnReceive = ap.receive
+	ap.Node.OnSent = ap.sent
+	ap.pickBackup()
+	ap.Switches = append(ap.Switches, SwitchEvent{At: eng.Now(), To: ch, Reason: SwitchInitial, Metric: sel.Metric})
+
+	ap.running = true
+	ap.WatchMics()
+	ap.beaconTick()
+	eng.After(cfg.ProbePeriod, ap.probeTick)
+	eng.After(cfg.BackupScanPeriod, ap.backupScanTick)
+	eng.After(cfg.FullScanPeriod, ap.fullScanTick)
+	return ap
+}
+
+// Stop halts all AP activity.
+func (a *AP) Stop() { a.running = false }
+
+// Channel returns the AP's current operating channel.
+func (a *AP) Channel() spectrum.Channel { return a.Node.Channel() }
+
+// Backup returns the currently advertised backup channel.
+func (a *AP) Backup() spectrum.Channel { return a.backup }
+
+// Clients returns the ids of currently associated clients.
+func (a *AP) Clients() []int {
+	out := make([]int, 0, len(a.clients))
+	for id := range a.clients {
+		out = append(out, id)
+	}
+	return out
+}
+
+// RegisterOwn marks extra node ids as part of this network so their
+// traffic is excluded from airtime measurement (used when attaching
+// traffic generators with their own node ids).
+func (a *AP) RegisterOwn(id int) { a.own[id] = true }
+
+// observe builds the AP's current spectrum observation.
+func (a *AP) observe() assign.Observation {
+	to := a.eng.Now()
+	from := to - a.Cfg.AirtimeWindow
+	if from < 0 {
+		from = 0
+	}
+	return radio.Observe(a.Airtime, a.Sensor.CurrentMap(), from, to, -1)
+}
+
+func (a *AP) clientObs() []assign.Observation {
+	var out []assign.Observation
+	for _, c := range a.clients {
+		if c.hasObs {
+			out = append(out, c.obs)
+		} else {
+			out = append(out, assign.Observation{Map: a.Sensor.Base})
+		}
+	}
+	return out
+}
+
+// pickBackup chooses and stores a backup channel given current maps.
+// An already-advertised backup is kept as long as it remains usable:
+// the backup channel is the rendezvous point for disconnected clients,
+// and clients that missed recent beacons only know the old one.
+func (a *AP) pickBackup() {
+	m := assign.CombinedMap(a.observe(), a.clientObs())
+	if a.backup != (spectrum.Channel{}) && m.ChannelFree(a.backup) &&
+		!a.backup.Overlaps(a.Node.Channel()) {
+		return
+	}
+	if b, ok := chirp.ChooseBackup(m, a.Node.Channel(), a.eng.Rand()); ok {
+		a.backup = b
+	}
+}
+
+// beaconTick sends the periodic beacon.
+func (a *AP) beaconTick() {
+	if !a.running {
+		return
+	}
+	if !a.onBackup {
+		a.Node.Send(phy.BeaconFrame(a.ID, BeaconMeta{
+			SSID:    a.Cfg.SSID,
+			Channel: a.Node.Channel(),
+			Backup:  a.backup,
+		}))
+	}
+	a.eng.After(a.Cfg.BeaconInterval, a.beaconTick)
+}
+
+// sent chains the CTS-to-self one SIFS after each beacon (the SIFT
+// beacon fingerprint).
+func (a *AP) sent(f phy.Frame) {
+	if f.Kind != phy.KindBeacon {
+		return
+	}
+	w := a.Node.Channel().Width
+	a.eng.After(phy.SIFS(w), func() {
+		if a.running {
+			a.Node.SendImmediate(phy.CTSFrame(a.ID))
+		}
+	})
+}
+
+// receive handles client frames.
+func (a *AP) receive(f phy.Frame, _ *mac.Transmission) {
+	switch f.Kind {
+	case phy.KindAssocReq:
+		if m, ok := f.Meta.(AssocMeta); !ok || m.SSID != a.Cfg.SSID {
+			return
+		}
+		a.clients[f.Src] = &clientState{id: f.Src, lastSeen: a.eng.Now()}
+		a.Node.Send(phy.Frame{Kind: phy.KindAssocResp, Src: a.ID, Dst: f.Src,
+			Bytes: 60, Meta: AssocMeta{SSID: a.Cfg.SSID}})
+	case phy.KindControl:
+		if c, ok := a.clients[f.Src]; ok {
+			if m, ok := f.Meta.(ControlMeta); ok {
+				c.obs = m.Obs
+				c.hasObs = true
+				c.lastSeen = a.eng.Now()
+			}
+		}
+	case phy.KindChirp:
+		// Chirp bodies only matter while the main radio sits on the
+		// backup channel collecting lost nodes — and not once a
+		// reassignment is already announced.
+		if !a.onBackup || a.switchPending {
+			return
+		}
+		if m, ok := f.Meta.(chirp.Meta); ok && m.SSID == a.Cfg.SSID {
+			a.chirpMaps = append(a.chirpMaps, m.Map)
+			if !a.collecting {
+				a.collecting = true
+				a.eng.After(a.Cfg.ChirpCollect, a.finishCollect)
+			}
+		}
+	}
+}
+
+// goodput returns cumulative acknowledged downlink payload bytes.
+func (a *AP) goodput() int64 { return a.Node.Stats.PayloadRxOK }
+
+// probeTick is the periodic voluntary channel re-evaluation.
+func (a *AP) probeTick() {
+	if !a.running {
+		return
+	}
+	defer a.eng.After(a.Cfg.ProbePeriod, a.probeTick)
+	if a.onBackup {
+		return
+	}
+
+	// Measure goodput over the elapsed probe period for revert checks.
+	now := a.eng.Now()
+	var rate float64
+	if now > a.goodputBaseAt {
+		rate = float64(a.goodput()-a.goodputBase) / float64(now-a.goodputBaseAt)
+	}
+	a.goodputBase = a.goodput()
+	a.goodputBaseAt = now
+
+	// Revert check: a voluntary switch that reduced goodput is undone
+	// (Section 4.1) — but only when the metric still considers the old
+	// channel competitive. Network-wide load changes legitimately
+	// reduce goodput after a correct switch; reverting then would chase
+	// a throughput level that no channel can deliver anymore.
+	if a.pendingRevert {
+		a.pendingRevert = false
+		if rate < a.lastGoodput*0.9 && a.prevChannel.Valid() {
+			obs := a.observe()
+			clients := a.clientObs()
+			combined := assign.CombinedMap(obs, clients)
+			prevMetric := assign.Aggregate(obs, clients, a.prevChannel)
+			curMetric := assign.Aggregate(obs, clients, a.Node.Channel())
+			if combined.ChannelFree(a.prevChannel) && prevMetric >= 0.5*curMetric {
+				a.selector.ForceChannel(a.prevChannel)
+				a.switchTo(a.prevChannel, SwitchRevert, prevMetric)
+				return
+			}
+		}
+	}
+
+	obs := a.observe()
+	sel, doSwitch := a.selector.Evaluate(obs, a.clientObs())
+	if !sel.OK || !doSwitch {
+		a.lastGoodput = rate
+		return
+	}
+	a.prevChannel = a.Node.Channel()
+	a.lastGoodput = rate
+	a.pendingRevert = true
+	a.switchTo(sel.Channel, SwitchVoluntary, sel.Metric)
+}
+
+// switchTo announces and performs a channel switch. Announcements are
+// spread out in time so that a client busy transmitting (half duplex —
+// e.g. mid-chirp) still hears at least one of them.
+func (a *AP) switchTo(target spectrum.Channel, reason SwitchReason, metric float64) {
+	from := a.Node.Channel()
+	meta := SwitchMeta{SSID: a.Cfg.SSID, Target: target, Backup: a.backup}
+	a.switchGen++
+	gen := a.switchGen
+	a.switchPending = true
+	announce := func() {
+		if a.running && a.switchGen == gen {
+			a.Node.Send(phy.Frame{Kind: phy.KindSwitch, Src: a.ID, Dst: phy.Broadcast, Bytes: 60, Meta: meta})
+		}
+	}
+	announce()
+	a.eng.After(30*time.Millisecond, announce)
+	a.eng.After(60*time.Millisecond, announce)
+	a.eng.After(90*time.Millisecond, announce)
+	a.eng.After(120*time.Millisecond, func() {
+		if !a.running || a.switchGen != gen {
+			return
+		}
+		a.Node.ClearQueue()
+		a.Node.Retune(target)
+		a.onBackup = false
+		a.switchPending = false
+		a.lastSwitchDone = a.eng.Now()
+		a.pickBackup()
+		a.Switches = append(a.Switches, SwitchEvent{
+			At: a.eng.Now(), From: from, To: target, Reason: reason, Metric: metric,
+		})
+	})
+}
+
+// WatchMics subscribes the AP to the mic set of its sensor: an incumbent
+// appearing on the operating channel forces an immediate involuntary
+// switch. NewAP calls it automatically.
+func (a *AP) WatchMics() {
+	for _, mic := range a.Sensor.Mics {
+		mic := mic
+		prev := mic.OnChange
+		mic.OnChange = func(active bool) {
+			if prev != nil {
+				prev(active)
+			}
+			a.micChanged(mic.Channel, active)
+		}
+	}
+}
+
+func (a *AP) micChanged(u spectrum.UHF, active bool) {
+	if !a.running || !active {
+		return
+	}
+	if a.Node.Channel().Contains(u) {
+		a.vacateToBackup()
+	} else if a.backup.Contains(u) {
+		// Incumbent on the backup channel: pick a new one; it will be
+		// advertised in subsequent beacons.
+		a.pickBackup()
+	}
+}
+
+// vacateToBackup is the AP side of an involuntary disconnection: move
+// the main radio to the backup channel at once (no transmission on the
+// mic's channel is permissible, not even an announcement) and wait for
+// clients' chirps there.
+func (a *AP) vacateToBackup() {
+	if a.backup == (spectrum.Channel{}) {
+		a.pickBackup()
+	}
+	a.Node.ClearQueue()
+	a.Node.Retune(a.backup)
+	a.onBackup = true
+	a.apSensedIncumbent = true
+	a.selector.Invalidate()
+	// The AP chirps too: clients that detected the mic independently
+	// are listening on the backup channel for their network.
+	if a.chirper == nil || !a.chirper.Running() {
+		a.chirper = chirp.NewChirper(a.eng, a.Node, a.Cfg.SSID, a.ssidCode, func() spectrum.Map {
+			return a.Sensor.CurrentMap()
+		})
+		a.chirper.Period = 150 * time.Millisecond
+		a.chirper.Start()
+	}
+	if !a.collecting {
+		a.collecting = true
+		a.eng.After(a.Cfg.ChirpCollect, a.finishCollect)
+	}
+}
+
+// finishCollect ends the Tc chirp-collection window: reassign spectrum
+// using the chirped maps plus everything already known, announce on the
+// backup channel, and move.
+func (a *AP) finishCollect() {
+	a.collecting = false
+	if !a.running {
+		return
+	}
+	// If the AP joined the backup channel because a *client* sensed an
+	// incumbent, the AP's own map does not show it; reassigning before
+	// any chirp body is decoded could land right back on the mic. Wait
+	// another window (bounded). When the AP sensed the incumbent
+	// itself its own map already excludes the channel, so no wait is
+	// needed.
+	if !a.apSensedIncumbent && len(a.chirpMaps) == 0 && a.collectRetries < 4 {
+		a.collectRetries++
+		a.collecting = true
+		a.eng.After(a.Cfg.ChirpCollect, a.finishCollect)
+		return
+	}
+	a.collectRetries = 0
+	a.apSensedIncumbent = false
+	if a.chirper != nil {
+		a.chirper.Stop()
+	}
+	obs := a.observe()
+	clientObs := a.clientObs()
+	for _, m := range a.chirpMaps {
+		// A chirp carries only the lost node's spectrum map; the node
+		// could not measure airtime while disconnected. Pair the map
+		// with the AP's airtime view so the chirped observation
+		// constrains which channels are usable without casting a
+		// zero-airtime vote that would skew the metric toward the
+		// widest channel.
+		clientObs = append(clientObs, assign.Observation{
+			Map: m, Airtime: obs.Airtime, APs: obs.APs,
+		})
+	}
+	a.chirpMaps = nil
+	a.selector.Invalidate()
+	sel, _ := a.selector.Evaluate(obs, clientObs)
+	if !sel.OK {
+		// Nothing usable; retry after another collection window.
+		a.collecting = true
+		a.eng.After(a.Cfg.ChirpCollect, a.finishCollect)
+		return
+	}
+	a.Reconnections++
+	a.switchTo(sel.Channel, SwitchIncumbent, sel.Metric)
+}
+
+// backupScanTick scans the backup channel for chirps with the secondary
+// radio while the main radio keeps serving connected clients.
+func (a *AP) backupScanTick() {
+	if !a.running {
+		return
+	}
+	defer a.eng.After(a.Cfg.BackupScanPeriod, a.backupScanTick)
+	if a.onBackup || a.backup == (spectrum.Channel{}) {
+		return
+	}
+	if a.scanForChirps(a.backup.Center) {
+		// A lost node of our network is chirping: join it on the
+		// backup channel and collect its information with the main
+		// radio. Drop queued frames — they were composed for the old
+		// channel and must not leak onto the backup channel.
+		a.joinBackup(a.backup)
+	}
+}
+
+// joinBackup moves the main radio to a backup channel to collect chirps.
+func (a *AP) joinBackup(b spectrum.Channel) {
+	a.Node.ClearQueue()
+	a.Node.Retune(b)
+	a.backup = b
+	a.onBackup = true
+	a.selector.Invalidate()
+	if !a.collecting {
+		a.collecting = true
+		a.eng.After(a.Cfg.ChirpCollect, a.finishCollect)
+	}
+}
+
+// fullScanTick periodically sweeps every free channel for chirps from
+// nodes whose backup channel was itself blocked by an incumbent.
+func (a *AP) fullScanTick() {
+	if !a.running {
+		return
+	}
+	defer a.eng.After(a.Cfg.FullScanPeriod, a.fullScanTick)
+	if a.onBackup {
+		return
+	}
+	m := a.Sensor.CurrentMap()
+	for u := spectrum.UHF(0); u < spectrum.NumUHF; u++ {
+		if m.Occupied(u) || a.backup.Contains(u) {
+			continue
+		}
+		if a.scanForChirps(u) {
+			a.joinBackup(spectrum.Chan(u, spectrum.W5))
+			return
+		}
+	}
+}
+
+// scanForChirps checks the recent window on UHF channel u for chirps
+// length-coded with this network's SSID. Chirps older than the last
+// completed reassignment are stale — they belong to a disconnection
+// that has already been resolved — and are excluded from the window.
+func (a *AP) scanForChirps(u spectrum.UHF) bool {
+	to := a.eng.Now()
+	from := to - a.Cfg.BackupScanPeriod
+	if from < a.lastSwitchDone {
+		from = a.lastSwitchDone
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to <= from {
+		return false
+	}
+	for _, v := range a.Scanner.Chirps(u, from, to) {
+		if v == a.ssidCode {
+			return true
+		}
+	}
+	return false
+}

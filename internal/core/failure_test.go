@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/radio"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// Failure-injection tests for the disconnection machinery (Section 4.3
+// corner cases).
+
+func TestSecondaryBackupWhenBackupOccupied(t *testing.T) {
+	// Two mics: one on the operating channel, one on the advertised
+	// backup channel. The client must pick an arbitrary free channel as
+	// a secondary backup and chirp there; the AP's periodic all-channel
+	// scan must still find it.
+	eng := sim.New(21)
+	air := mac.NewAir(eng)
+	base := incumbent.SimulationBaseMap()
+	micMain := incumbent.NewMic(eng, 0)
+	micBackup := incumbent.NewMic(eng, 0)
+	mics := []*incumbent.Mic{micMain, micBackup}
+	apSensor := &radio.IncumbentSensor{Base: base}
+	clSensor := &radio.IncumbentSensor{Base: base, Mics: mics}
+	n := NewNetwork(eng, air, Config{}, []*radio.IncumbentSensor{apSensor, clSensor})
+	eng.RunUntil(2 * time.Second)
+
+	micMain.Channel = n.AP.Channel().Center
+	micBackup.Channel = n.AP.Backup().Center
+	micBackup.TurnOn()
+	eng.RunUntil(3 * time.Second)
+	micMain.TurnOn()
+
+	cl := n.Clients[0]
+	eng.RunUntil(4 * time.Second)
+	if !cl.onBackup {
+		t.Fatal("client did not vacate")
+	}
+	if cl.Channel() == n.AP.Backup() {
+		t.Fatalf("client chirps on the occupied backup channel %v", cl.Channel())
+	}
+	if cl.Channel().Contains(micBackup.Channel) || cl.Channel().Contains(micMain.Channel) {
+		t.Fatalf("client's secondary backup %v overlaps a mic", cl.Channel())
+	}
+
+	// The full-channel scan runs every DefaultFullScanPeriod (10s); the
+	// network must reform within a couple of scan periods.
+	eng.RunUntil(30 * time.Second)
+	if cl.Channel() != n.AP.Channel() {
+		t.Fatalf("never reunited: client %v, AP %v", cl.Channel(), n.AP.Channel())
+	}
+	if cl.Channel().Contains(micMain.Channel) {
+		t.Error("network reformed on the mic channel")
+	}
+}
+
+func TestMicOnBackupOnlyTriggersNewBackup(t *testing.T) {
+	// A mic appearing on the backup channel (but not the main channel)
+	// must not disturb the network, only move the advertised backup.
+	eng := sim.New(22)
+	air := mac.NewAir(eng)
+	base := incumbent.SimulationBaseMap()
+	mic := incumbent.NewMic(eng, 0)
+	sensors := []*radio.IncumbentSensor{
+		{Base: base, Mics: []*incumbent.Mic{mic}},
+		{Base: base, Mics: []*incumbent.Mic{mic}},
+	}
+	n := NewNetwork(eng, air, Config{}, sensors)
+	eng.RunUntil(2 * time.Second)
+	main := n.AP.Channel()
+	oldBackup := n.AP.Backup()
+	mic.Channel = oldBackup.Center
+	mic.TurnOn()
+	eng.RunUntil(5 * time.Second)
+	if n.AP.Channel() != main {
+		t.Errorf("main channel moved: %v", n.AP.Channel())
+	}
+	if n.AP.Backup().Contains(mic.Channel) {
+		t.Errorf("backup %v still overlaps the mic", n.AP.Backup())
+	}
+	if n.Clients[0].Disconnects != 0 {
+		t.Errorf("client disconnected %d times over a backup-only mic", n.Clients[0].Disconnects)
+	}
+}
+
+func TestMicDisappearsNetworkReclaimsWideChannel(t *testing.T) {
+	// After the mic turns off, the periodic probe should move the
+	// network back to the wide fragment.
+	eng := sim.New(23)
+	air := mac.NewAir(eng)
+	base := incumbent.BuildingFiveMap()
+	mic := incumbent.NewMic(eng, 0)
+	sensors := []*radio.IncumbentSensor{
+		{Base: base, Mics: []*incumbent.Mic{mic}},
+		{Base: base, Mics: []*incumbent.Mic{mic}},
+	}
+	n := NewNetwork(eng, air, Config{ProbePeriod: 2 * time.Second}, sensors)
+	eng.RunUntil(2 * time.Second)
+	if n.AP.Channel().Width != spectrum.W20 {
+		t.Fatalf("initial = %v", n.AP.Channel())
+	}
+	mic.Channel = n.AP.Channel().Center
+	mic.ScheduleOn(2500 * time.Millisecond)
+	mic.ScheduleOff(12 * time.Second)
+	eng.RunUntil(10 * time.Second)
+	if n.AP.Channel().Width == spectrum.W20 {
+		t.Fatal("AP still on the 20MHz fragment while the mic is on")
+	}
+	eng.RunUntil(30 * time.Second)
+	if n.AP.Channel().Width != spectrum.W20 {
+		t.Errorf("AP did not reclaim the 20MHz fragment after the mic left: %v", n.AP.Channel())
+	}
+	if !n.Clients[0].Associated() || n.Clients[0].Channel() != n.AP.Channel() {
+		t.Error("client did not follow")
+	}
+}
+
+func TestTwoClientsOneSensesMic(t *testing.T) {
+	// Only one of two clients hears the mic; both must end up with the
+	// AP on a channel clear of it.
+	eng := sim.New(24)
+	air := mac.NewAir(eng)
+	base := incumbent.SimulationBaseMap()
+	mic := incumbent.NewMic(eng, 0)
+	sensors := []*radio.IncumbentSensor{
+		{Base: base}, // AP deaf to the mic
+		{Base: base, Mics: []*incumbent.Mic{mic}}, // client 100 hears it
+		{Base: base}, // client 101 deaf
+	}
+	n := NewNetwork(eng, air, Config{}, sensors)
+	eng.RunUntil(2 * time.Second)
+	mic.Channel = n.AP.Channel().Center
+	mic.ScheduleOn(2500 * time.Millisecond)
+	eng.RunUntil(25 * time.Second)
+	if n.AP.Channel().Contains(mic.Channel) {
+		t.Fatalf("AP still overlaps the mic: %v", n.AP.Channel())
+	}
+	for _, c := range n.Clients {
+		if c.Channel() != n.AP.Channel() {
+			t.Errorf("client %d on %v, AP on %v", c.ID, c.Channel(), n.AP.Channel())
+		}
+	}
+}

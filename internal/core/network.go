@@ -1,0 +1,102 @@
+package core
+
+import (
+	"time"
+
+	"whitefi/internal/mac"
+	"whitefi/internal/radio"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// Network wires a complete WhiteFi BSS — one AP and its clients — plus
+// saturating downlink flows, for experiments and examples.
+type Network struct {
+	Eng     *sim.Engine
+	Air     *mac.Air
+	AP      *AP
+	Clients []*Client
+
+	flows []*mac.Backlogged
+}
+
+// NewNetwork builds an AP with one sensor per node. Sensor index 0 is
+// the AP's; the remaining sensors create one client each.
+func NewNetwork(eng *sim.Engine, air *mac.Air, cfg Config, sensors []*radio.IncumbentSensor) *Network {
+	if len(sensors) == 0 {
+		panic("core: NewNetwork needs at least the AP sensor")
+	}
+	n := &Network{Eng: eng, Air: air}
+	n.AP = NewAP(eng, air, 1, cfg, sensors[0])
+	for i, s := range sensors[1:] {
+		c := NewClient(eng, air, 100+i, cfg, s, n.AP)
+		n.Clients = append(n.Clients, c)
+	}
+	return n
+}
+
+// StartDownlink attaches a saturating downlink flow from the AP to every
+// client, with frames of the given payload size.
+func (n *Network) StartDownlink(payloadBytes int) {
+	for _, c := range n.Clients {
+		f := mac.NewBacklogged(n.Eng, n.AP.Node, c.ID, payloadBytes)
+		f.Start()
+		n.flows = append(n.flows, f)
+	}
+}
+
+// StopTraffic halts all attached flows.
+func (n *Network) StopTraffic() {
+	for _, f := range n.flows {
+		f.Stop()
+	}
+}
+
+// Stop halts the whole network.
+func (n *Network) Stop() {
+	n.StopTraffic()
+	n.AP.Stop()
+	for _, c := range n.Clients {
+		c.Stop()
+	}
+}
+
+// GoodputBps returns the aggregate acknowledged downlink payload rate in
+// bits per second over [from, to], using cumulative AP counters sampled
+// by the caller via GoodputBytes.
+func (n *Network) GoodputBps(bytesDelta int64, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(bytesDelta*8) / window.Seconds()
+}
+
+// GoodputBytes returns cumulative acknowledged downlink payload bytes.
+func (n *Network) GoodputBytes() int64 { return n.AP.Node.Stats.PayloadRxOK }
+
+// StaticPair is the baseline used by the OPT-5/10/20 comparisons: an
+// AP/client pair pinned to one channel with a saturating downlink flow
+// and no WhiteFi adaptation.
+type StaticPair struct {
+	AP, Client *mac.Node
+	Flow       *mac.Backlogged
+}
+
+// NewStaticPair creates the pinned pair on ch and starts its flow.
+func NewStaticPair(eng *sim.Engine, air *mac.Air, apID, clientID int, ch spectrum.Channel, payloadBytes int) *StaticPair {
+	ap := mac.NewNode(eng, air, apID, ch, true)
+	cl := mac.NewNode(eng, air, clientID, ch, false)
+	f := mac.NewBacklogged(eng, ap, clientID, payloadBytes)
+	f.Start()
+	return &StaticPair{AP: ap, Client: cl, Flow: f}
+}
+
+// GoodputBytes returns the pair's cumulative acknowledged payload bytes.
+func (p *StaticPair) GoodputBytes() int64 { return p.AP.Stats.PayloadRxOK }
+
+// Stop halts the pair.
+func (p *StaticPair) Stop() {
+	p.Flow.Stop()
+	p.AP.Detach()
+	p.Client.Detach()
+}

@@ -1,0 +1,175 @@
+package discovery
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"whitefi/internal/mac"
+	"whitefi/internal/radio"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// setupAP builds a medium with one beaconing AP on apCh and a prober
+// whose spectrum map is m.
+func setupAP(seed int64, apCh spectrum.Channel, m spectrum.Map) (*Prober, *BeaconAP) {
+	eng := sim.New(seed)
+	air := mac.NewAir(eng)
+	ap := NewBeaconAP(eng, air, 1, apCh, 100*time.Millisecond)
+	sc := radio.NewScanner(air, 50, rand.New(rand.NewSource(seed)))
+	p := &Prober{Eng: eng, Air: air, Scanner: sc, Map: m}
+	return p, ap
+}
+
+func TestBaselineFindsAP(t *testing.T) {
+	apCh := spectrum.Chan(12, spectrum.W10)
+	p, _ := setupAP(1, apCh, spectrum.Map{})
+	res := Baseline(p)
+	if !res.Found || res.Channel != apCh {
+		t.Fatalf("baseline result = %+v", res)
+	}
+	if res.Decodes < 1 {
+		t.Error("no decode attempts recorded")
+	}
+}
+
+func TestLSIFTFindsAPAllWidths(t *testing.T) {
+	for i, apCh := range []spectrum.Channel{
+		spectrum.Chan(7, spectrum.W5),
+		spectrum.Chan(12, spectrum.W10),
+		spectrum.Chan(20, spectrum.W20),
+	} {
+		p, _ := setupAP(int64(i+10), apCh, spectrum.Map{})
+		res := LSIFT(p)
+		if !res.Found || res.Channel != apCh {
+			t.Errorf("L-SIFT on %v: result = %+v", apCh, res)
+		}
+	}
+}
+
+func TestJSIFTFindsAPAllWidths(t *testing.T) {
+	for i, apCh := range []spectrum.Channel{
+		spectrum.Chan(7, spectrum.W5),
+		spectrum.Chan(12, spectrum.W10),
+		spectrum.Chan(20, spectrum.W20),
+	} {
+		p, _ := setupAP(int64(i+20), apCh, spectrum.Map{})
+		res := JSIFT(p)
+		if !res.Found || res.Channel != apCh {
+			t.Errorf("J-SIFT on %v: result = %+v", apCh, res)
+		}
+	}
+}
+
+func TestSIFTFasterThanBaseline(t *testing.T) {
+	// With wide open spectrum, both SIFT algorithms must beat the
+	// baseline by a wide margin (Figure 8).
+	apCh := spectrum.Chan(25, spectrum.W20)
+	pB, _ := setupAP(3, apCh, spectrum.Map{})
+	base := Baseline(pB)
+	pL, _ := setupAP(3, apCh, spectrum.Map{})
+	l := LSIFT(pL)
+	pJ, _ := setupAP(3, apCh, spectrum.Map{})
+	j := JSIFT(pJ)
+	if !base.Found || !l.Found || !j.Found {
+		t.Fatalf("not all found: %v %v %v", base.Found, l.Found, j.Found)
+	}
+	if l.Elapsed >= base.Elapsed || j.Elapsed >= base.Elapsed {
+		t.Errorf("elapsed: baseline=%v lsift=%v jsift=%v", base.Elapsed, l.Elapsed, j.Elapsed)
+	}
+	// J-SIFT's stride lets it reach channel 25 in ~5 scans + endgame.
+	if j.Scans > 10 {
+		t.Errorf("J-SIFT used %d scans to find a 20MHz AP at channel 25", j.Scans)
+	}
+}
+
+func TestDiscoveryRespectsSpectrumMap(t *testing.T) {
+	// Occupied channels are never scanned or decoded.
+	m := spectrum.Map{}
+	for u := spectrum.UHF(0); u < 10; u++ {
+		m = m.SetOccupied(u)
+	}
+	apCh := spectrum.Chan(20, spectrum.W10)
+	p, _ := setupAP(4, apCh, m)
+	res := JSIFT(p)
+	if !res.Found || res.Channel != apCh {
+		t.Fatalf("result = %+v", res)
+	}
+	// Rough bound: searching only 20 channels takes fewer scans than
+	// the full band would.
+	if res.Scans > 12 {
+		t.Errorf("scans = %d with two-thirds of the band masked", res.Scans)
+	}
+}
+
+func TestDiscoveryFailsWhenNoAP(t *testing.T) {
+	eng := sim.New(5)
+	air := mac.NewAir(eng)
+	sc := radio.NewScanner(air, 50, rand.New(rand.NewSource(5)))
+	p := &Prober{Eng: eng, Air: air, Scanner: sc}
+	if res := LSIFT(p); res.Found {
+		t.Errorf("L-SIFT found a phantom AP: %+v", res)
+	}
+	p2 := &Prober{Eng: eng, Air: air, Scanner: sc}
+	if res := JSIFT(p2); res.Found {
+		t.Errorf("J-SIFT found a phantom AP: %+v", res)
+	}
+}
+
+func TestJSIFTScansEachChannelAtMostOnce(t *testing.T) {
+	// Algorithm 1 tracks the set S of scanned channels; total scans
+	// can never exceed the number of free channels.
+	apCh := spectrum.Chan(28, spectrum.W5) // worst case: high 5MHz channel
+	p, _ := setupAP(6, apCh, spectrum.Map{})
+	res := JSIFT(p)
+	if !res.Found {
+		t.Fatal("not found")
+	}
+	if res.Scans > spectrum.NumUHF {
+		t.Errorf("scans = %d > %d channels", res.Scans, spectrum.NumUHF)
+	}
+}
+
+func TestExpectedScanFormulas(t *testing.T) {
+	if got := ExpectedScansLSIFT(30); got != 15 {
+		t.Errorf("L expected = %v", got)
+	}
+	// (30 + 4 + 1) / 3 with NW = 3.
+	if got := ExpectedScansJSIFT(30, 3); got < 11.6 || got > 11.7 {
+		t.Errorf("J expected = %v", got)
+	}
+	// Crossover near 10 channels: L better below, J better above.
+	if ExpectedScansLSIFT(6) > ExpectedScansJSIFT(6, 3) {
+		t.Error("L-SIFT should win on narrow white space")
+	}
+	if ExpectedScansLSIFT(24) < ExpectedScansJSIFT(24, 3) {
+		t.Error("J-SIFT should win on wide white space")
+	}
+}
+
+func TestChirpValueStable(t *testing.T) {
+	a := ChirpValue("mynet")
+	if a != ChirpValue("mynet") {
+		t.Error("chirp value not deterministic")
+	}
+	if a < 0 || a > 120 {
+		t.Errorf("chirp value %d out of range", a)
+	}
+	if ChirpValue("mynet") == ChirpValue("othernet") {
+		t.Error("distinct SSIDs should (almost surely) differ")
+	}
+}
+
+func TestBeaconAPStop(t *testing.T) {
+	eng := sim.New(7)
+	air := mac.NewAir(eng)
+	ap := NewBeaconAP(eng, air, 1, spectrum.Chan(10, spectrum.W20), 100*time.Millisecond)
+	eng.RunUntil(350 * time.Millisecond)
+	ap.Stop()
+	n := len(air.History())
+	eng.RunUntil(time.Second)
+	if len(air.History()) != n {
+		t.Error("AP kept transmitting after Stop")
+	}
+}

@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"whitefi/internal/assign"
+	"whitefi/internal/core"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/radio"
+	"whitefi/internal/spectrum"
+	"whitefi/internal/trace"
+)
+
+// Fig14Result is the prototype-style adaptive trace of Section 5.4.2.
+type Fig14Result struct {
+	// MCham time series for the three fragments of the Building 5 map:
+	// the 20 MHz fragment (channels 26-30), the 10 MHz fragment
+	// (33-35), and the best 5 MHz channel (39 or 48).
+	MCham20, MCham10, MCham5 trace.Series
+	// Throughput is the network goodput (bps) in 5-second windows.
+	Throughput trace.Series
+	// Switches is the AP's switch log.
+	Switches []core.SwitchEvent
+	// WidthAt returns the operating width over time (sampled).
+	Widths trace.Series
+}
+
+// Fig14 reproduces Figure 14 (and the Section 5.4.2 narrative): an AP
+// and a client on the Building 5 spectrum map. Background traffic is
+// injected on channels 26-29 at t=50s and on 33-34 at t=100s, then
+// removed from 33-34 at t=150s and from 26-29 at t=200s. WhiteFi must
+// ride 20 MHz -> 10 MHz -> 5 MHz -> 10 MHz -> 20 MHz, tracking the
+// fragment with the best MCham.
+func Fig14(seed int64) *Fig14Result {
+	base := incumbent.BuildingFiveMap()
+	w := newWorld(seed)
+	sensors := sensorsFor(base, 1, 0, nil, nil)
+	net := core.NewNetwork(w.eng, w.air, core.Config{ProbePeriod: 2 * time.Second}, sensors)
+	net.StartDownlink(1000)
+
+	// The three fragments' representative channels.
+	u26, _ := spectrum.UHFFromTV(26)
+	u28, _ := spectrum.UHFFromTV(28)
+	u29, _ := spectrum.UHFFromTV(29)
+	u33, _ := spectrum.UHFFromTV(33)
+	u34, _ := spectrum.UHFFromTV(34)
+	u39, _ := spectrum.UHFFromTV(39)
+	u48, _ := spectrum.UHFFromTV(48)
+	ch20 := spectrum.Chan(u28, spectrum.W20)
+	ch10 := spectrum.Chan(u34, spectrum.W10)
+	ch5a := spectrum.Chan(u39, spectrum.W5)
+	ch5b := spectrum.Chan(u48, spectrum.W5)
+
+	// Background traffic schedule. High intensity so the affected
+	// fragments become clearly unattractive.
+	var bg1, bg2 []*mac.BackgroundPair
+	w.eng.Schedule(50*time.Second, func() {
+		i := 0
+		for u := u26; u <= u29; u++ {
+			p := mac.NewBackgroundPair(w.eng, w.air, idBackgroundBase+2*i, idBackgroundBase+2*i+1,
+				spectrum.Chan(u, spectrum.W5), 1000, 6*time.Millisecond)
+			bg1 = append(bg1, p)
+			i++
+		}
+	})
+	w.eng.Schedule(100*time.Second, func() {
+		i := 10
+		for u := u33; u <= u34; u++ {
+			p := mac.NewBackgroundPair(w.eng, w.air, idBackgroundBase+2*i, idBackgroundBase+2*i+1,
+				spectrum.Chan(u, spectrum.W5), 1000, 6*time.Millisecond)
+			bg2 = append(bg2, p)
+			i++
+		}
+	})
+	w.eng.Schedule(150*time.Second, func() {
+		for _, p := range bg2 {
+			p.Stop()
+		}
+	})
+	w.eng.Schedule(200*time.Second, func() {
+		for _, p := range bg1 {
+			p.Stop()
+		}
+	})
+
+	res := &Fig14Result{}
+	own := map[int]bool{net.AP.ID: true}
+	for _, c := range net.Clients {
+		own[c.ID] = true
+	}
+	src := &radio.TrueAirtime{Air: w.air, Exclude: own}
+
+	// Samplers.
+	var lastBytes int64
+	var sample func()
+	sample = func() {
+		now := w.eng.Now()
+		from := now - 2*time.Second
+		if from < 0 {
+			from = 0
+		}
+		obs := radio.Observe(src, base, from, now, -1)
+		res.MCham20.Add(now, assign.MCham(obs, ch20))
+		res.MCham10.Add(now, assign.MCham(obs, ch10))
+		m5 := assign.MCham(obs, ch5a)
+		if v := assign.MCham(obs, ch5b); v > m5 {
+			m5 = v
+		}
+		res.MCham5.Add(now, m5)
+		res.Widths.Add(now, net.AP.Channel().Width.MHz())
+		w.air.Compact(now - 10*time.Second)
+		if now%(5*time.Second) == 0 {
+			b := net.GoodputBytes()
+			res.Throughput.Add(now, float64(b-lastBytes)*8/5)
+			lastBytes = b
+		}
+		if now < 250*time.Second {
+			w.eng.After(time.Second, sample)
+		}
+	}
+	w.eng.After(time.Second, sample)
+	w.eng.RunUntil(250 * time.Second)
+	res.Switches = net.AP.Switches
+	net.Stop()
+	return res
+}
+
+// Fig14Table summarises the trace: the operating width in each epoch
+// and whether the chosen fragment had the maximal MCham.
+func Fig14Table(seed int64) *trace.Table {
+	r := Fig14(seed)
+	t := &trace.Table{
+		Title:   "Figure 14: adaptive channel selection on the Building 5 map",
+		Headers: []string{"epoch", "expect", "width", "MCham20", "MCham10", "MCham5"},
+	}
+	epochs := []struct {
+		name   string
+		at     time.Duration
+		expect string
+	}{
+		{"0-50s (quiet)", 40 * time.Second, "20MHz"},
+		{"50-100s (bg on 26-29)", 90 * time.Second, "10MHz"},
+		{"100-150s (bg also 33-34)", 140 * time.Second, "5MHz"},
+		{"150-200s (bg 33-34 gone)", 190 * time.Second, "10MHz"},
+		{"200-250s (all quiet)", 245 * time.Second, "20MHz"},
+	}
+	for _, e := range epochs {
+		t.AddRow(e.name, e.expect,
+			fmt.Sprintf("%.0fMHz", r.Widths.At(e.at)),
+			fmt.Sprintf("%.2f", r.MCham20.At(e.at)),
+			fmt.Sprintf("%.2f", r.MCham10.At(e.at)),
+			fmt.Sprintf("%.2f", r.MCham5.At(e.at)))
+	}
+	return t
+}
+
+// Sec53 reproduces the Section 5.3 disconnection experiment: a mic
+// appears near the client mid-transfer; measure the time until the
+// network is operational on a new channel. The AP scans the backup
+// channel every 3 seconds, so recovery must complete within about 4
+// seconds.
+func Sec53(runs int) *trace.Table {
+	t := &trace.Table{
+		Title:   "Section 5.3: reconnection delay after a microphone appears at the client",
+		Headers: []string{"run", "recovery(s)", "within-4s"},
+	}
+	var lags []float64
+	for r := 0; r < runs; r++ {
+		w := newWorld(int64(r)*131 + 7)
+		base := incumbent.SimulationBaseMap()
+		mic := incumbent.NewMic(w.eng, 0)
+		apSensor := &radio.IncumbentSensor{Base: base}
+		clSensor := &radio.IncumbentSensor{Base: base, Mics: []*incumbent.Mic{mic}}
+		net := core.NewNetwork(w.eng, w.air, core.Config{}, []*radio.IncumbentSensor{apSensor, clSensor})
+		w.eng.RunUntil(2 * time.Second)
+		net.StartDownlink(1000)
+		w.eng.RunUntil(4 * time.Second)
+		mic.Channel = net.AP.Channel().Center
+		onAt := 4*time.Second + time.Duration(r%7)*293*time.Millisecond
+		mic.ScheduleOn(onAt)
+		w.eng.RunUntil(30 * time.Second)
+		lag := -1.0
+		for _, s := range net.AP.Switches {
+			if s.Reason == core.SwitchIncumbent && s.At > onAt {
+				lag = (s.At - onAt).Seconds()
+				break
+			}
+		}
+		within := "no"
+		if lag >= 0 && lag <= 4 {
+			within = "yes"
+		}
+		t.AddRow(fmt.Sprintf("%d", r), fmt.Sprintf("%.2f", lag), within)
+		if lag >= 0 {
+			lags = append(lags, lag)
+		}
+		net.Stop()
+	}
+	t.AddRow("mean", fmt.Sprintf("%.2f", trace.Mean(lags)), "")
+	t.AddRow("max", fmt.Sprintf("%.2f", trace.Max(lags)), "")
+	return t
+}

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"whitefi/internal/discovery"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/radio"
+	"whitefi/internal/spectrum"
+	"whitefi/internal/trace"
+)
+
+// discoveryRun places a beaconing AP on a random available channel of m
+// and measures the discovery time of one algorithm.
+func discoveryRun(seed int64, m spectrum.Map, algo func(*discovery.Prober) discovery.Result) discovery.Result {
+	rng := rand.New(rand.NewSource(seed))
+	avail := m.AvailableChannels()
+	if len(avail) == 0 {
+		return discovery.Result{}
+	}
+	apCh := avail[rng.Intn(len(avail))]
+	wd := newWorld(seed)
+	discovery.NewBeaconAP(wd.eng, wd.air, idForegroundAP, apCh, 100*time.Millisecond)
+	sc := radio.NewScanner(wd.air, idScanner, rand.New(rand.NewSource(seed*17+5)))
+	p := &discovery.Prober{Eng: wd.eng, Air: wd.air, Scanner: sc, Map: m}
+	return algo(p)
+}
+
+// fragmentMap returns a map whose only free channels are one contiguous
+// fragment of n channels starting at UHF channel 0 (kept below the
+// reserved-37 boundary where possible, as in the Figure 8 experiment).
+func fragmentMap(n int) spectrum.Map {
+	m := spectrum.MapFromBits(^uint32(0))
+	for u := spectrum.UHF(0); u < spectrum.UHF(n) && u < spectrum.NumUHF; u++ {
+		m = m.SetFree(u)
+	}
+	return m
+}
+
+// Fig8Point is one fragment-width sample: mean discovery time of each
+// algorithm relative to the baseline.
+type Fig8Point struct {
+	Channels      int
+	LSIFTFraction float64
+	JSIFTFraction float64
+	BaselineSecs  float64
+}
+
+// Fig8 reproduces Figure 8: discovery time of L-SIFT and J-SIFT as a
+// fraction of the non-SIFT baseline, versus the width of the single
+// available fragment. L-SIFT wins on narrow white spaces; J-SIFT
+// overtakes beyond roughly 10 channels.
+func Fig8(runs int, widths []int) []Fig8Point {
+	var out []Fig8Point
+	for _, n := range widths {
+		m := fragmentMap(n)
+		var b, l, j []float64
+		for r := 0; r < runs; r++ {
+			seed := int64(n*1000 + r)
+			rb := discoveryRun(seed, m, discovery.Baseline)
+			rl := discoveryRun(seed, m, discovery.LSIFT)
+			rj := discoveryRun(seed, m, discovery.JSIFT)
+			if !rb.Found || !rl.Found || !rj.Found {
+				continue
+			}
+			b = append(b, rb.Elapsed.Seconds())
+			l = append(l, rl.Elapsed.Seconds())
+			j = append(j, rj.Elapsed.Seconds())
+		}
+		mb := trace.Mean(b)
+		if mb == 0 {
+			continue
+		}
+		out = append(out, Fig8Point{
+			Channels:      n,
+			LSIFTFraction: trace.Mean(l) / mb,
+			JSIFTFraction: trace.Mean(j) / mb,
+			BaselineSecs:  mb,
+		})
+	}
+	return out
+}
+
+// Fig8Table renders the sweep.
+func Fig8Table(runs int, widths []int) *trace.Table {
+	t := &trace.Table{
+		Title:   "Figure 8: discovery time as fraction of non-SIFT baseline vs fragment width",
+		Headers: []string{"channels", "L-SIFT", "J-SIFT", "baseline(s)"},
+	}
+	for _, p := range Fig8(runs, widths) {
+		t.AddFloats(fmt.Sprintf("%d", p.Channels), 2, p.LSIFTFraction, p.JSIFTFraction, p.BaselineSecs)
+	}
+	return t
+}
+
+// Fig9 reproduces Figure 9: time to discover an AP in metropolitan,
+// suburban and rural locales (10 random placements each), for the three
+// algorithms.
+func Fig9(runs int) *trace.Table {
+	t := &trace.Table{
+		Title:   "Figure 9: mean discovery time by locale (seconds)",
+		Headers: []string{"locale", "baseline", "L-SIFT", "J-SIFT", "J/baseline"},
+	}
+	for _, s := range []incumbent.Setting{incumbent.Urban, incumbent.Suburban, incumbent.Rural} {
+		locales := incumbent.GenerateLocales(s, 10, 42)
+		var b, l, j []float64
+		for r := 0; r < runs; r++ {
+			m := locales[r%len(locales)]
+			if len(m.AvailableChannels()) == 0 {
+				continue
+			}
+			seed := int64(r*31) + int64(s)*7
+			rb := discoveryRun(seed, m, discovery.Baseline)
+			rl := discoveryRun(seed, m, discovery.LSIFT)
+			rj := discoveryRun(seed, m, discovery.JSIFT)
+			if !rb.Found || !rl.Found || !rj.Found {
+				continue
+			}
+			b = append(b, rb.Elapsed.Seconds())
+			l = append(l, rl.Elapsed.Seconds())
+			j = append(j, rj.Elapsed.Seconds())
+		}
+		mb, ml, mj := trace.Mean(b), trace.Mean(l), trace.Mean(j)
+		frac := 0.0
+		if mb > 0 {
+			frac = mj / mb
+		}
+		t.AddFloats(s.String(), 2, mb, ml, mj, frac)
+	}
+	return t
+}

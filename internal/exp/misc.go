@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"whitefi/internal/audio"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/spectrum"
+	"whitefi/internal/trace"
+)
+
+// Sec21 reproduces the Section 2.1 campus measurement: the median
+// pairwise Hamming distance between the spectrum maps of 9 buildings
+// (the paper measures about 7).
+func Sec21(seeds int) *trace.Table {
+	t := &trace.Table{
+		Title:   "Section 2.1: spatial variation across 9 campus buildings",
+		Headers: []string{"seed", "median-hamming", "min", "max"},
+	}
+	var medians []float64
+	for s := 0; s < seeds; s++ {
+		maps := incumbent.CampusMaps(int64(s) + 1)
+		var ds []float64
+		for i := range maps {
+			for j := i + 1; j < len(maps); j++ {
+				ds = append(ds, float64(maps[i].Hamming(maps[j])))
+			}
+		}
+		med := trace.Median(ds)
+		medians = append(medians, med)
+		t.AddRow(fmt.Sprintf("%d", s+1),
+			fmt.Sprintf("%.0f", med),
+			fmt.Sprintf("%.0f", trace.Min(ds)),
+			fmt.Sprintf("%.0f", trace.Max(ds)))
+	}
+	t.AddRow("mean-of-medians", fmt.Sprintf("%.1f", trace.Mean(medians)), "", "")
+	return t
+}
+
+// Fig2 reproduces Figure 2: the histogram of contiguous free fragment
+// widths across 10 locales per setting.
+func Fig2() *trace.Table {
+	t := &trace.Table{
+		Title:   "Figure 2: contiguous white-space fragment widths by setting (count over 10 locales)",
+		Headers: []string{"channels", "urban", "suburban", "rural"},
+	}
+	hs := map[incumbent.Setting]trace.Histogram{}
+	maxW := 0
+	for _, s := range []incumbent.Setting{incumbent.Urban, incumbent.Suburban, incumbent.Rural} {
+		h := trace.Histogram{}
+		for w, c := range incumbent.FragmentHistogram(incumbent.GenerateLocales(s, 10, 42)) {
+			h[w] = c
+			if w > maxW {
+				maxW = w
+			}
+		}
+		hs[s] = h
+	}
+	for w := 1; w <= maxW; w++ {
+		t.AddRow(fmt.Sprintf("%d (%dMHz)", w, w*spectrum.UHFWidthMHz),
+			fmt.Sprintf("%d", hs[incumbent.Urban][w]),
+			fmt.Sprintf("%d", hs[incumbent.Suburban][w]),
+			fmt.Sprintf("%d", hs[incumbent.Rural][w]))
+	}
+	return t
+}
+
+// Sec23 reproduces the Section 2.3 anechoic-chamber microphone
+// interference experiment: MOS degradation caused by data packets on
+// the mic's channel. The measured point is 70-byte packets every 100 ms
+// at -30 dBm: a MOS drop of 0.9, nine times the audible threshold.
+func Sec23() *trace.Table {
+	t := &trace.Table{
+		Title:   "Section 2.3: mic audio MOS degradation from co-channel data packets (-30 dBm)",
+		Headers: []string{"traffic", "MOS-drop", "MOS", "audible"},
+	}
+	cases := []struct {
+		label    string
+		bytes    int
+		interval time.Duration
+	}{
+		{"70B / 100ms (paper)", 70, 100 * time.Millisecond},
+		{"70B / 1s", 70, time.Second},
+		{"70B / 10s", 70, 10 * time.Second},
+		{"1000B / 100ms", 1000, 100 * time.Millisecond},
+		{"1000B / 10ms", 1000, 10 * time.Millisecond},
+	}
+	for _, c := range cases {
+		drop := audio.MOSDrop(c.bytes, c.interval, spectrum.W5, -30)
+		aud := "no"
+		if audio.Audible(drop) {
+			aud = "yes"
+		}
+		t.AddRow(c.label, fmt.Sprintf("%.2f", drop),
+			fmt.Sprintf("%.2f", audio.CleanMOS-drop), aud)
+	}
+	return t
+}

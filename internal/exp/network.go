@@ -1,0 +1,299 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"whitefi/internal/assign"
+	"whitefi/internal/core"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/radio"
+	"whitefi/internal/spectrum"
+	"whitefi/internal/trace"
+)
+
+// fig10Delays is the background inter-packet delay sweep of the MCham
+// microbenchmark (ms).
+var fig10Delays = []int{2, 5, 8, 12, 16, 20, 24, 30, 40, 50}
+
+// Fig10Point is one microbenchmark sample: the MCham values and the
+// measured foreground throughputs for the three widths centered on the
+// same UHF channel.
+type Fig10Point struct {
+	DelayMs    int
+	MCham      [3]float64 // 5, 10, 20 MHz
+	Throughput [3]float64 // bps
+}
+
+// Fig10 reproduces Figure 10: a 5-channel fragment (one background
+// AP/client pair per UHF channel), a saturating foreground pair, and a
+// sweep of background intensity. MCham must predict which channel width
+// yields the highest throughput, with the win region shifting from
+// 20 MHz to 10 MHz to 5 MHz as the background grows.
+func Fig10(reps int) []Fig10Point {
+	// Fragment: UHF channels 5..9, foreground centered at 7.
+	const centerU = spectrum.UHF(7)
+	m := spectrum.MapFromBits(^uint32(0))
+	for u := spectrum.UHF(5); u <= 9; u++ {
+		m = m.SetFree(u)
+	}
+	setup := func(delay time.Duration) func(w *world) {
+		return func(w *world) {
+			i := 0
+			for u := spectrum.UHF(5); u <= 9; u++ {
+				p := mac.NewBackgroundPair(w.eng, w.air,
+					idBackgroundBase+2*i, idBackgroundBase+2*i+1,
+					spectrum.Chan(u, spectrum.W5), 1000, delay)
+				// Independent phases: restart each flow at a random
+				// offset within its period so background channels do
+				// not begin in lockstep.
+				p.Flow.Stop()
+				off := time.Duration(w.eng.Rand().Int63n(int64(delay) + 1))
+				w.eng.After(off, p.Flow.Start)
+				i++
+			}
+		}
+	}
+	const settle = 2 * time.Second
+	const measure = 4 * time.Second
+	var out []Fig10Point
+	for _, d := range fig10Delays {
+		delay := time.Duration(d) * time.Millisecond
+		var p Fig10Point
+		p.DelayMs = d
+		for wi, wd := range spectrum.Widths {
+			var ths, mcs []float64
+			for r := 0; r < reps; r++ {
+				seed := int64(d*100 + r)
+				ths = append(ths, staticThroughput(seed, spectrum.Chan(centerU, wd), setup(delay), settle, measure))
+				// MCham from a foreground-free observation world.
+				w := newWorld(seed + 5000)
+				setup(delay)(w)
+				w.eng.RunUntil(settle)
+				obs := radio.Observe(&radio.TrueAirtime{Air: w.air}, m, 0, settle, -1)
+				mcs = append(mcs, assign.MCham(obs, spectrum.Chan(centerU, wd)))
+			}
+			p.Throughput[wi] = trace.Mean(ths)
+			p.MCham[wi] = trace.Mean(mcs)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Fig10Table renders the microbenchmark.
+func Fig10Table(reps int) *trace.Table {
+	t := &trace.Table{
+		Title:   "Figure 10: MCham vs measured throughput (Mbps) per width, by background inter-packet delay",
+		Headers: []string{"delay(ms)", "MCham5", "MCham10", "MCham20", "T5", "T10", "T20", "argmax-match"},
+	}
+	agree := 0
+	pts := Fig10(reps)
+	for _, p := range pts {
+		am, at := argmax3(p.MCham), argmax3(p.Throughput)
+		match := "no"
+		if am == at {
+			match = "yes"
+			agree++
+		}
+		t.AddRow(fmt.Sprintf("%d", p.DelayMs),
+			fmt.Sprintf("%.2f", p.MCham[0]), fmt.Sprintf("%.2f", p.MCham[1]), fmt.Sprintf("%.2f", p.MCham[2]),
+			trace.Mbps(p.Throughput[0]), trace.Mbps(p.Throughput[1]), trace.Mbps(p.Throughput[2]),
+			match)
+	}
+	t.AddRow("agreement", fmt.Sprintf("%d/%d", agree, len(pts)))
+	return t
+}
+
+func argmax3(v [3]float64) int {
+	best := 0
+	for i := 1; i < 3; i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// whitefiThroughput runs a full adaptive WhiteFi network (AP + nClients)
+// over the given world setup and returns aggregate downlink goodput in
+// bps measured after settling.
+func whitefiThroughput(seed int64, base spectrum.Map, nClients int, flipP float64, setup func(w *world), settle, measure time.Duration) float64 {
+	w := newWorld(seed)
+	if setup != nil {
+		setup(w)
+	}
+	rng := rand.New(rand.NewSource(seed * 11))
+	sensors := sensorsFor(base, nClients, flipP, rng, nil)
+	n := core.NewNetwork(w.eng, w.air, core.Config{ProbePeriod: time.Second}, sensors)
+	w.eng.RunUntil(settle / 2)
+	n.StartDownlink(1000)
+	w.eng.RunUntil(settle)
+	baseBytes := n.GoodputBytes()
+	w.eng.RunUntil(settle + measure)
+	return float64(n.GoodputBytes()-baseBytes) * 8 / measure.Seconds()
+}
+
+// CompareRow is one (x, throughputs) sample of the large-scale
+// comparisons: WhiteFi vs the static OPT baselines vs OPT.
+type CompareRow struct {
+	Label   string
+	WhiteFi float64
+	Opt5    float64
+	Opt10   float64
+	Opt20   float64
+	Opt     float64 // best static across widths
+}
+
+func compareTable(title string, rows []CompareRow) *trace.Table {
+	t := &trace.Table{
+		Title:   title,
+		Headers: []string{"x", "WhiteFi", "OPT5", "OPT10", "OPT20", "OPT", "WhiteFi/OPT"},
+	}
+	for _, r := range rows {
+		frac := 0.0
+		if r.Opt > 0 {
+			frac = r.WhiteFi / r.Opt
+		}
+		t.AddRow(r.Label, trace.Mbps(r.WhiteFi), trace.Mbps(r.Opt5), trace.Mbps(r.Opt10),
+			trace.Mbps(r.Opt20), trace.Mbps(r.Opt), fmt.Sprintf("%.2f", frac))
+	}
+	return t
+}
+
+// compare runs WhiteFi and the three static baselines over the same
+// world setup, averaging reps random repetitions.
+func compare(label string, repBase int64, reps, nClients int, base spectrum.Map, flipP float64, setup func(seed int64) func(w *world)) CompareRow {
+	const settle = 3 * time.Second
+	const measure = 5 * time.Second
+	var wf, o5, o10, o20, opt []float64
+	for r := 0; r < reps; r++ {
+		seed := repBase + int64(r)*7879
+		su := setup(seed)
+		w := whitefiThroughput(seed, base, nClients, flipP, su, settle, measure)
+		wf = append(wf, w)
+		// Static baselines must respect the combined map across all
+		// nodes (they may not violate incumbents either).
+		rng := rand.New(rand.NewSource(seed * 11))
+		combined := base
+		for i := 0; i < nClients+1; i++ {
+			combined = combined.Or(incumbent.SpatialFlip(base, flipP, rng))
+		}
+		v5 := optStaticThroughput(seed, spectrum.W5, combined, su, settle, measure)
+		v10 := optStaticThroughput(seed, spectrum.W10, combined, su, settle, measure)
+		v20 := optStaticThroughput(seed, spectrum.W20, combined, su, settle, measure)
+		o5 = append(o5, v5)
+		o10 = append(o10, v10)
+		o20 = append(o20, v20)
+		best := v5
+		if v10 > best {
+			best = v10
+		}
+		if v20 > best {
+			best = v20
+		}
+		opt = append(opt, best)
+	}
+	return CompareRow{
+		Label:   label,
+		WhiteFi: trace.Mean(wf),
+		Opt5:    trace.Mean(o5),
+		Opt10:   trace.Mean(o10),
+		Opt20:   trace.Mean(o20),
+		Opt:     trace.Mean(opt),
+	}
+}
+
+// Fig11Rows computes the Figure 11 comparison rows: X background
+// AP/client pairs placed on random free channels of the measured base
+// map, each sending CBR at 30 ms inter-packet delay.
+func Fig11Rows(reps int, counts []int) []CompareRow {
+	base := incumbent.SimulationBaseMap()
+	var rows []CompareRow
+	for _, x := range counts {
+		x := x
+		setup := func(seed int64) func(w *world) {
+			return func(w *world) {
+				rng := rand.New(rand.NewSource(seed))
+				w.backgroundPairs(x, base, 30*time.Millisecond, rng)
+			}
+		}
+		rows = append(rows, compare(fmt.Sprintf("%d", x), int64(x)*1013+1, reps, 1, base, 0, setup))
+	}
+	return rows
+}
+
+// Fig11 reproduces Figure 11: impact of background traffic.
+func Fig11(reps int, counts []int) *trace.Table {
+	return compareTable("Figure 11: per-network throughput vs number of background pairs (Mbps)", Fig11Rows(reps, counts))
+}
+
+// Fig12 reproduces Figure 12: impact of spatial variation. 10 clients,
+// one background pair per free UHF channel at 30 ms delay; each node's
+// map flips each channel with probability P.
+func Fig12(reps int, ps []float64) *trace.Table {
+	base := incumbent.SimulationBaseMap()
+	nBg := base.CountFree()
+	var rows []CompareRow
+	for _, p := range ps {
+		setup := func(seed int64) func(w *world) {
+			return func(w *world) {
+				rng := rand.New(rand.NewSource(seed))
+				w.backgroundPairs(nBg, base, 30*time.Millisecond, rng)
+			}
+		}
+		rows = append(rows, compare(fmt.Sprintf("%.2f", p), int64(p*10000)+3, reps, 10, base, p, setup))
+	}
+	return compareTable("Figure 12: per-network throughput vs spatial variation P (Mbps)", rows)
+}
+
+// churnCase is one x-axis point of Figure 13.
+type churnCase struct {
+	label        string
+	pStayActive  float64
+	pStayPassive float64
+	startActive  bool
+}
+
+// Fig13 reproduces Figure 13: impact of churn. 34 background pairs (two
+// per free channel), each modulated by the two-state Markov chain, from
+// always-passive through balanced churn to always-active.
+func Fig13(reps int) *trace.Table {
+	base := incumbent.SimulationBaseMap()
+	cases := []churnCase{
+		{"always-P", 0, 1, false},
+		{"mostlyP-15s", 0.5, 0.9, false},
+		{"bal-30s", 0.97, 0.97, true},
+		{"bal-5s", 0.8, 0.8, true},
+		{"mostlyA-15s", 0.9, 0.5, true},
+		{"always-A", 1, 0, true},
+	}
+	var rows []CompareRow
+	for ci, cse := range cases {
+		cse := cse
+		setup := func(seed int64) func(w *world) {
+			return func(w *world) {
+				rng := rand.New(rand.NewSource(seed))
+				free := base.FreeChannels()
+				// Two pairs per free channel: 34 with 17 free.
+				idx := 0
+				for rep := 0; rep < 2; rep++ {
+					for _, u := range free {
+						p := mac.NewBackgroundPair(w.eng, w.air,
+							idBackgroundBase+2*idx, idBackgroundBase+2*idx+1,
+							spectrum.Chan(u, spectrum.W5), 1000, 60*time.Millisecond)
+						p.Flow.Stop()
+						mk := mac.NewMarkovOnOff(w.eng, p.Flow, cse.pStayActive, cse.pStayPassive,
+							time.Second, cse.startActive && rng.Float64() < 0.9)
+						mk.Start()
+						idx++
+					}
+				}
+			}
+		}
+		rows = append(rows, compare(cse.label, int64(ci)*7717+11, reps, 1, base, 0, setup))
+	}
+	return compareTable("Figure 13: per-network throughput under background churn (Mbps)", rows)
+}

@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The exp package's own tests assert the qualitative shapes the paper
+// reports, with small run counts to keep the suite fast; the full
+// parameterisations live in bench_test.go at the repository root.
+
+func TestFig14Sequence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long adaptive trace")
+	}
+	r := Fig14(42)
+	expect := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{40 * time.Second, 20},
+		{90 * time.Second, 10},
+		{140 * time.Second, 5},
+		{190 * time.Second, 10},
+		{245 * time.Second, 20},
+	}
+	for _, e := range expect {
+		got := r.Widths.At(e.at)
+		if got != e.want {
+			t.Errorf("width at %v = %v MHz, want %v", e.at, got, e.want)
+		}
+	}
+	if len(r.Switches) < 5 {
+		t.Errorf("switches = %d, want >= 5 (initial + 4 adaptations)", len(r.Switches))
+	}
+}
+
+func TestSec53WithinFourSeconds(t *testing.T) {
+	out := Sec53(3).String()
+	if strings.Contains(out, " no") {
+		t.Errorf("a recovery exceeded 4s:\n%s", out)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tb := Table1(1)
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:] {
+			if cell < "0.90" {
+				t.Errorf("detection rate %s in row %v below 0.90", cell, row[0])
+			}
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	pts := Fig7(1)
+	var siftLow, siftHigh, snifBeyondCliff float64
+	for _, p := range pts {
+		switch p.AttenDB {
+		case 84:
+			siftLow = p.SIFTRate
+		case 104:
+			siftHigh = p.SIFTRate
+		case 96:
+			snifBeyondCliff = p.SnifferRate
+		}
+	}
+	if siftLow < 0.95 {
+		t.Errorf("SIFT at 84dB = %v, want near 1", siftLow)
+	}
+	if siftHigh > 0.1 {
+		t.Errorf("SIFT at 104dB = %v, want ~0 (past the cliff)", siftHigh)
+	}
+	if snifBeyondCliff < 0.1 {
+		t.Errorf("sniffer capture just past the cliff = %v, want limping but nonzero", snifBeyondCliff)
+	}
+}
+
+func TestFig8Crossover(t *testing.T) {
+	pts := Fig8(2, []int{4, 24})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	narrow, wide := pts[0], pts[1]
+	if narrow.LSIFTFraction > wide.LSIFTFraction {
+		// L-SIFT's relative advantage grows with fragment width too,
+		// but the key crossover is L vs J:
+		_ = narrow
+	}
+	if !(narrow.LSIFTFraction <= narrow.JSIFTFraction) {
+		t.Errorf("narrow fragment: L (%v) should beat J (%v)", narrow.LSIFTFraction, narrow.JSIFTFraction)
+	}
+	if !(wide.JSIFTFraction <= wide.LSIFTFraction) {
+		t.Errorf("wide fragment: J (%v) should beat L (%v)", wide.JSIFTFraction, wide.LSIFTFraction)
+	}
+	if wide.JSIFTFraction > 0.5 {
+		t.Errorf("J-SIFT on 24 channels should be well under half the baseline, got %v", wide.JSIFTFraction)
+	}
+}
+
+func TestFig10MChamAgreement(t *testing.T) {
+	pts := Fig10(2)
+	agree := 0
+	for _, p := range pts {
+		if argmax3(p.MCham) == argmax3(p.Throughput) {
+			agree++
+		}
+	}
+	if agree < len(pts)*6/10 {
+		t.Errorf("MCham argmax agreement %d/%d too low", agree, len(pts))
+	}
+	// Extremes must be right: heaviest background -> 5 MHz wins,
+	// lightest -> 20 MHz wins, in both metric and measurement.
+	first, last := pts[0], pts[len(pts)-1]
+	if argmax3(first.Throughput) != 0 || argmax3(first.MCham) != 0 {
+		t.Errorf("heavy background should favour 5MHz: %+v", first)
+	}
+	if argmax3(last.Throughput) != 2 || argmax3(last.MCham) != 2 {
+		t.Errorf("light background should favour 20MHz: %+v", last)
+	}
+}
+
+func TestFig11WhiteFiNearOpt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network sweep")
+	}
+	for _, r := range Fig11Rows(2, []int{0, 10}) {
+		if r.Opt > 0 && r.WhiteFi < 0.75*r.Opt {
+			t.Errorf("WhiteFi %v far below OPT %v at x=%s", r.WhiteFi, r.Opt, r.Label)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package incumbent
+
+import (
+	"math/rand"
+	"testing"
+
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+func TestSettingOrdering(t *testing.T) {
+	// Denser settings occupy more channels on average.
+	avgFree := func(s Setting) float64 {
+		maps := GenerateLocales(s, 50, 1)
+		total := 0
+		for _, m := range maps {
+			total += m.CountFree()
+		}
+		return float64(total) / float64(len(maps))
+	}
+	u, sb, r := avgFree(Urban), avgFree(Suburban), avgFree(Rural)
+	if !(u < sb && sb < r) {
+		t.Errorf("free channels urban=%v suburban=%v rural=%v; want increasing", u, sb, r)
+	}
+}
+
+func TestFigure2HeadlineFacts(t *testing.T) {
+	for _, s := range []Setting{Urban, Suburban, Rural} {
+		maps := GenerateLocales(s, 10, 42)
+		if len(maps) != 10 {
+			t.Fatalf("%v: %d locales", s, len(maps))
+		}
+		best := 0
+		for _, m := range maps {
+			if f, ok := m.WidestFragment(); ok && f.Channels() > best {
+				best = f.Channels()
+			}
+		}
+		// "In all 3 settings there is at least one locale in which
+		// there is a fragment of 4 contiguous channels available."
+		if best < 4 {
+			t.Errorf("%v: widest fragment %d < 4", s, best)
+		}
+		// "In rural areas fragments of up to 16 channels are expected."
+		if s == Rural && best < 12 {
+			t.Errorf("rural: widest fragment %d, want >= 12", best)
+		}
+	}
+}
+
+func TestFragmentHistogramUrbanSkewsNarrow(t *testing.T) {
+	urban := FragmentHistogram(GenerateLocales(Urban, 10, 7))
+	rural := FragmentHistogram(GenerateLocales(Rural, 10, 7))
+	narrowUrban, wideUrban := 0, 0
+	for w, c := range urban {
+		if w <= 2 {
+			narrowUrban += c
+		} else if w >= 6 {
+			wideUrban += c
+		}
+	}
+	if narrowUrban <= wideUrban {
+		t.Errorf("urban fragments: narrow=%d wide=%d; urban should skew narrow", narrowUrban, wideUrban)
+	}
+	wideRural := 0
+	for w, c := range rural {
+		if w >= 6 {
+			wideRural += c
+		}
+	}
+	if wideRural == 0 {
+		t.Error("rural locales should have wide fragments")
+	}
+}
+
+func TestGenerateLocalesDeterministic(t *testing.T) {
+	a := GenerateLocales(Suburban, 10, 99)
+	b := GenerateLocales(Suburban, 10, 99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("locale generation not deterministic")
+		}
+	}
+}
+
+func TestCampusMedianHamming(t *testing.T) {
+	// Section 2.1: the median number of channels available at one point
+	// but unavailable at another is close to 7.
+	maps := CampusMaps(1)
+	if len(maps) != CampusBuildings {
+		t.Fatalf("buildings = %d", len(maps))
+	}
+	med := MedianPairwiseHamming(maps)
+	if med < 4 || med > 10 {
+		t.Errorf("median pairwise Hamming = %d, want close to 7", med)
+	}
+}
+
+func TestMedianPairwiseHammingEdge(t *testing.T) {
+	if MedianPairwiseHamming(nil) != 0 {
+		t.Error("empty set")
+	}
+	if MedianPairwiseHamming([]spectrum.Map{{}}) != 0 {
+		t.Error("single map")
+	}
+}
+
+func TestSimulationBaseMap(t *testing.T) {
+	m := SimulationBaseMap()
+	// Section 5.4.1: 17 free UHF channels, widest contiguous white
+	// space 36 MHz (6 channels), multiple 20 MHz placements possible.
+	if m.CountFree() != 17 {
+		t.Errorf("free channels = %d, want 17", m.CountFree())
+	}
+	f, ok := m.WidestFragment()
+	if !ok || f.Channels() != 6 {
+		t.Errorf("widest fragment = %v", f)
+	}
+	n20 := 0
+	for _, c := range m.AvailableChannels() {
+		if c.Width == spectrum.W20 {
+			n20++
+		}
+	}
+	if n20 < 2 {
+		t.Errorf("20MHz placements = %d, want multiple", n20)
+	}
+}
+
+func TestSpatialFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := SimulationBaseMap()
+	if got := SpatialFlip(base, 0, rng); got != base {
+		t.Error("P=0 must not change the map")
+	}
+	flipped := SpatialFlip(base, 1, rng)
+	if got := base.Hamming(flipped); got != spectrum.NumUHF {
+		t.Errorf("P=1 should flip all %d channels, flipped %d", spectrum.NumUHF, got)
+	}
+	// Statistical: P=0.1 flips about 3 channels.
+	total := 0
+	for i := 0; i < 200; i++ {
+		total += base.Hamming(SpatialFlip(base, 0.1, rng))
+	}
+	avg := float64(total) / 200
+	if avg < 2 || avg > 4 {
+		t.Errorf("P=0.1 average flips = %v, want ~3", avg)
+	}
+}
+
+func TestBuildingFiveMap(t *testing.T) {
+	m := BuildingFiveMap()
+	wantFree := map[int]bool{26: true, 27: true, 28: true, 29: true, 30: true,
+		33: true, 34: true, 35: true, 39: true, 48: true}
+	for tv := 21; tv <= 51; tv++ {
+		if tv == 37 {
+			continue
+		}
+		u, _ := spectrum.UHFFromTV(tv)
+		if m.Free(u) != wantFree[tv] {
+			t.Errorf("channel %d free = %v, want %v", tv, m.Free(u), wantFree[tv])
+		}
+	}
+	// The fragments must support exactly one 20 MHz, one 10 MHz and two
+	// separate 5 MHz placements as Section 5.4.2 states.
+	frags := m.Fragments()
+	if len(frags) != 4 {
+		t.Fatalf("fragments = %v, want 4", frags)
+	}
+	sizes := []int{frags[0].Channels(), frags[1].Channels(), frags[2].Channels(), frags[3].Channels()}
+	want := []int{5, 3, 1, 1}
+	for i := range sizes {
+		if sizes[i] != want[i] {
+			t.Errorf("fragment %d size = %d, want %d", i, sizes[i], want[i])
+		}
+	}
+}
+
+func TestMicLifecycle(t *testing.T) {
+	eng := sim.New(1)
+	m := NewMic(eng, 5)
+	var events []bool
+	m.OnChange = func(a bool) { events = append(events, a) }
+	if m.Active() {
+		t.Error("new mic should be inactive")
+	}
+	m.ScheduleOn(10)
+	m.ScheduleOff(20)
+	eng.Run()
+	if m.Active() {
+		t.Error("mic should be off at end")
+	}
+	if len(events) != 2 || !events[0] || events[1] {
+		t.Errorf("events = %v", events)
+	}
+	// Double on/off are no-ops.
+	m.TurnOff()
+	m.TurnOn()
+	m.TurnOn()
+	if len(events) != 3 {
+		t.Errorf("redundant transitions fired callbacks: %v", events)
+	}
+}

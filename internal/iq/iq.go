@@ -1,0 +1,205 @@
+// Package iq renders the symbolic transmission record of the air medium
+// into raw time-domain amplitude sample streams, standing in for the
+// USRP software-defined radio scanner of the KNOWS prototype.
+//
+// The USRP samples a 1 MHz band at 1 MSample/s; each sample represents
+// 1.024 us of RF signal as an (I, Q) pair and the scanner computes the
+// amplitude sqrt(I^2+Q^2). SIFT operates purely on those amplitudes, so
+// this package renders amplitude directly: for every transmission
+// overlapping the scan window in time and frequency it adds a signal
+// envelope (with OFDM-like per-sample fading and the low-amplitude
+// leading ramp that 5 MHz packets exhibit on the real hardware, Figure
+// 5), plus Gaussian receiver noise. The rendered stream exercises the
+// identical SIFT code path as real captures, including its failure modes
+// at low SNR (Figure 7).
+package iq
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"whitefi/internal/mac"
+	"whitefi/internal/spectrum"
+)
+
+// SamplePeriod is the duration represented by one amplitude sample
+// (1 MSample/s on the USRP: 1.024 us).
+const SamplePeriod = 1024 * time.Nanosecond
+
+// BlockSamples is the number of samples the USRP delivers to the host
+// per block.
+const BlockSamples = 2048
+
+// DiscoverySpanMHz is the frequency span captured around the scan
+// center when hunting for APs (the USRP bandwidth constraint: 8 MHz per
+// scan, Section 3).
+const DiscoverySpanMHz = 8.0
+
+// NarrowSpanMHz is the span used when measuring one UHF channel's
+// airtime: the USRP samples a 1 MHz band around the center frequency
+// (Section 4.2.1), which keeps adjacent-channel signals out of the
+// window.
+const NarrowSpanMHz = 1.0
+
+// Amplitude calibration. AmplitudeAt maps received power in dBm to the
+// amplitude units of the paper's Figure 5 (a strong nearby signal is on
+// the order of 1000 units).
+const (
+	// refDBm and refAmp anchor the scale: a -30 dBm signal (the
+	// paper's anechoic-chamber level) renders at 1000 units.
+	refDBm = -30.0
+	refAmp = 1000.0
+)
+
+// AmplitudeAt converts received power (dBm) to linear amplitude units.
+func AmplitudeAt(powerDBm float64) float64 {
+	return refAmp * math.Pow(10, (powerDBm-refDBm)/20)
+}
+
+// NoiseSigma is the standard deviation of the Gaussian receiver noise in
+// amplitude units, corresponding to the -95 dBm noise floor.
+var NoiseSigma = AmplitudeAt(mac.NoiseFloorDBm)
+
+// Envelope irregularity: per-sample multiplicative fading of the OFDM
+// envelope. The signal amplitude "might fall to very low values even in
+// the middle of the packet transmission" (Section 4.2.1), which is why
+// SIFT needs a moving average rather than instantaneous values.
+const (
+	fadeSigma = 0.28
+	fadeFloor = 0.05
+)
+
+// The initial portion of a 5 MHz packet is transmitted at a lower
+// amplitude than the rest (a quirk of the prototype hardware, Figure 5);
+// this is what makes SIFT's packet-length matching slightly worse at
+// 5 MHz (Table 1). The affected fraction varies per packet.
+const (
+	rampFracLo    = 0.02 // minimum leading fraction affected
+	rampFracHi    = 0.102
+	rampAmplitude = 0.12 // relative amplitude of the leading portion
+)
+
+// Renderer renders scan windows of the medium into amplitude samples as
+// heard at a particular scanner.
+type Renderer struct {
+	Air *mac.Air
+	// ScannerID is the node id whose path loss applies; use a fresh id
+	// for a standalone scanner (zero loss by default).
+	ScannerID int
+	// Rng drives noise and fading; must be non-nil.
+	Rng *rand.Rand
+	// ExtraLossDB is added to every received signal (the tunable RF
+	// attenuator of Section 5.1's experiments).
+	ExtraLossDB float64
+	// SpanMHz is the captured frequency span around the scan center;
+	// zero selects DiscoverySpanMHz.
+	SpanMHz float64
+}
+
+// NewRenderer creates a renderer for the medium as heard by scannerID.
+func NewRenderer(air *mac.Air, scannerID int, rng *rand.Rand) *Renderer {
+	return &Renderer{Air: air, ScannerID: scannerID, Rng: rng}
+}
+
+// bandOverlapFraction returns the relative strength at which a
+// transmission on channel ch appears in a scan window of spanMHz
+// centered on UHF channel center: the band overlap normalized by the
+// smaller of the two bandwidths, so a narrow window fully inside a wide
+// signal still sees it at full relative amplitude.
+func bandOverlapFraction(center spectrum.UHF, ch spectrum.Channel, spanMHz float64) float64 {
+	scanLo := center.CenterMHz() - spanMHz/2
+	scanHi := center.CenterMHz() + spanMHz/2
+	txLo := ch.CenterMHz() - ch.Width.MHz()/2
+	txHi := ch.CenterMHz() + ch.Width.MHz()/2
+	lo := math.Max(scanLo, txLo)
+	hi := math.Min(scanHi, txHi)
+	if hi <= lo {
+		return 0
+	}
+	return (hi - lo) / math.Min(ch.Width.MHz(), spanMHz)
+}
+
+// Render returns the amplitude samples for the window [from, to) of an
+// 8 MHz scan centered on UHF channel center. The first sample covers
+// [from, from+SamplePeriod).
+func (r *Renderer) Render(center spectrum.UHF, from, to time.Duration) []float64 {
+	n := int((to - from) / SamplePeriod)
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	// Receiver noise.
+	for i := range out {
+		out[i] = math.Abs(r.Rng.NormFloat64()) * NoiseSigma
+	}
+	span := r.SpanMHz
+	if span <= 0 {
+		span = DiscoverySpanMHz
+	}
+	// Signal contributions.
+	for _, tx := range r.Air.History() {
+		if tx.End <= from || tx.Start >= to {
+			continue
+		}
+		frac := bandOverlapFraction(center, tx.Channel, span)
+		if frac == 0 {
+			continue
+		}
+		rxDBm := r.Air.RxPower(tx.Src, r.ScannerID, tx.PowerDB) - r.ExtraLossDB
+		base := AmplitudeAt(rxDBm) * frac
+		r.addEnvelope(out, from, tx, base)
+	}
+	return out
+}
+
+// addEnvelope adds one transmission's amplitude envelope into the sample
+// buffer.
+func (r *Renderer) addEnvelope(out []float64, from time.Duration, tx mac.Transmission, base float64) {
+	startIdx := int((tx.Start - from) / SamplePeriod)
+	endIdx := int((tx.End - from) / SamplePeriod)
+	if startIdx < 0 {
+		startIdx = 0
+	}
+	if endIdx > len(out) {
+		endIdx = len(out)
+	}
+	dur := tx.End - tx.Start
+	is5 := tx.Channel.Width == spectrum.W5
+	var rampEnd time.Duration
+	if is5 {
+		frac := rampFracLo + r.Rng.Float64()*(rampFracHi-rampFracLo)
+		rampEnd = tx.Start + time.Duration(float64(dur)*frac)
+	}
+	for i := startIdx; i < endIdx; i++ {
+		amp := base
+		t := from + time.Duration(i)*SamplePeriod
+		if is5 && t < rampEnd {
+			amp *= rampAmplitude
+		}
+		fade := 1 + r.Rng.NormFloat64()*fadeSigma
+		if fade < fadeFloor {
+			fade = fadeFloor
+		}
+		out[i] += amp * fade
+	}
+}
+
+// RenderBlocks renders the window and slices it into USRP-style blocks
+// of BlockSamples samples; the final partial block is dropped, matching
+// the hardware's block delivery.
+func (r *Renderer) RenderBlocks(center spectrum.UHF, from, to time.Duration) [][]float64 {
+	s := r.Render(center, from, to)
+	var blocks [][]float64
+	for len(s) >= BlockSamples {
+		blocks = append(blocks, s[:BlockSamples])
+		s = s[BlockSamples:]
+	}
+	return blocks
+}
+
+// SampleIndex converts a window-relative time to a sample index.
+func SampleIndex(t time.Duration) int { return int(t / SamplePeriod) }
+
+// SampleTime converts a sample index to its window-relative start time.
+func SampleTime(i int) time.Duration { return time.Duration(i) * SamplePeriod }

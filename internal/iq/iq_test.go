@@ -1,0 +1,189 @@
+package iq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"whitefi/internal/mac"
+	"whitefi/internal/phy"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+func setup(seed int64) (*sim.Engine, *mac.Air, *Renderer) {
+	eng := sim.New(seed)
+	air := mac.NewAir(eng)
+	r := NewRenderer(air, 9999, rand.New(rand.NewSource(seed)))
+	return eng, air, r
+}
+
+func TestAmplitudeCalibration(t *testing.T) {
+	if got := AmplitudeAt(-30); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("AmplitudeAt(-30) = %v, want 1000", got)
+	}
+	if got := AmplitudeAt(-50); math.Abs(got-100) > 1e-9 {
+		t.Errorf("AmplitudeAt(-50) = %v, want 100 (20 dB = 10x)", got)
+	}
+	if AmplitudeAt(-80) <= AmplitudeAt(-90) {
+		t.Error("amplitude must increase with power")
+	}
+}
+
+func TestNoiseOnlyWindowIsLowAmplitude(t *testing.T) {
+	_, _, r := setup(1)
+	s := r.Render(10, 0, 10*time.Millisecond)
+	if len(s) != int(10*time.Millisecond/SamplePeriod) {
+		t.Fatalf("sample count = %d", len(s))
+	}
+	var max, sum float64
+	for _, v := range s {
+		if v < 0 {
+			t.Fatal("negative amplitude")
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if mean := sum / float64(len(s)); mean > NoiseSigma*1.2 {
+		t.Errorf("noise mean %v too high (sigma %v)", mean, NoiseSigma)
+	}
+	if max > NoiseSigma*8 {
+		t.Errorf("noise max %v implausibly high", max)
+	}
+}
+
+func TestSignalRendersAboveNoise(t *testing.T) {
+	eng, air, r := setup(2)
+	ch := spectrum.Chan(10, spectrum.W20)
+	air.Transmit(1, ch, phy.DataFrame(1, 2, 1000), mac.DefaultTxPowerDBm, true)
+	eng.RunUntil(5 * time.Millisecond)
+	s := r.Render(10, 0, 2*time.Millisecond)
+	dur := phy.Airtime(spectrum.W20, 1000+phy.MACHeaderBytes)
+	onIdx := SampleIndex(dur / 2)
+	offIdx := SampleIndex(dur + 200*time.Microsecond)
+	if s[onIdx] < 1000 {
+		t.Errorf("mid-packet amplitude %v too low", s[onIdx])
+	}
+	if s[offIdx] > 100 {
+		t.Errorf("post-packet amplitude %v too high", s[offIdx])
+	}
+}
+
+func TestAttenuationReducesAmplitude(t *testing.T) {
+	eng, air, r := setup(3)
+	ch := spectrum.Chan(10, spectrum.W20)
+	air.Transmit(1, ch, phy.DataFrame(1, 2, 1000), mac.DefaultTxPowerDBm, true)
+	eng.RunUntil(5 * time.Millisecond)
+	mid := SampleIndex(phy.Airtime(spectrum.W20, 1034) / 2)
+	r.ExtraLossDB = 0
+	a0 := r.Render(10, 0, time.Millisecond)[mid]
+	r.ExtraLossDB = 40
+	a40 := r.Render(10, 0, time.Millisecond)[mid]
+	if ratio := a0 / a40; ratio < 50 || ratio > 200 {
+		t.Errorf("40 dB should be ~100x in amplitude, got %v", ratio)
+	}
+}
+
+func TestOffBandTransmissionInvisible(t *testing.T) {
+	eng, air, r := setup(4)
+	air.Transmit(1, spectrum.Chan(25, spectrum.W5), phy.DataFrame(1, 2, 1000), mac.DefaultTxPowerDBm, true)
+	eng.RunUntil(10 * time.Millisecond)
+	s := r.Render(5, 0, 5*time.Millisecond) // scan far from channel 25
+	for i, v := range s {
+		if v > NoiseSigma*8 {
+			t.Fatalf("off-band energy at sample %d: %v", i, v)
+		}
+	}
+}
+
+func TestAdjacentOverlapPartiallyVisible(t *testing.T) {
+	// A 20 MHz transmission centered at 10 spans channels 8..12; a scan
+	// at channel 12 must see it (J-SIFT depends on this).
+	eng, air, r := setup(5)
+	air.Transmit(1, spectrum.Chan(10, spectrum.W20), phy.DataFrame(1, 2, 1000), mac.DefaultTxPowerDBm, true)
+	eng.RunUntil(5 * time.Millisecond)
+	mid := SampleIndex(phy.Airtime(spectrum.W20, 1034) / 2)
+	center := r.Render(10, 0, time.Millisecond)[mid]
+	edge := r.Render(12, 0, time.Millisecond)[mid]
+	if edge < NoiseSigma*20 {
+		t.Errorf("edge scan sees no signal: %v", edge)
+	}
+	if edge >= center {
+		t.Errorf("edge amplitude %v should be below center %v", edge, center)
+	}
+}
+
+func TestBandOverlapFraction(t *testing.T) {
+	full := bandOverlapFraction(10, spectrum.Chan(10, spectrum.W5), DiscoverySpanMHz)
+	if full != 1 {
+		t.Errorf("5MHz channel inside 8MHz window: fraction = %v, want 1", full)
+	}
+	none := bandOverlapFraction(0, spectrum.Chan(25, spectrum.W5), DiscoverySpanMHz)
+	if none != 0 {
+		t.Errorf("distant channel: fraction = %v, want 0", none)
+	}
+	part := bandOverlapFraction(12, spectrum.Chan(10, spectrum.W20), DiscoverySpanMHz)
+	if part <= 0 || part >= 1 {
+		t.Errorf("partial overlap fraction = %v", part)
+	}
+}
+
+func TestReservedGapBlocksOverlap(t *testing.T) {
+	// Channels at UHF indices 15 (TV36) and 16 (TV38) are 12 MHz apart
+	// in frequency; an 8 MHz scan at one must not see a 5 MHz signal at
+	// the other.
+	if f := bandOverlapFraction(15, spectrum.Chan(16, spectrum.W5), DiscoverySpanMHz); f != 0 {
+		t.Errorf("scan across the TV37 gap sees fraction %v", f)
+	}
+	// By contrast, adjacent channels elsewhere do overlap slightly.
+	if f := bandOverlapFraction(4, spectrum.Chan(5, spectrum.W5), DiscoverySpanMHz); f <= 0 {
+		t.Error("adjacent in-band channels should marginally overlap an 8MHz scan")
+	}
+}
+
+func TestRenderBlocks(t *testing.T) {
+	_, _, r := setup(6)
+	blocks := r.RenderBlocks(10, 0, 5*time.Millisecond)
+	want := int(5*time.Millisecond/SamplePeriod) / BlockSamples
+	if len(blocks) != want {
+		t.Errorf("blocks = %d, want %d", len(blocks), want)
+	}
+	for _, b := range blocks {
+		if len(b) != BlockSamples {
+			t.Fatalf("block size %d", len(b))
+		}
+	}
+}
+
+func TestFiveMHzLeadingRamp(t *testing.T) {
+	// The head of a 5 MHz packet renders at much lower amplitude.
+	eng, air, _ := setup(7)
+	ch := spectrum.Chan(10, spectrum.W5)
+	air.Transmit(1, ch, phy.DataFrame(1, 2, 1000), mac.DefaultTxPowerDBm, true)
+	eng.RunUntil(20 * time.Millisecond)
+	headLow := 0
+	// The ramp fraction is random per render; average over renders.
+	for trial := 0; trial < 20; trial++ {
+		r := NewRenderer(air, 9999, rand.New(rand.NewSource(int64(trial))))
+		s := r.Render(10, 0, 10*time.Millisecond)
+		head := s[SampleIndex(30*time.Microsecond)]
+		mid := s[SampleIndex(phy.Airtime(spectrum.W5, 1034)/2)]
+		if head < mid/3 {
+			headLow++
+		}
+	}
+	if headLow < 15 {
+		t.Errorf("5MHz leading ramp visible in only %d/20 renders", headLow)
+	}
+}
+
+func TestSampleIndexRoundTrip(t *testing.T) {
+	for _, i := range []int{0, 1, 100, 12345} {
+		if SampleIndex(SampleTime(i)) != i {
+			t.Errorf("round trip failed for %d", i)
+		}
+	}
+}

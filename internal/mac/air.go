@@ -1,0 +1,411 @@
+// Package mac implements the shared UHF air medium and the CSMA/CA
+// (802.11 DCF style) medium access control that WhiteFi reuses from
+// Wi-Fi. Together with the sim engine it replaces the QualNet simulator
+// used in the paper, implementing exactly the modifications Section 5.4
+// describes:
+//
+//   - variable channel widths with per-width OFDM symbol and MAC timing,
+//   - receivers explicitly drop frames sent at a different channel width
+//     or center frequency,
+//   - a node spanning multiple UHF channels transmits only when no
+//     carrier is sensed on any of those channels, and
+//   - fragmented spectrum comes from per-node spectrum maps.
+package mac
+
+import (
+	"sort"
+	"time"
+
+	"whitefi/internal/phy"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// Default radio parameters.
+const (
+	// DefaultTxPowerDBm is the transmit power used by all nodes. The
+	// FCC cap for portable white-space devices is 40 mW (16 dBm).
+	DefaultTxPowerDBm = 16.0
+	// DefaultCSThresholdDBm is the carrier-sense threshold: activity
+	// received above this power marks the medium busy.
+	DefaultCSThresholdDBm = -90.0
+	// NoiseFloorDBm is the thermal noise floor of the receivers.
+	NoiseFloorDBm = -95.0
+)
+
+// Transmission is one on-air PPDU as recorded by the medium. The record
+// is symbolic; package iq renders amplitude samples from it on demand.
+type Transmission struct {
+	Src     int
+	Channel spectrum.Channel
+	Frame   phy.Frame
+	Start   time.Duration
+	End     time.Duration
+	PowerDB float64 // transmit power in dBm
+	// NoCS marks frames sent without carrier sense (ACKs after SIFS).
+	NoCS bool
+	// UID uniquely identifies the transmission within its medium.
+	UID uint64
+}
+
+// Duration returns the on-air duration.
+func (t Transmission) Duration() time.Duration { return t.End - t.Start }
+
+// overlapsTime reports whether the transmission is on air at any point
+// in [from, to).
+func (t Transmission) overlapsTime(from, to time.Duration) bool {
+	return t.Start < to && from < t.End
+}
+
+// carrierSenser is the notification interface the medium uses to tell a
+// node its sensed channel went busy or idle.
+type carrierSenser interface {
+	mediumBusyChanged(busy bool)
+}
+
+// PathLoss returns the attenuation in dB between two node ids. The
+// medium adds it to compute received power. Returning 0 places the nodes
+// in perfect range (the paper's simulation setups keep all nodes within
+// transmission range of the AP).
+type PathLoss func(src, dst int) float64
+
+// Air is the shared UHF medium. All transmissions across all channels
+// are recorded here; carrier sense, frame delivery and airtime accounting
+// all derive from the record. Air is not safe for concurrent use: the
+// simulation engine is single-threaded by design.
+type Air struct {
+	Eng *sim.Engine
+	// Loss is the path-loss model; nil means zero loss everywhere.
+	Loss PathLoss
+
+	history []Transmission // completed and active, in start order
+	active  []*Transmission
+
+	nodes   map[int]*airNode
+	nextUID uint64
+	// order holds node ids sorted ascending; all iteration over nodes
+	// goes through it so simulations are deterministic (Go randomises
+	// map iteration order).
+	order []int
+}
+
+type airNode struct {
+	id        int
+	span      []spectrum.UHF // sensed UHF channels (tuned channel span)
+	senser    carrierSenser
+	deliver   func(phy.Frame, *Transmission)
+	channel   spectrum.Channel
+	sensedCnt int // active transmissions currently sensed
+	txUntil   time.Duration
+	isAP      bool
+}
+
+// NewAir creates an empty medium bound to the engine.
+func NewAir(eng *sim.Engine) *Air {
+	return &Air{Eng: eng, nodes: make(map[int]*airNode)}
+}
+
+func (a *Air) loss(src, dst int) float64 {
+	if a.Loss == nil {
+		return 0
+	}
+	return a.Loss(src, dst)
+}
+
+// RxPower returns the power (dBm) at which dst hears src.
+func (a *Air) RxPower(src, dst int, txPowerDBm float64) float64 {
+	return txPowerDBm - a.loss(src, dst)
+}
+
+// attach registers a node. deliver is called for each frame successfully
+// received on the node's tuned channel; senser (optional) receives busy
+// transitions.
+func (a *Air) attach(id int, ch spectrum.Channel, isAP bool, senser carrierSenser, deliver func(phy.Frame, *Transmission)) *airNode {
+	n := &airNode{id: id, channel: ch, span: ch.Span(), senser: senser, deliver: deliver, isAP: isAP}
+	if _, exists := a.nodes[id]; !exists {
+		i := sort.SearchInts(a.order, id)
+		a.order = append(a.order, 0)
+		copy(a.order[i+1:], a.order[i:])
+		a.order[i] = id
+	}
+	a.nodes[id] = n
+	n.sensedCnt = a.countSensed(n)
+	return n
+}
+
+// detach removes a node from the medium.
+func (a *Air) detach(id int) {
+	if _, exists := a.nodes[id]; exists {
+		i := sort.SearchInts(a.order, id)
+		a.order = append(a.order[:i], a.order[i+1:]...)
+	}
+	delete(a.nodes, id)
+}
+
+// eachNode visits nodes in ascending id order.
+func (a *Air) eachNode(f func(*airNode)) {
+	for _, id := range a.order {
+		if n := a.nodes[id]; n != nil {
+			f(n)
+		}
+	}
+}
+
+// retune changes the channel a node listens and senses on. The node's
+// busy state is recomputed against currently active transmissions.
+func (a *Air) retune(n *airNode, ch spectrum.Channel) {
+	n.channel = ch
+	n.span = ch.Span()
+	was := n.sensedCnt > 0
+	n.sensedCnt = a.countSensed(n)
+	now := n.sensedCnt > 0
+	if was != now && n.senser != nil {
+		n.senser.mediumBusyChanged(now)
+	}
+}
+
+func (a *Air) countSensed(n *airNode) int {
+	cnt := 0
+	for _, tx := range a.active {
+		if tx.Src != n.id && a.hears(n, tx) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// hears reports whether node n senses transmission tx: spans overlap and
+// received power is above the carrier-sense threshold.
+func (a *Air) hears(n *airNode, tx *Transmission) bool {
+	if !n.channel.Overlaps(tx.Channel) {
+		return false
+	}
+	return a.RxPower(tx.Src, n.id, tx.PowerDB) >= DefaultCSThresholdDBm
+}
+
+// SensedBusy reports whether node id currently senses any carrier on any
+// UHF channel of its tuned span (the multi-channel carrier sense rule).
+func (a *Air) SensedBusy(id int) bool {
+	n := a.nodes[id]
+	if n == nil {
+		return false
+	}
+	return n.sensedCnt > 0
+}
+
+// Transmit puts a frame on the air from node id over channel ch for the
+// frame's airtime at that width. Delivery (or corruption) is resolved
+// when the transmission ends. It returns the transmission record.
+func (a *Air) Transmit(id int, ch spectrum.Channel, f phy.Frame, powerDBm float64, noCS bool) *Transmission {
+	now := a.Eng.Now()
+	a.nextUID++
+	tx := &Transmission{
+		Src:     id,
+		Channel: ch,
+		Frame:   f,
+		Start:   now,
+		End:     now + f.Airtime(ch.Width),
+		PowerDB: powerDBm,
+		NoCS:    noCS,
+		UID:     a.nextUID,
+	}
+	a.history = append(a.history, *tx)
+	a.active = append(a.active, tx)
+	if n := a.nodes[id]; n != nil {
+		n.txUntil = tx.End
+	}
+	// Raise busy at every node that hears this transmission.
+	a.eachNode(func(n *airNode) {
+		if n.id == tx.Src || !a.hears(n, tx) {
+			return
+		}
+		n.sensedCnt++
+		if n.sensedCnt == 1 && n.senser != nil {
+			n.senser.mediumBusyChanged(true)
+		}
+	})
+	a.Eng.Schedule(tx.End, func() { a.finish(tx) })
+	return tx
+}
+
+// finish ends a transmission: drops busy indications and resolves
+// delivery at each candidate receiver.
+func (a *Air) finish(tx *Transmission) {
+	for i, at := range a.active {
+		if at == tx {
+			a.active = append(a.active[:i], a.active[i+1:]...)
+			break
+		}
+	}
+	a.eachNode(func(n *airNode) {
+		if n.id == tx.Src || !a.hears(n, tx) {
+			return
+		}
+		n.sensedCnt--
+		if n.sensedCnt == 0 && n.senser != nil {
+			n.senser.mediumBusyChanged(false)
+		}
+	})
+	// Delivery: only receivers tuned to exactly the transmission's
+	// channel (same center frequency and width) can decode, per the
+	// variable-width decoding limitation.
+	a.eachNode(func(n *airNode) {
+		if n.id == tx.Src || n.deliver == nil {
+			return
+		}
+		if n.channel != tx.Channel {
+			return
+		}
+		if f := tx.Frame; f.Dst != phy.Broadcast && f.Dst != n.id {
+			return
+		}
+		if !a.cleanAt(n, tx) {
+			return
+		}
+		n.deliver(tx.Frame, tx)
+	})
+}
+
+// cleanAt reports whether receiver n could decode tx: received power
+// above the decode threshold, the receiver not transmitting itself, and
+// no other audible transmission overlapping tx in time on any UHF
+// channel of the receiver's span.
+func (a *Air) cleanAt(n *airNode, tx *Transmission) bool {
+	rx := a.RxPower(tx.Src, n.id, tx.PowerDB)
+	if rx-NoiseFloorDBm < decodeSNRdB {
+		return false
+	}
+	// Half duplex: receiver transmitting during any part of tx.
+	if n.txUntil > tx.Start {
+		return false
+	}
+	// History is start-ordered; nothing starting more than maxFrameAir
+	// before tx.Start can still overlap it, so a backwards scan with an
+	// early break keeps this O(recent) rather than O(history).
+	for i := len(a.history) - 1; i >= 0; i-- {
+		o := &a.history[i]
+		if o.Start < tx.Start-maxFrameAir {
+			break
+		}
+		if o.UID == tx.UID || o.Src == n.id {
+			continue
+		}
+		if !o.overlapsTime(tx.Start, tx.End) {
+			continue
+		}
+		if !n.channel.Overlaps(o.Channel) {
+			continue
+		}
+		if a.RxPower(o.Src, n.id, o.PowerDB) >= NoiseFloorDBm {
+			return false
+		}
+	}
+	return true
+}
+
+// maxFrameAir generously bounds the longest possible frame on air (an
+// MTU-sized frame at 5 MHz is about 9 ms).
+const maxFrameAir = 50 * time.Millisecond
+
+// decodeSNRdB is the SNR needed for the transceiver to decode a frame.
+const decodeSNRdB = 10
+
+// History returns all recorded transmissions, in start order. The
+// returned slice is owned by the medium; callers must not modify it.
+func (a *Air) History() []Transmission { return a.history }
+
+// Compact drops completed transmissions that ended before t, bounding
+// memory in long simulations. Scan windows must not reach behind t.
+func (a *Air) Compact(before time.Duration) {
+	kept := a.history[:0]
+	for _, tx := range a.history {
+		if tx.End >= before {
+			kept = append(kept, tx)
+		}
+	}
+	a.history = kept
+}
+
+// Overlapping returns the transmissions on air at any point of [from, to)
+// whose channel span includes UHF channel u.
+func (a *Air) Overlapping(u spectrum.UHF, from, to time.Duration) []Transmission {
+	var out []Transmission
+	for _, tx := range a.history {
+		if tx.overlapsTime(from, to) && tx.Channel.Contains(u) {
+			out = append(out, tx)
+		}
+	}
+	return out
+}
+
+// BusyFraction returns the fraction of [from, to) during which UHF
+// channel u carried at least one transmission: the ground-truth airtime
+// utilization A_c used to validate SIFT's estimate.
+func (a *Air) BusyFraction(u spectrum.UHF, from, to time.Duration) float64 {
+	return a.BusyFractionExcluding(u, from, to, nil)
+}
+
+// BusyFractionExcluding is BusyFraction ignoring transmissions from the
+// given source nodes. A WhiteFi network excludes its own members when
+// measuring background airtime: the MCham metric estimates the share of
+// the channel *other* traffic leaves available.
+func (a *Air) BusyFractionExcluding(u spectrum.UHF, from, to time.Duration, exclude map[int]bool) float64 {
+	if to <= from {
+		return 0
+	}
+	type iv struct{ s, e time.Duration }
+	var ivs []iv
+	for _, tx := range a.Overlapping(u, from, to) {
+		if exclude[tx.Src] {
+			continue
+		}
+		s, e := tx.Start, tx.End
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		ivs = append(ivs, iv{s, e})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+	var busy, end time.Duration
+	end = -1
+	for _, v := range ivs {
+		if v.s > end {
+			busy += v.e - v.s
+			end = v.e
+		} else if v.e > end {
+			busy += v.e - end
+			end = v.e
+		}
+	}
+	return float64(busy) / float64(to-from)
+}
+
+// ActiveAPs returns the number of distinct AP nodes that transmitted on a
+// channel spanning u during [from, to), excluding node exclude. This is
+// the ground-truth B_c of Section 4.1.
+func (a *Air) ActiveAPs(u spectrum.UHF, from, to time.Duration, exclude int) int {
+	return a.ActiveAPsExcluding(u, from, to, map[int]bool{exclude: true})
+}
+
+// ActiveAPsExcluding is ActiveAPs with a set of excluded source nodes.
+func (a *Air) ActiveAPsExcluding(u spectrum.UHF, from, to time.Duration, exclude map[int]bool) int {
+	seen := map[int]bool{}
+	for _, tx := range a.Overlapping(u, from, to) {
+		if exclude[tx.Src] {
+			continue
+		}
+		if n := a.nodes[tx.Src]; n != nil && n.isAP {
+			seen[tx.Src] = true
+			continue
+		}
+		// Transmissions from nodes that have since detached still
+		// count if they look like AP traffic (beacons).
+		if a.nodes[tx.Src] == nil && tx.Frame.Kind == phy.KindBeacon {
+			seen[tx.Src] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,329 @@
+package mac
+
+import (
+	"time"
+
+	"whitefi/internal/phy"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// RetryLimit is the maximum number of retransmissions of a unicast frame
+// before it is dropped.
+const RetryLimit = 7
+
+// Stats counts MAC-level outcomes at one node.
+type Stats struct {
+	TxData        int // data frames put on air (incl. retries)
+	TxOK          int // unicast frames acknowledged
+	TxDropped     int // unicast frames dropped after RetryLimit
+	TxBroadcast   int // broadcast-style frames sent
+	RxData        int // unicast data frames received clean
+	RxBytes       int64
+	RxFrames      int // all clean receptions, any kind
+	AckTimeouts   int
+	PayloadRxOK   int64 // payload bytes of acknowledged data (at sender)
+	QueueDropped  int   // frames dropped due to full queue
+	LastRxAt      time.Duration
+	LastTxOKAt    time.Duration
+	DeliveredData int // data frames delivered to this node
+}
+
+// Node is a CSMA/CA transceiver attached to the Air medium and tuned to
+// one WhiteFi channel. It implements an 802.11-DCF style listen-before-
+// transmit MAC with binary-exponential backoff, per-width timing, and
+// multi-channel carrier sense over its channel span.
+type Node struct {
+	ID    int
+	IsAP  bool
+	Power float64 // transmit power in dBm
+
+	air *Air
+	eng *sim.Engine
+	an  *airNode
+
+	channel spectrum.Channel
+
+	// OnReceive is invoked for every clean reception addressed to the
+	// node (or broadcast); ACKs are handled internally and not passed up.
+	OnReceive func(phy.Frame, *Transmission)
+
+	// OnSent is invoked when one of this node's frames finishes its
+	// time on air (regardless of eventual ACK outcome). WhiteFi uses it
+	// to chain the CTS-to-self one SIFS after each beacon.
+	OnSent func(phy.Frame)
+
+	queue    []phy.Frame
+	maxQueue int
+
+	state     dcfState
+	cw        int
+	slotsLeft int
+	retries   int
+	seq       uint64
+
+	difsEv  *sim.Event
+	slotEv  *sim.Event
+	ackEv   *sim.Event
+	pending *phy.Frame // frame awaiting ACK
+
+	Stats Stats
+}
+
+type dcfState int
+
+const (
+	stIdle dcfState = iota
+	stDeferring
+	stDIFS
+	stBackoff
+	stTransmitting
+	stAwaitingACK
+)
+
+// NewNode attaches a node to the medium on channel ch.
+func NewNode(eng *sim.Engine, air *Air, id int, ch spectrum.Channel, isAP bool) *Node {
+	n := &Node{
+		ID:       id,
+		IsAP:     isAP,
+		Power:    DefaultTxPowerDBm,
+		air:      air,
+		eng:      eng,
+		channel:  ch,
+		cw:       phy.CWMin,
+		maxQueue: 512,
+	}
+	n.an = air.attach(id, ch, isAP, n, n.receive)
+	return n
+}
+
+// Detach removes the node from the medium and cancels pending MAC timers.
+func (n *Node) Detach() {
+	n.cancelTimers()
+	n.air.detach(n.ID)
+}
+
+// Channel returns the channel the node is tuned to.
+func (n *Node) Channel() spectrum.Channel { return n.channel }
+
+// Retune switches the node to a new channel. In-flight MAC state is
+// reset: queued frames are kept, but any frame awaiting ACK is treated
+// as failed-over (WhiteFi's protocols re-send state after a switch).
+func (n *Node) Retune(ch spectrum.Channel) {
+	n.cancelTimers()
+	n.pending = nil
+	n.state = stIdle
+	n.cw = phy.CWMin
+	n.retries = 0
+	n.air.retune(n.an, ch)
+	n.channel = ch
+	n.kick()
+}
+
+// QueueLen returns the number of frames waiting for transmission.
+func (n *Node) QueueLen() int { return len(n.queue) }
+
+// ClearQueue drops all queued frames (used on disconnection).
+func (n *Node) ClearQueue() { n.queue = n.queue[:0] }
+
+// SendImmediate puts a frame on the air right now without carrier sense
+// or queuing — the SIFS-priority path used for the CTS-to-self that
+// follows each beacon (Section 4.2.1).
+func (n *Node) SendImmediate(f phy.Frame) *Transmission {
+	f.Src = n.ID
+	f.Seq = n.seq
+	n.seq++
+	return n.air.Transmit(n.ID, n.channel, f, n.Power, true)
+}
+
+// Send enqueues a frame for CSMA/CA transmission. Frames are sent on the
+// node's current channel at transmission time.
+func (n *Node) Send(f phy.Frame) bool {
+	if len(n.queue) >= n.maxQueue {
+		n.Stats.QueueDropped++
+		return false
+	}
+	f.Src = n.ID
+	f.Seq = n.seq
+	n.seq++
+	n.queue = append(n.queue, f)
+	n.kick()
+	return true
+}
+
+func (n *Node) cancelTimers() {
+	n.eng.Cancel(n.difsEv)
+	n.eng.Cancel(n.slotEv)
+	n.eng.Cancel(n.ackEv)
+	n.difsEv, n.slotEv, n.ackEv = nil, nil, nil
+}
+
+// kick starts medium acquisition if there is work and the MAC is idle.
+func (n *Node) kick() {
+	if n.state != stIdle || len(n.queue) == 0 {
+		return
+	}
+	n.beginAccess()
+}
+
+// beginAccess draws a fresh backoff and starts waiting for DIFS idle.
+func (n *Node) beginAccess() {
+	n.slotsLeft = n.eng.Rand().Intn(n.cw + 1)
+	n.startDIFS()
+}
+
+// startDIFS waits for the medium to be continuously idle for DIFS before
+// the backoff countdown runs.
+func (n *Node) startDIFS() {
+	if n.air.SensedBusy(n.ID) {
+		n.state = stDeferring
+		return
+	}
+	n.state = stDIFS
+	n.difsEv = n.eng.After(phy.DIFS(n.channel.Width), n.difsDone)
+}
+
+func (n *Node) difsDone() {
+	n.difsEv = nil
+	if n.slotsLeft == 0 {
+		n.transmitHead()
+		return
+	}
+	n.state = stBackoff
+	n.scheduleSlot()
+}
+
+func (n *Node) scheduleSlot() {
+	n.slotEv = n.eng.After(phy.Slot(n.channel.Width), n.slotDone)
+}
+
+func (n *Node) slotDone() {
+	n.slotEv = nil
+	n.slotsLeft--
+	if n.slotsLeft <= 0 {
+		n.transmitHead()
+		return
+	}
+	n.scheduleSlot()
+}
+
+// mediumBusyChanged implements carrierSenser: freeze/resume the backoff.
+func (n *Node) mediumBusyChanged(busy bool) {
+	if busy {
+		switch n.state {
+		case stDIFS:
+			n.eng.Cancel(n.difsEv)
+			n.difsEv = nil
+			n.state = stDeferring
+		case stBackoff:
+			// The slot in progress did not complete idle: freeze.
+			n.eng.Cancel(n.slotEv)
+			n.slotEv = nil
+			n.state = stDeferring
+		}
+		return
+	}
+	if n.state == stDeferring {
+		n.startDIFS()
+	}
+}
+
+func (n *Node) transmitHead() {
+	if len(n.queue) == 0 {
+		n.state = stIdle
+		return
+	}
+	f := n.queue[0]
+	n.state = stTransmitting
+	tx := n.air.Transmit(n.ID, n.channel, f, n.Power, false)
+	if f.Kind == phy.KindData {
+		n.Stats.TxData++
+	} else if !f.Kind.NeedsACK() {
+		n.Stats.TxBroadcast++
+	}
+	n.eng.Schedule(tx.End, func() { n.txEnded(f) })
+}
+
+func (n *Node) txEnded(f phy.Frame) {
+	if n.OnSent != nil {
+		n.OnSent(f)
+	}
+	if f.Kind.NeedsACK() && f.Dst != phy.Broadcast {
+		n.state = stAwaitingACK
+		cp := f
+		n.pending = &cp
+		timeout := phy.SIFS(n.channel.Width) + phy.ACKAirtime(n.channel.Width) + 2*phy.Slot(n.channel.Width)
+		n.ackEv = n.eng.After(timeout, n.ackTimeout)
+		return
+	}
+	// Broadcast / unacknowledged frame: done.
+	n.completeHead(true)
+}
+
+func (n *Node) ackTimeout() {
+	n.ackEv = nil
+	n.pending = nil
+	n.Stats.AckTimeouts++
+	n.retries++
+	if n.retries > RetryLimit {
+		n.Stats.TxDropped++
+		n.completeHead(false)
+		return
+	}
+	if n.cw < phy.CWMax {
+		n.cw = 2*(n.cw+1) - 1
+		if n.cw > phy.CWMax {
+			n.cw = phy.CWMax
+		}
+	}
+	n.state = stIdle
+	n.beginAccess()
+}
+
+// completeHead finishes the head-of-line frame (acknowledged, broadcast
+// complete, or dropped) and moves on.
+func (n *Node) completeHead(ok bool) {
+	if len(n.queue) > 0 {
+		f := n.queue[0]
+		n.queue = n.queue[1:]
+		if ok && f.Kind == phy.KindData && f.Dst != phy.Broadcast {
+			n.Stats.TxOK++
+			n.Stats.PayloadRxOK += int64(f.Bytes - phy.MACHeaderBytes)
+			n.Stats.LastTxOKAt = n.eng.Now()
+		}
+	}
+	n.cw = phy.CWMin
+	n.retries = 0
+	n.state = stIdle
+	n.kick()
+}
+
+// receive handles a clean reception from the medium.
+func (n *Node) receive(f phy.Frame, tx *Transmission) {
+	n.Stats.RxFrames++
+	n.Stats.LastRxAt = n.eng.Now()
+	switch {
+	case f.Kind == phy.KindACK:
+		if n.state == stAwaitingACK && n.pending != nil && f.Src == n.pending.Dst {
+			n.eng.Cancel(n.ackEv)
+			n.ackEv = nil
+			n.pending = nil
+			n.completeHead(true)
+		}
+		return
+	case f.Kind.NeedsACK() && f.Dst == n.ID:
+		// Reply with an ACK one SIFS later, without carrier sense.
+		src := f.Src
+		n.eng.After(phy.SIFS(n.channel.Width), func() {
+			n.air.Transmit(n.ID, n.channel, phy.ACKFrame(n.ID, src), n.Power, true)
+		})
+	}
+	if f.Kind == phy.KindData {
+		n.Stats.RxData++
+		n.Stats.RxBytes += int64(f.Bytes - phy.MACHeaderBytes)
+		n.Stats.DeliveredData++
+	}
+	if n.OnReceive != nil {
+		n.OnReceive(f, tx)
+	}
+}

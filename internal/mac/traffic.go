@@ -1,0 +1,212 @@
+package mac
+
+import (
+	"time"
+
+	"whitefi/internal/phy"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// CBR generates constant-bit-rate traffic from a node to a destination:
+// one packet of Bytes payload every Interval, as used by the paper's
+// background AP/client pairs (e.g. 30 ms inter-packet delay).
+type CBR struct {
+	Node     *Node
+	Dst      int
+	Bytes    int
+	Interval time.Duration
+
+	eng     *sim.Engine
+	running bool
+	ev      *sim.Event
+	Sent    int
+}
+
+// NewCBR creates a stopped CBR source; call Start to begin.
+func NewCBR(eng *sim.Engine, n *Node, dst, bytes int, interval time.Duration) *CBR {
+	return &CBR{Node: n, Dst: dst, Bytes: bytes, Interval: interval, eng: eng}
+}
+
+// Start begins generating packets, the first one immediately.
+func (c *CBR) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.tick()
+}
+
+// Stop halts generation. Queued frames still drain.
+func (c *CBR) Stop() {
+	c.running = false
+	if c.ev != nil {
+		c.eng.Cancel(c.ev)
+		c.ev = nil
+	}
+}
+
+// Running reports whether the source is generating.
+func (c *CBR) Running() bool { return c.running }
+
+func (c *CBR) tick() {
+	if !c.running {
+		return
+	}
+	c.Node.Send(phy.DataFrame(c.Node.ID, c.Dst, c.Bytes))
+	c.Sent++
+	c.ev = c.eng.After(c.Interval, c.tick)
+}
+
+// Backlogged keeps a node's transmit queue non-empty, modelling the
+// link-saturating UDP flows the paper's foreground AP/client pairs use.
+type Backlogged struct {
+	Node  *Node
+	Dst   int
+	Bytes int
+
+	eng     *sim.Engine
+	running bool
+	ev      *sim.Event
+}
+
+// NewBacklogged creates a stopped saturating source.
+func NewBacklogged(eng *sim.Engine, n *Node, dst, bytes int) *Backlogged {
+	return &Backlogged{Node: n, Dst: dst, Bytes: bytes, eng: eng}
+}
+
+// Start begins keeping the queue topped up.
+func (b *Backlogged) Start() {
+	if b.running {
+		return
+	}
+	b.running = true
+	b.fill()
+}
+
+// Stop halts the source.
+func (b *Backlogged) Stop() {
+	b.running = false
+	if b.ev != nil {
+		b.eng.Cancel(b.ev)
+		b.ev = nil
+	}
+}
+
+func (b *Backlogged) fill() {
+	if !b.running {
+		return
+	}
+	for b.Node.QueueLen() < 8 {
+		b.Node.Send(phy.DataFrame(b.Node.ID, b.Dst, b.Bytes))
+	}
+	// Top up at a cadence well below a frame time so the queue never
+	// runs dry but event count stays bounded.
+	b.ev = b.eng.After(500*time.Microsecond, b.fill)
+}
+
+// MarkovOnOff modulates a CBR source with the two-state Markov chain of
+// Section 5.4.1's churn model: a node in the Active state transmits CBR
+// traffic, a Passive node is silent. Transitions are evaluated every
+// Epoch; PActive and PPassive are the probabilities of *leaving* the
+// respective state at each epoch, so the mean dwell time in a state is
+// Epoch/p.
+type MarkovOnOff struct {
+	Source *CBR
+	// PStayActive is the per-epoch probability of remaining Active.
+	PStayActive float64
+	// PStayPassive is the per-epoch probability of remaining Passive.
+	PStayPassive float64
+	Epoch        time.Duration
+
+	eng     *sim.Engine
+	active  bool
+	running bool
+	ev      *sim.Event
+}
+
+// NewMarkovOnOff wraps a CBR source with on/off churn. startActive sets
+// the initial state.
+func NewMarkovOnOff(eng *sim.Engine, src *CBR, pStayActive, pStayPassive float64, epoch time.Duration, startActive bool) *MarkovOnOff {
+	return &MarkovOnOff{
+		Source:       src,
+		PStayActive:  pStayActive,
+		PStayPassive: pStayPassive,
+		Epoch:        epoch,
+		eng:          eng,
+		active:       startActive,
+	}
+}
+
+// Start begins the chain (and the CBR source if initially active).
+func (m *MarkovOnOff) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	if m.active {
+		m.Source.Start()
+	}
+	m.ev = m.eng.After(m.Epoch, m.step)
+}
+
+// Stop halts both the chain and the source.
+func (m *MarkovOnOff) Stop() {
+	m.running = false
+	if m.ev != nil {
+		m.eng.Cancel(m.ev)
+		m.ev = nil
+	}
+	m.Source.Stop()
+}
+
+// Active reports the current state.
+func (m *MarkovOnOff) Active() bool { return m.active }
+
+func (m *MarkovOnOff) step() {
+	if !m.running {
+		return
+	}
+	r := m.eng.Rand().Float64()
+	if m.active {
+		if r > m.PStayActive {
+			m.active = false
+			m.Source.Stop()
+		}
+	} else {
+		if r > m.PStayPassive {
+			m.active = true
+			m.Source.Start()
+		}
+	}
+	m.ev = m.eng.After(m.Epoch, m.step)
+}
+
+// BackgroundPair is a background AP with one associated client running a
+// CBR downlink flow on a fixed channel — the interfering traffic unit of
+// Sections 5.4.1's simulations.
+type BackgroundPair struct {
+	AP, Client *Node
+	Flow       *CBR
+	Churn      *MarkovOnOff // nil unless churned
+}
+
+// NewBackgroundPair creates the pair on channel ch with the given CBR
+// parameters and starts the flow.
+func NewBackgroundPair(eng *sim.Engine, air *Air, apID, clientID int, ch spectrum.Channel, bytes int, interval time.Duration) *BackgroundPair {
+	ap := NewNode(eng, air, apID, ch, true)
+	cl := NewNode(eng, air, clientID, ch, false)
+	flow := NewCBR(eng, ap, clientID, bytes, interval)
+	flow.Start()
+	return &BackgroundPair{AP: ap, Client: cl, Flow: flow}
+}
+
+// Stop halts the pair's traffic and detaches both nodes.
+func (p *BackgroundPair) Stop() {
+	if p.Churn != nil {
+		p.Churn.Stop()
+	}
+	p.Flow.Stop()
+	p.AP.Detach()
+	p.Client.Detach()
+}

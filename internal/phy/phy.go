@@ -1,0 +1,224 @@
+// Package phy models the WhiteFi physical layer timing: OFDM frame
+// durations, inter-frame spacings, and data rates as a function of the
+// channel width.
+//
+// The KNOWS prototype transmits a 2.4 GHz Wi-Fi (802.11a OFDM) signal
+// down-converted into the UHF band, with the PLL clock slowed to produce
+// 5, 10 or 20 MHz wide signals (Chandra et al., "A Case for Adapting
+// Channel Width in Wireless Networks", SIGCOMM 2008). Slowing the clock
+// by a factor k stretches every PHY-level time by k: symbol time, preamble,
+// SIFS and slot all double when the width halves, and the effective data
+// rate halves. This package encodes exactly that scaling, anchored at the
+// standard 802.11a timing for 20 MHz.
+package phy
+
+import (
+	"fmt"
+	"time"
+
+	"whitefi/internal/spectrum"
+)
+
+// Reference timing at 20 MHz (802.11a).
+const (
+	// Symbol20 is the OFDM symbol duration at 20 MHz.
+	Symbol20 = 4 * time.Microsecond
+	// Preamble20 is the PLCP preamble + SIGNAL field duration at 20 MHz.
+	Preamble20 = 20 * time.Microsecond
+	// SIFS20 is the short inter-frame space at 20 MHz. Per Section
+	// 4.2.1 this is the lowest SIFS in the system: 10 us.
+	SIFS20 = 10 * time.Microsecond
+	// Slot20 is the contention slot time at 20 MHz.
+	Slot20 = 9 * time.Microsecond
+	// BaseRate20 is the (only) data rate used by WhiteFi at 20 MHz in
+	// bits per second. The paper uses a single 6 Mbps OFDM rate since
+	// rate adaptation in white spaces is left open.
+	BaseRate20 = 6_000_000
+)
+
+// MAC framing constants.
+const (
+	// ACKBytes is the size of an 802.11 acknowledgement, the smallest
+	// MAC-layer frame (14 bytes). SIFT relies on this: an ACK at the
+	// narrowest width is still much shorter than any data frame.
+	ACKBytes = 14
+	// CTSBytes is the size of a CTS(-to-self) frame.
+	CTSBytes = 14
+	// MACHeaderBytes is the data-frame MAC header + FCS overhead.
+	MACHeaderBytes = 34
+	// BeaconBytes is the size of a WhiteFi beacon body including the
+	// backup-channel advertisement (Section 4.3).
+	BeaconBytes = 80
+	// ServiceBits and TailBits are the PLCP service and tail fields
+	// included in the DATA portion of every PPDU.
+	ServiceBits = 16
+	TailBits    = 6
+	// CWMin and CWMax bound the binary-exponential contention window
+	// (in slots).
+	CWMin = 15
+	CWMax = 1023
+)
+
+// widthFactor returns the clock-stretch factor for width w relative to
+// 20 MHz: 1 for 20 MHz, 2 for 10 MHz, 4 for 5 MHz.
+func widthFactor(w spectrum.Width) time.Duration {
+	switch w {
+	case spectrum.W20:
+		return 1
+	case spectrum.W10:
+		return 2
+	case spectrum.W5:
+		return 4
+	}
+	if w <= 0 {
+		return 1
+	}
+	return time.Duration(20 / int(w))
+}
+
+// Symbol returns the OFDM symbol duration at width w.
+func Symbol(w spectrum.Width) time.Duration { return Symbol20 * widthFactor(w) }
+
+// Preamble returns the PLCP preamble duration at width w.
+func Preamble(w spectrum.Width) time.Duration { return Preamble20 * widthFactor(w) }
+
+// SIFS returns the short inter-frame space at width w: 10 us at 20 MHz,
+// 20 us at 10 MHz, 40 us at 5 MHz.
+func SIFS(w spectrum.Width) time.Duration { return SIFS20 * widthFactor(w) }
+
+// MinSIFS is the smallest SIFS across all supported widths; SIFT's
+// moving-average window must stay below it (Section 4.2.1).
+func MinSIFS() time.Duration { return SIFS(spectrum.W20) }
+
+// Slot returns the contention slot time at width w.
+func Slot(w spectrum.Width) time.Duration { return Slot20 * widthFactor(w) }
+
+// DIFS returns the distributed inter-frame space at width w.
+func DIFS(w spectrum.Width) time.Duration { return SIFS(w) + 2*Slot(w) }
+
+// Rate returns the effective data rate in bits per second at width w:
+// 6 Mbps at 20 MHz, 3 Mbps at 10 MHz, 1.5 Mbps at 5 MHz.
+func Rate(w spectrum.Width) float64 {
+	return float64(BaseRate20) / float64(widthFactor(w))
+}
+
+// bitsPerSymbol is the payload bits carried per OFDM symbol at the base
+// rate; it is width-independent (the symbol stretches with the clock).
+const bitsPerSymbol = 24 // 6 Mbps * 4 us
+
+// Airtime returns the on-air duration of a PPDU carrying `bytes` MAC
+// bytes at width w: preamble plus a whole number of OFDM symbols covering
+// the service field, payload and tail bits.
+func Airtime(w spectrum.Width, bytes int) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	bits := ServiceBits + 8*bytes + TailBits
+	symbols := (bits + bitsPerSymbol - 1) / bitsPerSymbol
+	return Preamble(w) + time.Duration(symbols)*Symbol(w)
+}
+
+// ACKAirtime returns the on-air duration of an ACK at width w.
+func ACKAirtime(w spectrum.Width) time.Duration { return Airtime(w, ACKBytes) }
+
+// DataExchangeAirtime returns the total busy time of a unicast exchange
+// (DATA, SIFS, ACK) for a frame carrying `payloadBytes` above the MAC
+// header at width w.
+func DataExchangeAirtime(w spectrum.Width, payloadBytes int) time.Duration {
+	return Airtime(w, MACHeaderBytes+payloadBytes) + SIFS(w) + ACKAirtime(w)
+}
+
+// FrameKind distinguishes the MAC frame types WhiteFi uses.
+type FrameKind int
+
+// Frame kinds.
+const (
+	KindData FrameKind = iota
+	KindACK
+	KindBeacon
+	KindCTS
+	KindProbeReq
+	KindProbeResp
+	KindChirp
+	KindAssocReq
+	KindAssocResp
+	KindSwitch  // channel-switch announcement
+	KindControl // client spectrum-map/airtime report
+)
+
+var kindNames = map[FrameKind]string{
+	KindData:      "data",
+	KindACK:       "ack",
+	KindBeacon:    "beacon",
+	KindCTS:       "cts",
+	KindProbeReq:  "probe-req",
+	KindProbeResp: "probe-resp",
+	KindChirp:     "chirp",
+	KindAssocReq:  "assoc-req",
+	KindAssocResp: "assoc-resp",
+	KindSwitch:    "switch",
+	KindControl:   "control",
+}
+
+// String returns the frame kind name.
+func (k FrameKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// NeedsACK reports whether a frame of this kind is acknowledged.
+// Broadcast-style frames (beacons, CTS-to-self, chirps, switch
+// announcements, probe requests) are not.
+func (k FrameKind) NeedsACK() bool {
+	switch k {
+	case KindData, KindAssocReq, KindAssocResp, KindControl:
+		return true
+	}
+	return false
+}
+
+// Frame is a MAC frame as carried by the simulated medium. Payload
+// contents are represented only by size and typed metadata; WhiteFi's
+// protocols never need opaque bytes.
+type Frame struct {
+	Kind  FrameKind
+	Src   int // node id
+	Dst   int // node id, Broadcast for broadcast frames
+	Bytes int // total MAC bytes including header
+
+	// Meta carries protocol payloads (spectrum maps, switch targets,
+	// chirp info). Concrete types are defined by the protocols.
+	Meta interface{}
+
+	// Seq is a transmitter-scoped sequence number, for loss accounting.
+	Seq uint64
+}
+
+// Broadcast is the destination id for broadcast frames.
+const Broadcast = -1
+
+// Airtime returns the on-air duration of f at width w.
+func (f Frame) Airtime(w spectrum.Width) time.Duration { return Airtime(w, f.Bytes) }
+
+// DataFrame builds a data frame carrying payloadBytes of payload.
+func DataFrame(src, dst, payloadBytes int) Frame {
+	return Frame{Kind: KindData, Src: src, Dst: dst, Bytes: MACHeaderBytes + payloadBytes}
+}
+
+// ACKFrame builds the acknowledgement for a received frame.
+func ACKFrame(src, dst int) Frame {
+	return Frame{Kind: KindACK, Src: src, Dst: dst, Bytes: ACKBytes}
+}
+
+// BeaconFrame builds an AP beacon.
+func BeaconFrame(src int, meta interface{}) Frame {
+	return Frame{Kind: KindBeacon, Src: src, Dst: Broadcast, Bytes: BeaconBytes, Meta: meta}
+}
+
+// CTSFrame builds a CTS-to-self; WhiteFi APs send one a SIFS after each
+// beacon so SIFT can fingerprint beacons in the time domain.
+func CTSFrame(src int) Frame {
+	return Frame{Kind: KindCTS, Src: src, Dst: Broadcast, Bytes: CTSBytes}
+}

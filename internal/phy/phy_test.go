@@ -1,0 +1,144 @@
+package phy
+
+import (
+	"testing"
+	"time"
+
+	"whitefi/internal/spectrum"
+)
+
+func TestTimingScalesWithWidth(t *testing.T) {
+	// Halving the width doubles every PHY time (Section 5.1 / [15]).
+	if SIFS(spectrum.W20) != 10*time.Microsecond {
+		t.Errorf("SIFS(20) = %v", SIFS(spectrum.W20))
+	}
+	if SIFS(spectrum.W10) != 20*time.Microsecond {
+		t.Errorf("SIFS(10) = %v", SIFS(spectrum.W10))
+	}
+	if SIFS(spectrum.W5) != 40*time.Microsecond {
+		t.Errorf("SIFS(5) = %v", SIFS(spectrum.W5))
+	}
+	if Symbol(spectrum.W5) != 4*Symbol(spectrum.W20) {
+		t.Error("symbol time must quadruple at 5 MHz")
+	}
+	if Preamble(spectrum.W10) != 2*Preamble(spectrum.W20) {
+		t.Error("preamble must double at 10 MHz")
+	}
+	if DIFS(spectrum.W20) != 28*time.Microsecond {
+		t.Errorf("DIFS(20) = %v", DIFS(spectrum.W20))
+	}
+}
+
+func TestRateScalesWithWidth(t *testing.T) {
+	if Rate(spectrum.W20) != 6e6 || Rate(spectrum.W10) != 3e6 || Rate(spectrum.W5) != 1.5e6 {
+		t.Errorf("rates = %v %v %v", Rate(spectrum.W20), Rate(spectrum.W10), Rate(spectrum.W5))
+	}
+}
+
+func TestAirtimeDoublesWhenWidthHalves(t *testing.T) {
+	for _, bytes := range []int{14, 132, 1000, 1500} {
+		a20 := Airtime(spectrum.W20, bytes)
+		a10 := Airtime(spectrum.W10, bytes)
+		a5 := Airtime(spectrum.W5, bytes)
+		if a10 != 2*a20 || a5 != 4*a20 {
+			t.Errorf("airtime(%d) = %v/%v/%v; want exact 1:2:4", bytes, a20, a10, a5)
+		}
+	}
+}
+
+func TestAirtimeMonotoneInSize(t *testing.T) {
+	prev := time.Duration(0)
+	for bytes := 0; bytes <= 2000; bytes += 50 {
+		a := Airtime(spectrum.W20, bytes)
+		if a < prev {
+			t.Fatalf("airtime not monotone at %d bytes", bytes)
+		}
+		prev = a
+	}
+}
+
+func TestAirtimeKnownValue(t *testing.T) {
+	// 1000-byte payload frame at 6 Mbps/20MHz:
+	// bits = 16 + 8*1000 + 6 = 8022; symbols = ceil(8022/24) = 335;
+	// 20us + 335*4us = 1360us.
+	got := Airtime(spectrum.W20, 1000)
+	if got != 1360*time.Microsecond {
+		t.Errorf("airtime = %v, want 1.36ms", got)
+	}
+}
+
+func TestACKShorterThanAnyData(t *testing.T) {
+	// Section 4.2.1: an ACK at the narrowest width (5 MHz) is still much
+	// shorter than any data frame at 20 MHz. The paper's smallest data
+	// frame is 132 bytes (Figure 5).
+	ack5 := ACKAirtime(spectrum.W5)
+	data20 := Airtime(spectrum.W20, 132)
+	if ack5 >= data20 {
+		t.Errorf("ACK at 5MHz (%v) not shorter than 132B data at 20MHz (%v)", ack5, data20)
+	}
+}
+
+func TestSIFSDistinctAcrossWidths(t *testing.T) {
+	// SIFT disambiguates width by the SIFS gap; the three values must be
+	// pairwise distinct and separated by more than the SIFT window.
+	s := []time.Duration{SIFS(spectrum.W5), SIFS(spectrum.W10), SIFS(spectrum.W20)}
+	for i := range s {
+		for j := i + 1; j < len(s); j++ {
+			d := s[i] - s[j]
+			if d < 0 {
+				d = -d
+			}
+			if d < 5*time.Microsecond {
+				t.Errorf("SIFS values %v and %v too close", s[i], s[j])
+			}
+		}
+	}
+}
+
+func TestMinSIFS(t *testing.T) {
+	if MinSIFS() != 10*time.Microsecond {
+		t.Errorf("MinSIFS = %v", MinSIFS())
+	}
+}
+
+func TestDataExchangeAirtime(t *testing.T) {
+	w := spectrum.W20
+	want := Airtime(w, MACHeaderBytes+1000) + SIFS(w) + ACKAirtime(w)
+	if got := DataExchangeAirtime(w, 1000); got != want {
+		t.Errorf("exchange airtime = %v, want %v", got, want)
+	}
+}
+
+func TestFrameKinds(t *testing.T) {
+	if !KindData.NeedsACK() || KindBeacon.NeedsACK() || KindChirp.NeedsACK() || KindCTS.NeedsACK() {
+		t.Error("NeedsACK wrong")
+	}
+	if KindData.String() != "data" || KindBeacon.String() != "beacon" {
+		t.Error("kind names wrong")
+	}
+	if FrameKind(99).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestFrameBuilders(t *testing.T) {
+	d := DataFrame(1, 2, 1000)
+	if d.Bytes != MACHeaderBytes+1000 || d.Kind != KindData || d.Src != 1 || d.Dst != 2 {
+		t.Errorf("data frame = %+v", d)
+	}
+	a := ACKFrame(2, 1)
+	if a.Bytes != ACKBytes || a.Kind != KindACK {
+		t.Errorf("ack frame = %+v", a)
+	}
+	b := BeaconFrame(1, "meta")
+	if b.Dst != Broadcast || b.Meta != "meta" {
+		t.Errorf("beacon frame = %+v", b)
+	}
+	c := CTSFrame(1)
+	if c.Kind != KindCTS || c.Bytes != CTSBytes {
+		t.Errorf("cts frame = %+v", c)
+	}
+	if d.Airtime(spectrum.W20) != Airtime(spectrum.W20, d.Bytes) {
+		t.Error("Frame.Airtime mismatch")
+	}
+}

@@ -1,0 +1,192 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/phy"
+	"whitefi/internal/sift"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+func TestScannerDetectsExchange(t *testing.T) {
+	eng := sim.New(1)
+	air := mac.NewAir(eng)
+	ch := spectrum.Chan(10, spectrum.W10)
+	a := mac.NewNode(eng, air, 1, ch, true)
+	mac.NewNode(eng, air, 2, ch, false)
+	a.Send(phy.DataFrame(1, 2, 1000))
+	eng.RunUntil(50 * time.Millisecond)
+	sc := NewScanner(air, 99, rand.New(rand.NewSource(1)))
+	res := sc.Scan(10, 0, 50*time.Millisecond)
+	if len(res.Detections) != 1 || res.Detections[0].Width != spectrum.W10 {
+		t.Fatalf("detections = %v", res.Detections)
+	}
+	if res.Airtime <= 0 {
+		t.Error("airtime estimate zero with traffic present")
+	}
+}
+
+func TestScannerQuietChannel(t *testing.T) {
+	eng := sim.New(2)
+	air := mac.NewAir(eng)
+	eng.RunUntil(20 * time.Millisecond)
+	sc := NewScanner(air, 99, rand.New(rand.NewSource(2)))
+	res := sc.Scan(15, 0, 20*time.Millisecond)
+	if len(res.Pulses) != 0 || res.Airtime != 0 {
+		t.Errorf("quiet channel: pulses=%v airtime=%v", res.Pulses, res.Airtime)
+	}
+}
+
+func TestSIFTAndTrueAirtimeAgree(t *testing.T) {
+	eng := sim.New(3)
+	air := mac.NewAir(eng)
+	ch := spectrum.Chan(6, spectrum.W5)
+	a := mac.NewNode(eng, air, 1, ch, true)
+	mac.NewNode(eng, air, 2, ch, false)
+	cbr := mac.NewCBR(eng, a, 2, 800, 8*time.Millisecond)
+	cbr.Start()
+	eng.RunUntil(500 * time.Millisecond)
+	sc := NewScanner(air, 99, rand.New(rand.NewSource(3)))
+	siftSrc := &SIFTAirtime{Scanner: sc}
+	trueSrc := &TrueAirtime{Air: air}
+	sa, _ := siftSrc.Measure(0, 500*time.Millisecond, -2)
+	ta, _ := trueSrc.Measure(0, 500*time.Millisecond, -2)
+	for u := spectrum.UHF(0); u < spectrum.NumUHF; u++ {
+		diff := sa[u] - ta[u]
+		if diff < -0.05 || diff > 0.05 {
+			t.Errorf("channel %v: SIFT %v vs truth %v", u, sa[u], ta[u])
+		}
+	}
+	if ta[6] < 0.05 {
+		t.Error("expected traffic on channel 6")
+	}
+}
+
+func TestObserve(t *testing.T) {
+	eng := sim.New(4)
+	air := mac.NewAir(eng)
+	p := mac.NewBackgroundPair(eng, air, 1, 2, spectrum.Chan(12, spectrum.W5), 800, 10*time.Millisecond)
+	_ = p
+	eng.RunUntil(time.Second)
+	m := spectrum.Map{}.SetOccupied(0)
+	obs := Observe(&TrueAirtime{Air: air}, m, 0, time.Second, -2)
+	if !obs.Map.Occupied(0) {
+		t.Error("map not carried through")
+	}
+	if obs.Airtime[12] <= 0 {
+		t.Error("no airtime measured on busy channel")
+	}
+	if obs.APs[12] != 1 {
+		t.Errorf("AP count = %d, want 1", obs.APs[12])
+	}
+}
+
+func TestSnifferDecodeProb(t *testing.T) {
+	// Monotone in SNR, ~1 at high SNR, ~0 at low SNR, 0.5 at center.
+	if p := SnifferDecodeProb(40); p < 0.99 {
+		t.Errorf("P(40dB) = %v", p)
+	}
+	if p := SnifferDecodeProb(0); p > 0.01 {
+		t.Errorf("P(0dB) = %v", p)
+	}
+	if p := SnifferDecodeProb(17.0); p < 0.49 || p > 0.51 {
+		t.Errorf("P(center) = %v", p)
+	}
+	prev := 0.0
+	for snr := 0.0; snr <= 40; snr += 1 {
+		p := SnifferDecodeProb(snr)
+		if p < prev {
+			t.Fatal("sniffer probability not monotone")
+		}
+		prev = p
+	}
+}
+
+func TestSnifferCapturesStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if SnifferCaptures(rng, 17.0) {
+			n++
+		}
+	}
+	if n < 4700 || n > 5300 {
+		t.Errorf("captures at center SNR = %d/10000, want ~5000", n)
+	}
+}
+
+func TestSNRAt(t *testing.T) {
+	if got := SNRAt(-80); got != 15 {
+		t.Errorf("SNR(-80dBm) = %v, want 15 (floor -95)", got)
+	}
+}
+
+func TestIncumbentSensor(t *testing.T) {
+	eng := sim.New(6)
+	base := spectrum.Map{}.SetOccupied(3)
+	mic := incumbent.NewMic(eng, 10)
+	s := &IncumbentSensor{Base: base, Mics: []*incumbent.Mic{mic}}
+	if s.CurrentMap() != base {
+		t.Error("inactive mic changed the map")
+	}
+	mic.TurnOn()
+	m := s.CurrentMap()
+	if !m.Occupied(10) || !m.Occupied(3) {
+		t.Errorf("map = %v", m)
+	}
+	if !s.MicActiveOn(spectrum.Chan(10, spectrum.W20)) {
+		t.Error("mic inside 20MHz span not reported")
+	}
+	if s.MicActiveOn(spectrum.Chan(20, spectrum.W5)) {
+		t.Error("mic reported on distant channel")
+	}
+	mic.TurnOff()
+	if s.MicActiveOn(spectrum.Chan(10, spectrum.W5)) {
+		t.Error("inactive mic reported")
+	}
+}
+
+func TestScannerChirps(t *testing.T) {
+	eng := sim.New(7)
+	air := mac.NewAir(eng)
+	backup := spectrum.Chan(22, spectrum.W5)
+	mac.NewNode(eng, air, 1, backup, false)
+	f := phy.Frame{Kind: phy.KindChirp, Src: 1, Dst: phy.Broadcast, Bytes: sift.EncodeChirpBytes(17)}
+	air.Transmit(1, backup, f, mac.DefaultTxPowerDBm, true)
+	eng.RunUntil(50 * time.Millisecond)
+	sc := NewScanner(air, 99, rand.New(rand.NewSource(7)))
+	vals := sc.Chirps(22, 0, 50*time.Millisecond)
+	if len(vals) != 1 || vals[0] != 17 {
+		t.Errorf("chirps = %v, want [17]", vals)
+	}
+}
+
+func TestScannerAttenuationCliff(t *testing.T) {
+	// SIFT detection vs attenuation: solid at moderate attenuation,
+	// gone at extreme attenuation (the Figure 7 cliff).
+	count := func(loss float64) int {
+		eng := sim.New(8)
+		air := mac.NewAir(eng)
+		ch := spectrum.Chan(10, spectrum.W10)
+		a := mac.NewNode(eng, air, 1, ch, true)
+		mac.NewNode(eng, air, 2, ch, false)
+		cbr := mac.NewCBR(eng, a, 2, 1000, 10*time.Millisecond)
+		cbr.Start()
+		eng.RunUntil(300 * time.Millisecond)
+		sc := NewScanner(air, 99, rand.New(rand.NewSource(8)))
+		sc.ExtraLossDB = loss
+		res := sc.Scan(10, 0, 300*time.Millisecond)
+		return sift.CountMatching(res.Pulses, ch.Width, 1000+phy.MACHeaderBytes, 0.15, 0.15)
+	}
+	if low := count(60); low < 25 {
+		t.Errorf("detections at 60dB = %d, want ~30", low)
+	}
+	if high := count(110); high > 2 {
+		t.Errorf("detections at 110dB = %d, want ~0", high)
+	}
+}

@@ -1,0 +1,97 @@
+package sift
+
+import (
+	"time"
+
+	"whitefi/internal/phy"
+	"whitefi/internal/spectrum"
+)
+
+// Chirp length coding (Section 4.3). A chirping node encodes a small
+// value — e.g. a hash of its SSID — in the *length* of the chirp packet,
+// so an AP scanning the backup channel with SIFT can tell whether the
+// chirp concerns its own network without retuning its main radio: in
+// effect a low-bitrate OOK-modulated channel built on packet durations.
+//
+// The value v maps to a frame of ChirpBaseBytes + v*ChirpStepBytes MAC
+// bytes. One step is four OFDM symbols at the backup width, 64 us at
+// 5 MHz: far above the 1.024 us sample quantisation, so decoding is
+// robust to edge jitter.
+const (
+	// ChirpBaseBytes is the frame size encoding value 0.
+	ChirpBaseBytes = 40
+	// ChirpStepBytes is the frame-size increment per encoded unit.
+	ChirpStepBytes = 12
+	// ChirpMaxValue bounds the encodable value range.
+	ChirpMaxValue = 120
+	// ChirpWidth is the channel width chirps are sent at: backup
+	// channels are always a single UHF channel, 5 MHz.
+	ChirpWidth = spectrum.W5
+)
+
+// EncodeChirpBytes returns the MAC frame size that encodes value v.
+// Values outside [0, ChirpMaxValue] are clamped.
+func EncodeChirpBytes(v int) int {
+	if v < 0 {
+		v = 0
+	}
+	if v > ChirpMaxValue {
+		v = ChirpMaxValue
+	}
+	return ChirpBaseBytes + v*ChirpStepBytes
+}
+
+// ChirpAirtime returns the on-air duration of the chirp encoding v at
+// the backup-channel width.
+func ChirpAirtime(v int) time.Duration {
+	return phy.Airtime(ChirpWidth, EncodeChirpBytes(v))
+}
+
+// DecodeChirp recovers the encoded value from a detected pulse duration.
+// It reports ok=false when the duration is not plausibly a chirp (too
+// short, too long, or more than half a step away from any code point).
+func DecodeChirp(d time.Duration) (v int, ok bool) {
+	// Invert the airtime formula: strip the preamble, convert symbols
+	// to bytes, then snap to the nearest code point.
+	pre := phy.Preamble(ChirpWidth)
+	sym := phy.Symbol(ChirpWidth)
+	if d <= pre {
+		return 0, false
+	}
+	symbols := float64(d-pre) / float64(sym)
+	bits := symbols * 24 // bits per symbol at the base rate
+	bytes := (bits - phy.ServiceBits - phy.TailBits) / 8
+	raw := (bytes - ChirpBaseBytes) / ChirpStepBytes
+	v = int(raw + 0.5)
+	if raw < -0.5 || v > ChirpMaxValue {
+		return 0, false
+	}
+	if v < 0 {
+		v = 0
+	}
+	// Verify the round trip within half a step of airtime.
+	want := ChirpAirtime(v)
+	half := time.Duration(ChirpStepBytes*8) * sym / (2 * 24)
+	diff := d - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > half {
+		return 0, false
+	}
+	return v, true
+}
+
+// FindChirps scans a pulse train for chirp-length pulses and returns the
+// decoded values in time order. Pulses that match a data/beacon exchange
+// pattern should be removed by the caller first if ambiguity matters;
+// chirp code points are deliberately distant from the ACK/CTS airtimes.
+func FindChirps(pulses []Pulse) []int {
+	var out []int
+	for _, p := range pulses {
+		if v, ok := DecodeChirp(p.Duration()); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+// Package sift implements SIFT — Signal Interpretation before Fourier
+// Transform — the time-domain signal analysis at the heart of WhiteFi
+// (Section 4.2.1).
+//
+// SIFT consumes raw amplitude samples (sqrt(I^2+Q^2), one per 1.024 us)
+// from an 8 MHz scan and, without decoding or FFT:
+//
+//  1. finds packet transmissions by thresholding a moving average of the
+//     amplitude (the sliding window is 5 samples, below the minimum SIFS
+//     of 10 us so that the DATA->ACK gap is never smoothed away);
+//  2. infers the channel width of a unicast transmission by matching the
+//     gap between a data pulse and the following short pulse against the
+//     per-width SIFS, and the short pulse's duration against the
+//     per-width ACK airtime (both are inversely proportional to width);
+//  3. recognises AP beacons the same way: WhiteFi APs send a CTS-to-self
+//     one SIFS after every beacon, producing a beacon-length pulse, a
+//     SIFS gap, and a CTS-length pulse;
+//  4. estimates per-channel airtime utilization from the summed pulse
+//     durations; and
+//  5. decodes chirps, whose packet length encodes a small payload in the
+//     time domain (a low-bitrate OOK channel, Section 4.3).
+package sift
+
+import (
+	"time"
+
+	"whitefi/internal/iq"
+	"whitefi/internal/phy"
+	"whitefi/internal/spectrum"
+)
+
+// DefaultWindow is the moving-average window in samples. It must stay
+// below the minimum SIFS in the system (10 us = ~10 samples at 20 MHz);
+// the paper chooses 5 samples.
+const DefaultWindow = 5
+
+// DefaultThreshold is the fixed amplitude threshold, in the units of
+// package iq, above which the moving average marks the medium busy. It
+// is calibrated to the -95 dBm noise floor: comfortably above noise, and
+// crossed by signals stronger than about -81 dBm — which places SIFT's
+// detection cliff near 96 dB of attenuation at 16 dBm transmit power,
+// matching Figure 7.
+const DefaultThreshold = 2.8
+
+// minPulseSamples suppresses single-sample noise spikes.
+const minPulseSamples = 3
+
+// Config parameterises the detector. The zero value selects defaults.
+type Config struct {
+	Window    int     // moving-average window in samples
+	Threshold float64 // amplitude threshold
+}
+
+func (c Config) window() int {
+	if c.Window <= 0 {
+		return DefaultWindow
+	}
+	return c.Window
+}
+
+func (c Config) threshold() float64 {
+	if c.Threshold <= 0 {
+		return DefaultThreshold
+	}
+	return c.Threshold
+}
+
+// Pulse is one contiguous above-threshold burst of signal: a candidate
+// packet transmission. Times are relative to the start of the sample
+// window.
+type Pulse struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration returns the pulse length.
+func (p Pulse) Duration() time.Duration { return p.End - p.Start }
+
+// DetectPulses runs the SIFT edge detector over an amplitude sample
+// stream: a pulse starts when the moving average rises above the
+// threshold and ends when it falls below. Pulses shorter than three
+// samples are discarded as noise spikes. A pulse still above threshold
+// at the end of the stream is closed at the stream boundary.
+func DetectPulses(samples []float64, cfg Config) []Pulse {
+	w := cfg.window()
+	thr := cfg.threshold()
+	if len(samples) < w {
+		return nil
+	}
+	var pulses []Pulse
+	var sum float64
+	for i := 0; i < w; i++ {
+		sum += samples[i]
+	}
+	inPulse := false
+	var startIdx int
+	// Edge attribution compensates the moving average's group delay
+	// asymmetrically: when the average rises above the threshold, the
+	// newest sample in the window is the one that pushed it up, so the
+	// pulse starts there; when it falls below, every sample in the
+	// window is already off, so the pulse ended at the window's oldest
+	// sample. For strong signals this recovers the true packet edges
+	// exactly, which keeps the measured DATA->ACK gap equal to the SIFS
+	// — the quantity SIFT's width inference matches against.
+	for i := w - 1; ; i++ {
+		avg := sum / float64(w)
+		if !inPulse && avg >= thr {
+			inPulse = true
+			startIdx = i
+			if i == w-1 {
+				// Signal already present at stream start.
+				startIdx = 0
+			}
+		} else if inPulse && avg < thr {
+			inPulse = false
+			endIdx := i - w + 1
+			if endIdx-startIdx >= minPulseSamples {
+				pulses = append(pulses, Pulse{
+					Start: iq.SampleTime(startIdx),
+					End:   iq.SampleTime(endIdx),
+				})
+			}
+		}
+		if i+1 >= len(samples) {
+			break
+		}
+		sum += samples[i+1] - samples[i+1-w]
+	}
+	if inPulse {
+		endIdx := len(samples) - 1
+		if endIdx-startIdx >= minPulseSamples {
+			pulses = append(pulses, Pulse{
+				Start: iq.SampleTime(startIdx),
+				End:   iq.SampleTime(endIdx),
+			})
+		}
+	}
+	return pulses
+}
+
+// DetectionKind classifies a matched pulse pattern.
+type DetectionKind int
+
+// Detection kinds.
+const (
+	// DataAck is a data frame followed one SIFS later by its ACK.
+	DataAck DetectionKind = iota
+	// BeaconCTS is an AP beacon followed one SIFS later by the
+	// CTS-to-self WhiteFi APs are required to send.
+	BeaconCTS
+)
+
+func (k DetectionKind) String() string {
+	if k == BeaconCTS {
+		return "beacon+cts"
+	}
+	return "data+ack"
+}
+
+// Detection is a width-inferring match over a pair of pulses.
+type Detection struct {
+	Kind  DetectionKind
+	Width spectrum.Width
+	First Pulse // the data or beacon pulse
+	Ack   Pulse // the ACK or CTS pulse
+}
+
+// Matching tolerances. The SIFS values at the three widths (10/20/40 us)
+// are far enough apart that a 25% relative window never overlaps, and
+// ACK airtimes (44/88/176 us) likewise.
+const (
+	gapTolerance = 0.25
+	ackTolerance = 0.20
+)
+
+func within(d, want time.Duration, tol float64) bool {
+	lo := time.Duration(float64(want) * (1 - tol))
+	hi := time.Duration(float64(want) * (1 + tol))
+	return d >= lo && d <= hi
+}
+
+// MatchWidth tests whether the gap and short-pulse duration of a pulse
+// pair identify a transmission at width w.
+func MatchWidth(first, second Pulse, w spectrum.Width) bool {
+	gap := second.Start - first.End
+	if !within(gap, phy.SIFS(w), gapTolerance) {
+		return false
+	}
+	if !within(second.Duration(), phy.ACKAirtime(w), ackTolerance) {
+		return false
+	}
+	// The leading pulse must be at least as long as the trailing ACK;
+	// an ACK cannot be confused with a data transmission.
+	return first.Duration() >= second.Duration()
+}
+
+// MatchExchanges scans a pulse train for data-ACK and beacon-CTS
+// patterns and returns one Detection per match, in time order. A pulse
+// participates in at most one detection.
+func MatchExchanges(pulses []Pulse) []Detection {
+	var out []Detection
+	for i := 0; i+1 < len(pulses); i++ {
+		first, second := pulses[i], pulses[i+1]
+		for _, w := range spectrum.Widths {
+			if !MatchWidth(first, second, w) {
+				continue
+			}
+			kind := DataAck
+			if within(first.Duration(), phy.Airtime(w, phy.BeaconBytes), ackTolerance) {
+				kind = BeaconCTS
+			}
+			out = append(out, Detection{Kind: kind, Width: w, First: first, Ack: second})
+			i++ // consume the ACK pulse
+			break
+		}
+	}
+	return out
+}
+
+// AirtimeUtilization estimates the fraction of the window during which
+// the scanned band was busy: the summed pulse durations over the window
+// length. This is the A_c estimate feeding the MCham metric.
+func AirtimeUtilization(pulses []Pulse, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, p := range pulses {
+		busy += p.Duration()
+	}
+	f := float64(busy) / float64(window)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// CountMatching counts the pulses whose duration matches the airtime of
+// a frame of the given size at width w within the tolerance band
+// [-lowTol, +highTol]. This is the packet-detection criterion of the
+// Table 1 experiment: SIFT knows the transmitted size and checks the
+// measured length against it. (5 MHz packets are occasionally shortened
+// by their low-amplitude leading ramp and fail the match.)
+func CountMatching(pulses []Pulse, w spectrum.Width, frameBytes int, lowTol, highTol float64) int {
+	want := phy.Airtime(w, frameBytes)
+	lo := time.Duration(float64(want) * (1 - lowTol))
+	hi := time.Duration(float64(want) * (1 + highTol))
+	n := 0
+	for _, p := range pulses {
+		if d := p.Duration(); d >= lo && d <= hi {
+			n++
+		}
+	}
+	return n
+}
+
+// EstimateAPs estimates the number of distinct APs whose beacons appear
+// in a pulse train, by clustering beacon-CTS detections by their phase
+// modulo the beacon interval: one AP's beacons share a phase, two APs
+// rarely do. phaseTol merges clusters closer than itself.
+func EstimateAPs(dets []Detection, beaconInterval, phaseTol time.Duration) int {
+	if beaconInterval <= 0 {
+		return 0
+	}
+	var phases []time.Duration
+	for _, d := range dets {
+		if d.Kind != BeaconCTS {
+			continue
+		}
+		phases = append(phases, d.First.Start%beaconInterval)
+	}
+	if len(phases) == 0 {
+		return 0
+	}
+	used := make([]bool, len(phases))
+	clusters := 0
+	for i := range phases {
+		if used[i] {
+			continue
+		}
+		clusters++
+		for j := i; j < len(phases); j++ {
+			if used[j] {
+				continue
+			}
+			d := phases[i] - phases[j]
+			if d < 0 {
+				d = -d
+			}
+			// Wrap-around distance on the interval circle.
+			if w := beaconInterval - d; w < d {
+				d = w
+			}
+			if d <= phaseTol {
+				used[j] = true
+			}
+		}
+	}
+	return clusters
+}

@@ -1,0 +1,163 @@
+// Package sim provides the discrete-event simulation engine underlying
+// the WhiteFi reproduction. It replaces both the QualNet simulator and
+// the wall-clock behaviour of the KNOWS hardware prototype with a
+// deterministic virtual clock: every experiment is exactly reproducible
+// given a seed.
+//
+// Time is virtual and starts at zero. Events scheduled for the same
+// instant fire in scheduling order (a monotonic tiebreaker), so runs are
+// deterministic regardless of map iteration or goroutine scheduling —
+// the engine is strictly single-threaded.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. It is returned by the Schedule methods
+// so callers can cancel pending events (e.g. an ACK timeout).
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index, q[j].index = i, j
+}
+func (q *eventQueue) Push(x interface{}) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler with a seeded
+// random number generator. Create one with New.
+type Engine struct {
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+	rng   *rand.Rand
+}
+
+// New returns an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn at virtual time at. Times in the past (including the
+// current instant) run as soon as the engine resumes processing, before
+// any later event. It returns a handle that can be cancelled.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel prevents a pending event from firing. Cancelling a fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
+}
+
+// Step fires the next pending event, advancing the clock to its time.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events in order until the queue is empty or the next
+// event is after deadline; the clock is then set to deadline.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run processes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Pending returns the number of uncancelled scheduled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}

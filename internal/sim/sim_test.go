@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New(1)
+	var got []time.Duration
+	for _, at := range []time.Duration{30, 10, 20, 10, 5} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Errorf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestTieBreakIsSchedulingOrder(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New(1)
+	var at time.Duration
+	e.Schedule(42*time.Millisecond, func() { at = e.Now() })
+	e.Run()
+	if at != 42*time.Millisecond || e.Now() != 42*time.Millisecond {
+		t.Errorf("now = %v", e.Now())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New(1)
+	var second time.Duration
+	e.Schedule(10, func() {
+		e.After(5, func() { second = e.Now() })
+	})
+	e.Run()
+	if second != 15 {
+		t.Errorf("After fired at %v, want 15", second)
+	}
+}
+
+func TestPastSchedulingClampsToNow(t *testing.T) {
+	e := New(1)
+	var fired time.Duration = -1
+	e.Schedule(100, func() {
+		e.Schedule(10, func() { fired = e.Now() }) // in the past
+	})
+	e.Run()
+	if fired != 100 {
+		t.Errorf("past event fired at %v, want clamped to 100", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() false after cancel")
+	}
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	e := New(1)
+	fired := false
+	var target *Event
+	target = e.Schedule(20, func() { fired = true })
+	e.Schedule(10, func() { e.Cancel(target) })
+	e.Run()
+	if fired {
+		t.Error("event cancelled at t=10 still fired at t=20")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	e.RunUntil(5 * time.Second)
+	if count != 5 {
+		t.Errorf("fired %d events, want 5", count)
+	}
+	if e.Now() != 5*time.Second {
+		t.Errorf("clock = %v, want 5s", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", e.Pending())
+	}
+	e.RunUntil(20 * time.Second)
+	if count != 10 || e.Now() != 20*time.Second {
+		t.Errorf("count=%d now=%v", count, e.Now())
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	e := New(1)
+	e.RunUntil(time.Hour)
+	if e.Now() != time.Hour {
+		t.Errorf("now = %v", e.Now())
+	}
+}
+
+func TestDeterministicRNG(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same-seed engines diverged")
+		}
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := New(1)
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+// Property: for any set of (time, id) events, the firing order is the
+// stable sort by time of the scheduling order.
+func TestQuickOrderingMatchesStableSort(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New(0)
+		type item struct {
+			at time.Duration
+			id int
+		}
+		items := make([]item, int(n%64))
+		var fired []int
+		for i := range items {
+			items[i] = item{at: time.Duration(rng.Intn(16)), id: i}
+			it := items[i]
+			e.Schedule(it.at, func() { fired = append(fired, it.id) })
+		}
+		sort.SliceStable(items, func(i, j int) bool { return items[i].at < items[j].at })
+		e.Run()
+		if len(fired) != len(items) {
+			return false
+		}
+		for i := range items {
+			if fired[i] != items[i].id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset fires exactly the complement.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(mask uint32) bool {
+		e := New(0)
+		fired := map[int]bool{}
+		var evs []*Event
+		for i := 0; i < 32; i++ {
+			i := i
+			evs = append(evs, e.Schedule(time.Duration(i%7), func() { fired[i] = true }))
+		}
+		for i := 0; i < 32; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				e.Cancel(evs[i])
+			}
+		}
+		e.Run()
+		for i := 0; i < 32; i++ {
+			want := mask&(1<<uint(i)) == 0
+			if fired[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

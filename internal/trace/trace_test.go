@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1*time.Second, 10)
+	s.Add(2*time.Second, 20)
+	s.Add(3*time.Second, 30)
+	if s.Len() != 3 {
+		t.Fatal("len")
+	}
+	if got := s.At(2500 * time.Millisecond); got != 20 {
+		t.Errorf("At(2.5s) = %v", got)
+	}
+	if got := s.At(500 * time.Millisecond); got != 0 {
+		t.Errorf("At before first point = %v", got)
+	}
+	if got := s.At(10 * time.Second); got != 30 {
+		t.Errorf("At after last point = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if Mean(xs) != 3 {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if Median(xs) != 3 {
+		t.Errorf("median = %v", Median(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Error("min/max")
+	}
+	if got := Stddev(xs); math.Abs(got-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %v", got)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Stddev(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty-sample stats should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 90); got != 9 {
+		t.Errorf("p90 = %v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "Table 1", Headers: []string{"width", "a", "b"}}
+	tb.AddRow("5 MHz", "0.99", "0.98")
+	tb.AddFloats("10 MHz", 2, 0.991, 1.0)
+	out := tb.String()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "5 MHz") {
+		t.Errorf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "0.99  1.00") {
+		t.Errorf("float formatting missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram{}
+	h.Add(3)
+	h.Add(3)
+	h.Add(1)
+	if h[3] != 2 || h[1] != 1 {
+		t.Error("counts")
+	}
+	b := h.Buckets()
+	if len(b) != 2 || b[0] != 1 || b[1] != 3 {
+		t.Errorf("buckets = %v", b)
+	}
+}
+
+func TestMbps(t *testing.T) {
+	if got := Mbps(1_500_000); got != "1.50" {
+		t.Errorf("Mbps = %q", got)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			if v < Min(xs) || v > Max(xs) {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
