@@ -8,8 +8,21 @@
 // scanner, and synthetic incumbent datasets standing in for TV Fool and
 // the authors' campus measurements).
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results. The root-level benchmarks (bench_test.go) regenerate every
-// table and figure of the paper's evaluation.
+// See DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. The root-level
+// benchmarks (bench_test.go) regenerate every table and figure of the
+// paper's evaluation; scripts/bench.sh emits the timings as JSON.
+//
+// Performance knobs (see DESIGN.md "Hot-path architecture"):
+//
+//   - exp.Workers bounds the experiment runners' concurrency
+//     (0 = GOMAXPROCS). Every table cell is a hermetic simulation, so
+//     results are identical at any worker count.
+//   - mac.Air.Retention prunes completed transmissions older than the
+//     given horizon, bounding memory in long simulations
+//     (mac.Air.Prune is the explicit form). Scan windows must not
+//     reach behind the horizon.
+//   - Scan windows stream USRP-sized blocks through the incremental
+//     sift.Detector, and stretches of pure receiver noise are skipped
+//     outright when the SIFT threshold is above iq.MaxNoiseAmplitude.
 package whitefi

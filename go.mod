@@ -1,0 +1,3 @@
+module whitefi
+
+go 1.22

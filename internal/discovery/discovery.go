@@ -101,18 +101,21 @@ func (p *Prober) ConfirmDecode(ch spectrum.Channel) bool {
 }
 
 func (p *Prober) beaconIn(ch spectrum.Channel, from, to time.Duration) bool {
-	for _, tx := range p.Air.History() {
-		if tx.Frame.Kind != phy.KindBeacon || tx.Channel != ch {
-			continue
+	found := false
+	// Windowed query: only the dwell's transmissions on ch's center
+	// partition are visited, not the full history.
+	p.Air.ForEachCenterOverlapping(ch.Center, from, to, func(tx *mac.Transmission) {
+		if found || tx.Frame.Kind != phy.KindBeacon || tx.Channel != ch {
+			return
 		}
 		if tx.Start < from || tx.End > to {
-			continue
+			return
 		}
 		if p.Air.RxPower(tx.Src, p.Scanner.ID, tx.PowerDB) >= mac.NoiseFloorDBm+10 {
-			return true
+			found = true
 		}
-	}
-	return false
+	})
+	return found
 }
 
 // Elapsed returns total virtual time consumed so far by this prober.

@@ -26,26 +26,36 @@ func AblationSIFTWindow(runs int) *trace.Table {
 		Title:   "Ablation: SIFT moving-average window vs exchange-match rate (20 MHz)",
 		Headers: []string{"window(samples)", "match-rate"},
 	}
-	for _, win := range []int{1, 3, 5, 8, 12, 16, 25} {
+	wins := []int{1, 3, 5, 8, 12, 16, 25}
+	type cell struct{ matched, total int }
+	cells := make([]cell, len(wins)*runs)
+	runIndexed(len(cells), func(i int) {
+		win := wins[i/runs]
+		r := i % runs
+		wd := newWorld(int64(win*100 + r))
+		ch := spectrum.Chan(10, spectrum.W20)
+		ap := mac.NewNode(wd.eng, wd.air, idForegroundAP, ch, true)
+		mac.NewNode(wd.eng, wd.air, idForegroundClient, ch, false)
+		cbr := mac.NewCBR(wd.eng, ap, idForegroundClient, 1000, 10*time.Millisecond)
+		cbr.Start()
+		wd.eng.RunUntil(300 * time.Millisecond)
+		sc := radio.NewScanner(wd.air, idScanner, rand.New(rand.NewSource(int64(win*7+r))))
+		sc.Cfg = sift.Config{Window: win}
+		sc.ExtraLossDB = Table1Loss
+		res := sc.ScanChannel(10, 0, 300*time.Millisecond)
+		for _, d := range res.Detections {
+			if d.Width == spectrum.W20 {
+				cells[i].matched++
+			}
+		}
+		cells[i].total = cbr.Sent
+	})
+	for wi, win := range wins {
 		matched, total := 0, 0
 		for r := 0; r < runs; r++ {
-			wd := newWorld(int64(win*100 + r))
-			ch := spectrum.Chan(10, spectrum.W20)
-			ap := mac.NewNode(wd.eng, wd.air, idForegroundAP, ch, true)
-			mac.NewNode(wd.eng, wd.air, idForegroundClient, ch, false)
-			cbr := mac.NewCBR(wd.eng, ap, idForegroundClient, 1000, 10*time.Millisecond)
-			cbr.Start()
-			wd.eng.RunUntil(300 * time.Millisecond)
-			sc := radio.NewScanner(wd.air, idScanner, rand.New(rand.NewSource(int64(win*7+r))))
-			sc.Cfg = sift.Config{Window: win}
-			sc.ExtraLossDB = Table1Loss
-			res := sc.ScanChannel(10, 0, 300*time.Millisecond)
-			for _, d := range res.Detections {
-				if d.Width == spectrum.W20 {
-					matched++
-				}
-			}
-			total += cbr.Sent
+			c := cells[wi*runs+r]
+			matched += c.matched
+			total += c.total
 		}
 		t.AddFloats(fmt.Sprintf("%d", win), 2, float64(matched)/float64(total))
 	}
@@ -125,20 +135,36 @@ func AblationJSIFTEndgame(runs int) *trace.Table {
 		Title:   "Ablation: J-SIFT scan vs endgame cost by fragment width",
 		Headers: []string{"channels", "J-scans", "J-decodes", "L-scans", "L-decodes"},
 	}
-	for _, n := range []int{2, 6, 10, 16, 24, 30} {
+	ns := []int{2, 6, 10, 16, 24, 30}
+	type cell struct {
+		ok             bool
+		js, jd, ls, ld float64
+	}
+	cells := make([]cell, len(ns)*runs)
+	runIndexed(len(cells), func(i int) {
+		n := ns[i/runs]
+		seed := int64(n*977 + i%runs)
 		m := fragmentMap(n)
+		rj := discoveryRun(seed, m, discovery.JSIFT)
+		rl := discoveryRun(seed, m, discovery.LSIFT)
+		if !rj.Found || !rl.Found {
+			return
+		}
+		cells[i] = cell{true,
+			float64(rj.Scans), float64(rj.Decodes),
+			float64(rl.Scans), float64(rl.Decodes)}
+	})
+	for ni, n := range ns {
 		var js, jd, ls, ld []float64
 		for r := 0; r < runs; r++ {
-			seed := int64(n*977 + r)
-			rj := discoveryRun(seed, m, discovery.JSIFT)
-			rl := discoveryRun(seed, m, discovery.LSIFT)
-			if !rj.Found || !rl.Found {
+			c := cells[ni*runs+r]
+			if !c.ok {
 				continue
 			}
-			js = append(js, float64(rj.Scans))
-			jd = append(jd, float64(rj.Decodes))
-			ls = append(ls, float64(rl.Scans))
-			ld = append(ld, float64(rl.Decodes))
+			js = append(js, c.js)
+			jd = append(jd, c.jd)
+			ls = append(ls, c.ls)
+			ld = append(ld, c.ld)
 		}
 		t.AddFloats(fmt.Sprintf("%d", n), 1,
 			trace.Mean(js), trace.Mean(jd), trace.Mean(ls), trace.Mean(ld))
@@ -186,12 +212,23 @@ func AblationHysteresis(seeds int) *trace.Table {
 		net.Stop()
 		return switches
 	}
-	for s := 0; s < seeds; s++ {
+	// Each (seed, hysteresis) run is an independent 60s simulation.
+	with := make([]int, seeds)
+	without := make([]int, seeds)
+	runIndexed(2*seeds, func(i int) {
+		s := i / 2
 		seed := int64(s)*331 + 17
-		// Hysteresis 1e-9 is effectively "switch on any improvement".
+		if i%2 == 0 {
+			with[s] = run(seed, 0.10)
+		} else {
+			// Hysteresis 1e-9 is effectively "switch on any improvement".
+			without[s] = run(seed, 1e-9)
+		}
+	})
+	for s := 0; s < seeds; s++ {
 		t.AddRow(fmt.Sprintf("%d", s),
-			fmt.Sprintf("%d", run(seed, 0.10)),
-			fmt.Sprintf("%d", run(seed, 1e-9)))
+			fmt.Sprintf("%d", with[s]),
+			fmt.Sprintf("%d", without[s]))
 	}
 	return t
 }

@@ -110,7 +110,6 @@ func Fig14(seed int64) *Fig14Result {
 		}
 		res.MCham5.Add(now, m5)
 		res.Widths.Add(now, net.AP.Channel().Width.MHz())
-		w.air.Compact(now - 10*time.Second)
 		if now%(5*time.Second) == 0 {
 			b := net.GoodputBytes()
 			res.Throughput.Add(now, float64(b-lastBytes)*8/5)
@@ -166,8 +165,8 @@ func Sec53(runs int) *trace.Table {
 		Title:   "Section 5.3: reconnection delay after a microphone appears at the client",
 		Headers: []string{"run", "recovery(s)", "within-4s"},
 	}
-	var lags []float64
-	for r := 0; r < runs; r++ {
+	recovery := make([]float64, runs)
+	runIndexed(runs, func(r int) {
 		w := newWorld(int64(r)*131 + 7)
 		base := incumbent.SimulationBaseMap()
 		mic := incumbent.NewMic(w.eng, 0)
@@ -188,6 +187,11 @@ func Sec53(runs int) *trace.Table {
 				break
 			}
 		}
+		net.Stop()
+		recovery[r] = lag
+	})
+	var lags []float64
+	for r, lag := range recovery {
 		within := "no"
 		if lag >= 0 && lag <= 4 {
 			within = "yes"
@@ -196,7 +200,6 @@ func Sec53(runs int) *trace.Table {
 		if lag >= 0 {
 			lags = append(lags, lag)
 		}
-		net.Stop()
 	}
 	t.AddRow("mean", fmt.Sprintf("%.2f", trace.Mean(lags)), "")
 	t.AddRow("max", fmt.Sprintf("%.2f", trace.Max(lags)), "")

@@ -48,26 +48,45 @@ type Fig8Point struct {
 	BaselineSecs  float64
 }
 
+// discoveryCell is one (map, seed) discovery comparison: all three
+// algorithms over the same placement.
+type discoveryCell struct {
+	ok      bool
+	b, l, j float64
+}
+
+func runDiscoveryCell(seed int64, m spectrum.Map) discoveryCell {
+	rb := discoveryRun(seed, m, discovery.Baseline)
+	rl := discoveryRun(seed, m, discovery.LSIFT)
+	rj := discoveryRun(seed, m, discovery.JSIFT)
+	if !rb.Found || !rl.Found || !rj.Found {
+		return discoveryCell{}
+	}
+	return discoveryCell{true, rb.Elapsed.Seconds(), rl.Elapsed.Seconds(), rj.Elapsed.Seconds()}
+}
+
 // Fig8 reproduces Figure 8: discovery time of L-SIFT and J-SIFT as a
 // fraction of the non-SIFT baseline, versus the width of the single
 // available fragment. L-SIFT wins on narrow white spaces; J-SIFT
-// overtakes beyond roughly 10 channels.
+// overtakes beyond roughly 10 channels. Every (width, run) cell is an
+// independent simulation, fanned out over the worker pool.
 func Fig8(runs int, widths []int) []Fig8Point {
+	cells := make([]discoveryCell, len(widths)*runs)
+	runIndexed(len(cells), func(i int) {
+		n := widths[i/runs]
+		cells[i] = runDiscoveryCell(int64(n*1000+i%runs), fragmentMap(n))
+	})
 	var out []Fig8Point
-	for _, n := range widths {
-		m := fragmentMap(n)
+	for wi, n := range widths {
 		var b, l, j []float64
 		for r := 0; r < runs; r++ {
-			seed := int64(n*1000 + r)
-			rb := discoveryRun(seed, m, discovery.Baseline)
-			rl := discoveryRun(seed, m, discovery.LSIFT)
-			rj := discoveryRun(seed, m, discovery.JSIFT)
-			if !rb.Found || !rl.Found || !rj.Found {
+			c := cells[wi*runs+r]
+			if !c.ok {
 				continue
 			}
-			b = append(b, rb.Elapsed.Seconds())
-			l = append(l, rl.Elapsed.Seconds())
-			j = append(j, rj.Elapsed.Seconds())
+			b = append(b, c.b)
+			l = append(l, c.l)
+			j = append(j, c.j)
 		}
 		mb := trace.Mean(b)
 		if mb == 0 {
@@ -103,24 +122,32 @@ func Fig9(runs int) *trace.Table {
 		Title:   "Figure 9: mean discovery time by locale (seconds)",
 		Headers: []string{"locale", "baseline", "L-SIFT", "J-SIFT", "J/baseline"},
 	}
-	for _, s := range []incumbent.Setting{incumbent.Urban, incumbent.Suburban, incumbent.Rural} {
-		locales := incumbent.GenerateLocales(s, 10, 42)
+	settings := []incumbent.Setting{incumbent.Urban, incumbent.Suburban, incumbent.Rural}
+	locales := make([][]spectrum.Map, len(settings))
+	for i, s := range settings {
+		locales[i] = incumbent.GenerateLocales(s, 10, 42)
+	}
+	cells := make([]discoveryCell, len(settings)*runs)
+	runIndexed(len(cells), func(i int) {
+		s := settings[i/runs]
+		r := i % runs
+		ls := locales[i/runs]
+		m := ls[r%len(ls)]
+		if len(m.AvailableChannels()) == 0 {
+			return
+		}
+		cells[i] = runDiscoveryCell(int64(r*31)+int64(s)*7, m)
+	})
+	for si, s := range settings {
 		var b, l, j []float64
 		for r := 0; r < runs; r++ {
-			m := locales[r%len(locales)]
-			if len(m.AvailableChannels()) == 0 {
+			c := cells[si*runs+r]
+			if !c.ok {
 				continue
 			}
-			seed := int64(r*31) + int64(s)*7
-			rb := discoveryRun(seed, m, discovery.Baseline)
-			rl := discoveryRun(seed, m, discovery.LSIFT)
-			rj := discoveryRun(seed, m, discovery.JSIFT)
-			if !rb.Found || !rl.Found || !rj.Found {
-				continue
-			}
-			b = append(b, rb.Elapsed.Seconds())
-			l = append(l, rl.Elapsed.Seconds())
-			j = append(j, rj.Elapsed.Seconds())
+			b = append(b, c.b)
+			l = append(l, c.l)
+			j = append(j, c.j)
 		}
 		mb, ml, mj := trace.Mean(b), trace.Mean(l), trace.Mean(j)
 		frac := 0.0

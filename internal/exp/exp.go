@@ -27,9 +27,18 @@ type world struct {
 	air *mac.Air
 }
 
+// historyRetention bounds the medium's transmission log in experiment
+// worlds. No experiment observation reaches further back than a few
+// seconds (the longest is Fig6's 10-second fixed window, measured at
+// its closing instant), so long runs such as Sec53 and Fig14 stop
+// growing memory without bound.
+const historyRetention = 10 * time.Second
+
 func newWorld(seed int64) *world {
 	eng := sim.New(seed)
-	return &world{eng: eng, air: mac.NewAir(eng)}
+	air := mac.NewAir(eng)
+	air.Retention = historyRetention
+	return &world{eng: eng, air: air}
 }
 
 // node id allocation for experiment actors.

@@ -58,22 +58,36 @@ func Fig10(reps int) []Fig10Point {
 	}
 	const settle = 2 * time.Second
 	const measure = 4 * time.Second
-	var out []Fig10Point
-	for _, d := range fig10Delays {
+	// Every (delay, width, rep) cell is an independent pair of
+	// simulations (throughput world + foreground-free observation
+	// world), fanned out over the worker pool.
+	nw := len(spectrum.Widths)
+	type cell struct{ th, mc float64 }
+	cells := make([]cell, len(fig10Delays)*nw*reps)
+	runIndexed(len(cells), func(i int) {
+		d := fig10Delays[i/(nw*reps)]
+		wd := spectrum.Widths[i/reps%nw]
+		r := i % reps
 		delay := time.Duration(d) * time.Millisecond
+		seed := int64(d*100 + r)
+		th := staticThroughput(seed, spectrum.Chan(centerU, wd), setup(delay), settle, measure)
+		// MCham from a foreground-free observation world.
+		w := newWorld(seed + 5000)
+		setup(delay)(w)
+		w.eng.RunUntil(settle)
+		obs := radio.Observe(&radio.TrueAirtime{Air: w.air}, m, 0, settle, -1)
+		cells[i] = cell{th, assign.MCham(obs, spectrum.Chan(centerU, wd))}
+	})
+	var out []Fig10Point
+	for di, d := range fig10Delays {
 		var p Fig10Point
 		p.DelayMs = d
-		for wi, wd := range spectrum.Widths {
+		for wi := range spectrum.Widths {
 			var ths, mcs []float64
 			for r := 0; r < reps; r++ {
-				seed := int64(d*100 + r)
-				ths = append(ths, staticThroughput(seed, spectrum.Chan(centerU, wd), setup(delay), settle, measure))
-				// MCham from a foreground-free observation world.
-				w := newWorld(seed + 5000)
-				setup(delay)(w)
-				w.eng.RunUntil(settle)
-				obs := radio.Observe(&radio.TrueAirtime{Air: w.air}, m, 0, settle, -1)
-				mcs = append(mcs, assign.MCham(obs, spectrum.Chan(centerU, wd)))
+				c := cells[(di*nw+wi)*reps+r]
+				ths = append(ths, c.th)
+				mcs = append(mcs, c.mc)
 			}
 			p.Throughput[wi] = trace.Mean(ths)
 			p.MCham[wi] = trace.Mean(mcs)
@@ -164,16 +178,18 @@ func compareTable(title string, rows []CompareRow) *trace.Table {
 }
 
 // compare runs WhiteFi and the three static baselines over the same
-// world setup, averaging reps random repetitions.
+// world setup, averaging reps random repetitions. Repetitions are
+// independent simulations and run concurrently; the aggregation order
+// is fixed, so the row is identical at any worker count.
 func compare(label string, repBase int64, reps, nClients int, base spectrum.Map, flipP float64, setup func(seed int64) func(w *world)) CompareRow {
 	const settle = 3 * time.Second
 	const measure = 5 * time.Second
-	var wf, o5, o10, o20, opt []float64
-	for r := 0; r < reps; r++ {
+	type cell struct{ wf, o5, o10, o20, opt float64 }
+	cells := make([]cell, reps)
+	runIndexed(reps, func(r int) {
 		seed := repBase + int64(r)*7879
 		su := setup(seed)
 		w := whitefiThroughput(seed, base, nClients, flipP, su, settle, measure)
-		wf = append(wf, w)
 		// Static baselines must respect the combined map across all
 		// nodes (they may not violate incumbents either).
 		rng := rand.New(rand.NewSource(seed * 11))
@@ -184,9 +200,6 @@ func compare(label string, repBase int64, reps, nClients int, base spectrum.Map,
 		v5 := optStaticThroughput(seed, spectrum.W5, combined, su, settle, measure)
 		v10 := optStaticThroughput(seed, spectrum.W10, combined, su, settle, measure)
 		v20 := optStaticThroughput(seed, spectrum.W20, combined, su, settle, measure)
-		o5 = append(o5, v5)
-		o10 = append(o10, v10)
-		o20 = append(o20, v20)
 		best := v5
 		if v10 > best {
 			best = v10
@@ -194,7 +207,15 @@ func compare(label string, repBase int64, reps, nClients int, base spectrum.Map,
 		if v20 > best {
 			best = v20
 		}
-		opt = append(opt, best)
+		cells[r] = cell{w, v5, v10, v20, best}
+	})
+	var wf, o5, o10, o20, opt []float64
+	for _, c := range cells {
+		wf = append(wf, c.wf)
+		o5 = append(o5, c.o5)
+		o10 = append(o10, c.o10)
+		o20 = append(o20, c.o20)
+		opt = append(opt, c.opt)
 	}
 	return CompareRow{
 		Label:   label,

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers bounds the number of concurrent simulations the experiment
+// runners use; 0 (the default) selects GOMAXPROCS. Every table cell,
+// seed and sweep point is an independent hermetic simulation with its
+// own engine and RNG, so results are identical at any worker count —
+// jobs write into index-addressed slots and aggregation stays in input
+// order. Set Workers to 1 to force the serial schedule (useful when
+// benchmarking a single simulation).
+var Workers = 0
+
+func workerCount(jobs int) int {
+	w := Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runIndexed executes job(0..n-1) over a worker pool. Each job must be
+// hermetic (no shared mutable state) and write its result into its own
+// index-addressed slot; runIndexed returns once every job has finished,
+// so callers aggregate in deterministic input order afterwards.
+func runIndexed(n int, job func(i int)) {
+	w := workerCount(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,37 @@
+package exp
+
+import "testing"
+
+// withWorkers runs f at a forced worker count, restoring the old value.
+func withWorkers(n int, f func()) {
+	old := Workers
+	Workers = n
+	defer func() { Workers = old }()
+	f()
+}
+
+// TestParallelDeterminism: experiment tables must be identical at any
+// worker count — every cell is a hermetic simulation with its own seed,
+// and aggregation order is fixed.
+func TestParallelDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() string
+	}{
+		{"table1", func() string { return Table1(1).String() }},
+		{"fig7", func() string { return Fig7Table(1).String() }},
+		{"fig8", func() string { return Fig8Table(2, []int{2, 10}).String() }},
+		{"sec53", func() string { return Sec53(3).String() }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var serial, parallel string
+			withWorkers(1, func() { serial = c.run() })
+			withWorkers(8, func() { parallel = c.run() })
+			if serial != parallel {
+				t.Errorf("output differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+			}
+		})
+	}
+}

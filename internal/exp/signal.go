@@ -60,21 +60,28 @@ func siftRun(seed int64, w spectrum.Width, rateBps float64, packets, size int, l
 }
 
 // Table1 reproduces Table 1: SIFT's packet detection rate (median over
-// runs) across channel widths and traffic intensities.
+// runs) across channel widths and traffic intensities. Every
+// (width, rate, run) cell is an independent simulation, fanned out over
+// the worker pool.
 func Table1(runs int) *trace.Table {
 	t := &trace.Table{
 		Title:   "Table 1: SIFT packet detection rate (median of runs)",
 		Headers: []string{"width", "0.125M", "0.25M", "0.5M", "0.75M", "1M"},
 	}
-	for _, w := range spectrum.Widths {
+	nr := len(table1Rates)
+	fracs := make([]float64, len(spectrum.Widths)*nr*runs)
+	runIndexed(len(fracs), func(i int) {
+		w := spectrum.Widths[i/(nr*runs)]
+		rate := table1Rates[i/runs%nr]
+		r := i % runs
+		det, sent, _, _ := siftRun(int64(r)*97+int64(w), w, rate, table1Packets, 1000, Table1Loss)
+		fracs[i] = float64(det) / float64(sent)
+	})
+	for wi, w := range spectrum.Widths {
 		row := []string{w.String()}
-		for _, rate := range table1Rates {
-			var fracs []float64
-			for r := 0; r < runs; r++ {
-				det, sent, _, _ := siftRun(int64(r)*97+int64(w), w, rate, table1Packets, 1000, Table1Loss)
-				fracs = append(fracs, float64(det)/float64(sent))
-			}
-			row = append(row, fmt.Sprintf("%.2f", trace.Median(fracs)))
+		for ri := range table1Rates {
+			cell := fracs[(wi*nr+ri)*runs : (wi*nr+ri)*runs+runs]
+			row = append(row, fmt.Sprintf("%.2f", trace.Median(cell)))
 		}
 		t.AddRow(row...)
 	}
@@ -93,27 +100,32 @@ func Fig6(runs int) *trace.Table {
 	// Fixed observation window so airtime values are comparable across
 	// rates: the run sending 110 packets always fits in 10s at >=125k.
 	const window = 10 * time.Second
-	for _, w := range spectrum.Widths {
+	nr := len(table1Rates)
+	vals := make([]float64, len(spectrum.Widths)*nr*runs)
+	runIndexed(len(vals), func(i int) {
+		w := spectrum.Widths[i/(nr*runs)]
+		rate := table1Rates[i/runs%nr]
+		r := i % runs
+		wd := newWorld(int64(r)*193 + int64(w))
+		ch := spectrum.Chan(10, w)
+		ap := mac.NewNode(wd.eng, wd.air, idForegroundAP, ch, true)
+		mac.NewNode(wd.eng, wd.air, idForegroundClient, ch, false)
+		interval := time.Duration(float64(1000*8) / rate * float64(time.Second))
+		cbr := mac.NewCBR(wd.eng, ap, idForegroundClient, 1000, interval)
+		cbr.Start()
+		wd.eng.RunUntil(interval * table1Packets)
+		cbr.Stop()
+		wd.eng.RunUntil(window)
+		sc := radio.NewScanner(wd.air, idScanner, rand.New(rand.NewSource(int64(r)*7+3)))
+		sc.ExtraLossDB = Table1Loss
+		res := sc.ScanChannel(10, 0, window)
+		vals[i] = res.Airtime
+	})
+	for wi, w := range spectrum.Widths {
 		row := []string{w.String()}
-		for _, rate := range table1Rates {
-			var vals []float64
-			for r := 0; r < runs; r++ {
-				wd := newWorld(int64(r)*193 + int64(w))
-				ch := spectrum.Chan(10, w)
-				ap := mac.NewNode(wd.eng, wd.air, idForegroundAP, ch, true)
-				mac.NewNode(wd.eng, wd.air, idForegroundClient, ch, false)
-				interval := time.Duration(float64(1000*8) / rate * float64(time.Second))
-				cbr := mac.NewCBR(wd.eng, ap, idForegroundClient, 1000, interval)
-				cbr.Start()
-				wd.eng.RunUntil(interval * table1Packets)
-				cbr.Stop()
-				wd.eng.RunUntil(window)
-				sc := radio.NewScanner(wd.air, idScanner, rand.New(rand.NewSource(int64(r)*7+3)))
-				sc.ExtraLossDB = Table1Loss
-				res := sc.ScanChannel(10, 0, window)
-				vals = append(vals, res.Airtime)
-			}
-			row = append(row, fmt.Sprintf("%.3f", trace.Mean(vals)))
+		for ri := range table1Rates {
+			cell := vals[(wi*nr+ri)*runs : (wi*nr+ri)*runs+runs]
+			row = append(row, fmt.Sprintf("%.3f", trace.Mean(cell)))
 		}
 		t.AddRow(row...)
 	}
@@ -133,24 +145,36 @@ type Fig7Point struct {
 // threshold cuts off sharply; the sniffer rolls off smoothly and only
 // wins beyond the cliff, at capture ratios too low to be useful.
 func Fig7(runs int) []Fig7Point {
-	var out []Fig7Point
+	var attens []float64
 	for atten := 80.0; atten <= 104; atten += 2 {
+		attens = append(attens, atten)
+	}
+	type cell struct{ sift, snif float64 }
+	cells := make([]cell, len(attens)*runs)
+	runIndexed(len(cells), func(i int) {
+		atten := attens[i/runs]
+		r := i % runs
+		seed := int64(atten*13) + int64(r)*1009
+		det, sent, _, _ := siftRun(seed, spectrum.W10, 1e6, table1Packets, 1000, atten)
+		// Sniffer: per-packet capture at the SNR the attenuator
+		// leaves. TX power 16 dBm minus attenuation.
+		rng := rand.New(rand.NewSource(seed * 3))
+		snr := radio.SNRAt(mac.DefaultTxPowerDBm - atten)
+		caught := 0
+		for k := 0; k < sent; k++ {
+			if radio.SnifferCaptures(rng, snr) {
+				caught++
+			}
+		}
+		cells[i] = cell{float64(det) / float64(sent), float64(caught) / float64(sent)}
+	})
+	var out []Fig7Point
+	for ai, atten := range attens {
 		var siftFr, snifFr []float64
 		for r := 0; r < runs; r++ {
-			seed := int64(atten*13) + int64(r)*1009
-			det, sent, _, _ := siftRun(seed, spectrum.W10, 1e6, table1Packets, 1000, atten)
-			siftFr = append(siftFr, float64(det)/float64(sent))
-			// Sniffer: per-packet capture at the SNR the attenuator
-			// leaves. TX power 16 dBm minus attenuation.
-			rng := rand.New(rand.NewSource(seed * 3))
-			snr := radio.SNRAt(mac.DefaultTxPowerDBm - atten)
-			caught := 0
-			for i := 0; i < sent; i++ {
-				if radio.SnifferCaptures(rng, snr) {
-					caught++
-				}
-			}
-			snifFr = append(snifFr, float64(caught)/float64(sent))
+			c := cells[ai*runs+r]
+			siftFr = append(siftFr, c.sift)
+			snifFr = append(snifFr, c.snif)
 		}
 		out = append(out, Fig7Point{AttenDB: atten,
 			SIFTRate: trace.Mean(siftFr), SnifferRate: trace.Mean(snifFr)})

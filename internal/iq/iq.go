@@ -17,6 +17,8 @@ package iq
 import (
 	"math"
 	"math/rand"
+	"sort"
+	"sync"
 	"time"
 
 	"whitefi/internal/mac"
@@ -80,6 +82,75 @@ const (
 	rampAmplitude = 0.12 // relative amplitude of the leading portion
 )
 
+// Noise and fading are drawn from a precomputed table of standard
+// normal deviates instead of calling NormFloat64 per sample: one table
+// lookup per sample, with per-window and per-transmission offsets so
+// windows stay statistically independent while chunked renders remain
+// bit-identical to whole-window renders.
+const (
+	noiseTableBits = 16
+	noiseTableSize = 1 << noiseTableBits
+	noiseTableMask = noiseTableSize - 1
+)
+
+var (
+	noiseTable     [noiseTableSize]float64
+	noiseAmpTable  [noiseTableSize]float64
+	noiseAmpMax    float64
+	noiseTableOnce sync.Once
+)
+
+// buildNoiseTables fills the signed deviate table (fading), the
+// pre-scaled amplitude table (receiver noise: |N| * NoiseSigma, so the
+// noise fill is a straight copy), and the worst-case noise amplitude.
+// NoiseSigma is captured at first render; it is a calibration constant
+// and must not be changed afterwards.
+func buildNoiseTables() {
+	noiseTableOnce.Do(func() {
+		rng := rand.New(rand.NewSource(0x51F7_AB1E))
+		for i := range noiseTable {
+			noiseTable[i] = rng.NormFloat64()
+			amp := noiseTable[i] * NoiseSigma
+			if amp < 0 {
+				amp = -amp
+			}
+			noiseAmpTable[i] = amp
+			if amp > noiseAmpMax {
+				noiseAmpMax = amp
+			}
+		}
+	})
+}
+
+func noiseDeviates() *[noiseTableSize]float64 {
+	buildNoiseTables()
+	return &noiseTable
+}
+
+// MaxNoiseAmplitude returns the largest receiver-noise amplitude the
+// deviate table can produce. Any moving-average threshold strictly
+// above it can never be crossed by receiver noise alone — the property
+// that lets scanners skip noise-only stretches entirely (see
+// sift.Detector.SkipNoise).
+func MaxNoiseAmplitude() float64 {
+	buildNoiseTables()
+	return noiseAmpMax
+}
+
+// mix64 is a splitmix64-style finalizer used to derive independent
+// table offsets from a window salt and a transmission UID.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// uidStride decorrelates per-transmission offsets (golden-ratio step).
+const uidStride = 0x9E3779B97F4A7C15
+
 // Renderer renders scan windows of the medium into amplitude samples as
 // heard at a particular scanner.
 type Renderer struct {
@@ -87,7 +158,9 @@ type Renderer struct {
 	// ScannerID is the node id whose path loss applies; use a fresh id
 	// for a standalone scanner (zero loss by default).
 	ScannerID int
-	// Rng drives noise and fading; must be non-nil.
+	// Rng seeds the per-window noise and fading offsets; must be
+	// non-nil. Each render consumes exactly one draw regardless of
+	// window length.
 	Rng *rand.Rand
 	// ExtraLossDB is added to every received signal (the tunable RF
 	// attenuator of Section 5.1's experiments).
@@ -95,6 +168,11 @@ type Renderer struct {
 	// SpanMHz is the captured frequency span around the scan center;
 	// zero selects DiscoverySpanMHz.
 	SpanMHz float64
+
+	// block is the reusable buffer behind EachBlock; ranges is the
+	// reusable active-range scratch behind EachActiveBlock.
+	block  []float64
+	ranges []sampleRange
 }
 
 // NewRenderer creates a renderer for the medium as heard by scannerID.
@@ -120,81 +198,242 @@ func bandOverlapFraction(center spectrum.UHF, ch spectrum.Channel, spanMHz float
 	return (hi - lo) / math.Min(ch.Width.MHz(), spanMHz)
 }
 
+// maxTxHalfMHz bounds how far a transmission's band can reach from its
+// center frequency: half the widest supported channel (20 MHz).
+const maxTxHalfMHz = 10.0
+
+func (r *Renderer) span() float64 {
+	if r.SpanMHz <= 0 {
+		return DiscoverySpanMHz
+	}
+	return r.SpanMHz
+}
+
 // Render returns the amplitude samples for the window [from, to) of an
 // 8 MHz scan centered on UHF channel center. The first sample covers
 // [from, from+SamplePeriod).
 func (r *Renderer) Render(center spectrum.UHF, from, to time.Duration) []float64 {
+	return r.RenderInto(nil, center, from, to)
+}
+
+// RenderInto is Render with a caller-owned buffer: dst's backing array
+// is reused when it is large enough, so steady-state rendering does not
+// allocate. The returned slice holds the samples (it aliases dst when
+// capacity sufficed).
+func (r *Renderer) RenderInto(dst []float64, center spectrum.UHF, from, to time.Duration) []float64 {
 	n := int((to - from) / SamplePeriod)
 	if n <= 0 {
 		return nil
 	}
-	out := make([]float64, n)
-	// Receiver noise.
-	for i := range out {
-		out[i] = math.Abs(r.Rng.NormFloat64()) * NoiseSigma
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
 	}
-	span := r.SpanMHz
-	if span <= 0 {
-		span = DiscoverySpanMHz
-	}
-	// Signal contributions.
-	for _, tx := range r.Air.History() {
-		if tx.End <= from || tx.Start >= to {
-			continue
-		}
-		frac := bandOverlapFraction(center, tx.Channel, span)
-		if frac == 0 {
-			continue
-		}
-		rxDBm := r.Air.RxPower(tx.Src, r.ScannerID, tx.PowerDB) - r.ExtraLossDB
-		base := AmplitudeAt(rxDBm) * frac
-		r.addEnvelope(out, from, tx, base)
-	}
-	return out
+	r.renderRange(dst, r.Rng.Uint64(), center, from, 0, n)
+	return dst
 }
 
-// addEnvelope adds one transmission's amplitude envelope into the sample
-// buffer.
-func (r *Renderer) addEnvelope(out []float64, from time.Duration, tx mac.Transmission, base float64) {
+// EachBlock renders the window [from, to) in consecutive USRP-style
+// blocks of up to BlockSamples samples, reusing one internal block
+// buffer: a multi-second window is never materialized at once. The
+// final block may be partial; visit must not retain the slice. The
+// concatenation of the visited blocks is bit-identical to the Render
+// output for the same window (the per-window noise offsets are indexed
+// by absolute window position, not block position).
+func (r *Renderer) EachBlock(center spectrum.UHF, from, to time.Duration, visit func(block []float64)) {
+	n := int((to - from) / SamplePeriod)
+	if n <= 0 {
+		return
+	}
+	r.streamRange(r.Rng.Uint64(), center, from, 0, n, visit)
+}
+
+// streamRange renders samples [i0, i1) of the window in block-sized
+// chunks from the reusable block buffer.
+func (r *Renderer) streamRange(salt uint64, center spectrum.UHF, from time.Duration, i0, i1 int, visit func(block []float64)) {
+	if r.block == nil {
+		r.block = make([]float64, BlockSamples)
+	}
+	for s := i0; s < i1; s += BlockSamples {
+		e := s + BlockSamples
+		if e > i1 {
+			e = i1
+		}
+		blk := r.block[:e-s]
+		r.renderRange(blk, salt, center, from, s, e)
+		visit(blk)
+	}
+}
+
+// sampleRange is a half-open range of window sample indices.
+type sampleRange struct{ s, e int }
+
+// EachActiveBlock is EachBlock for sparse windows: stretches of pure
+// receiver noise are not rendered at all — skip(k) reports them — and
+// only ranges around transmissions (padded by margin samples on each
+// side) are rendered and visited. Rendered samples are bit-identical
+// to the dense render at the same window positions. Callers may treat
+// the skipped stretches as noise-only if and only if their detection
+// threshold cannot be crossed by receiver noise (threshold strictly
+// above MaxNoiseAmplitude); margin must cover the caller's detector
+// look-behind so every pulse edge falls inside a rendered range.
+func (r *Renderer) EachActiveBlock(center spectrum.UHF, from, to time.Duration, margin int, visit func(block []float64), skip func(n int)) {
+	n := int((to - from) / SamplePeriod)
+	if n <= 0 {
+		return
+	}
+	salt := r.Rng.Uint64()
+	// Collect the padded sample ranges of every transmission visible in
+	// the scan band.
+	ranges := r.ranges[:0]
+	span := r.span()
+	scanLo := center.CenterMHz() - span/2
+	scanHi := center.CenterMHz() + span/2
+	for u := spectrum.UHF(0); u < spectrum.NumUHF; u++ {
+		if c := u.CenterMHz(); c < scanLo-maxTxHalfMHz || c > scanHi+maxTxHalfMHz {
+			continue
+		}
+		r.Air.ForEachCenterOverlapping(u, from, to, func(tx *mac.Transmission) {
+			if bandOverlapFraction(center, tx.Channel, span) == 0 {
+				return
+			}
+			s := int((tx.Start-from)/SamplePeriod) - margin
+			e := int((tx.End-from)/SamplePeriod) + 1 + margin
+			if s < 0 {
+				s = 0
+			}
+			if e > n {
+				e = n
+			}
+			if s < e {
+				ranges = append(ranges, sampleRange{s, e})
+			}
+		})
+	}
+	// Partitions arrive in per-channel start order; sort the union and
+	// merge overlaps into disjoint ascending ranges.
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].s < ranges[j].s })
+	r.ranges = ranges[:0]
+	cursor := 0
+	flush := func(rg sampleRange) {
+		if rg.s > cursor {
+			skip(rg.s - cursor)
+		}
+		r.streamRange(salt, center, from, rg.s, rg.e, visit)
+		cursor = rg.e
+	}
+	var cur sampleRange
+	open := false
+	for _, rg := range ranges {
+		if !open {
+			cur, open = rg, true
+			continue
+		}
+		if rg.s <= cur.e {
+			if rg.e > cur.e {
+				cur.e = rg.e
+			}
+			continue
+		}
+		flush(cur)
+		cur = rg
+	}
+	if open {
+		flush(cur)
+	}
+	if cursor < n {
+		skip(n - cursor)
+	}
+}
+
+// renderRange fills dst with samples [i0, i1) of the window starting at
+// from: receiver noise from the deviate table, plus the envelope of
+// every transmission overlapping the range in time and frequency. Only
+// the per-center partitions whose band can reach the scan span are
+// queried, so cost is O(transmissions overlapping the range).
+func (r *Renderer) renderRange(dst []float64, salt uint64, center spectrum.UHF, from time.Duration, i0, i1 int) {
+	buildNoiseTables()
+	// Receiver noise is a straight copy from the pre-scaled amplitude
+	// table (wrapping at the table boundary).
+	off := int((mix64(salt) + uint64(i0)) & noiseTableMask)
+	for k := 0; k < len(dst); {
+		c := copy(dst[k:], noiseAmpTable[off:])
+		k += c
+		off = 0
+	}
+	span := r.span()
+	scanLo := center.CenterMHz() - span/2
+	scanHi := center.CenterMHz() + span/2
+	blockFrom := from + SampleTime(i0)
+	blockTo := from + SampleTime(i1)
+	for u := spectrum.UHF(0); u < spectrum.NumUHF; u++ {
+		if c := u.CenterMHz(); c < scanLo-maxTxHalfMHz || c > scanHi+maxTxHalfMHz {
+			continue
+		}
+		r.Air.ForEachCenterOverlapping(u, blockFrom, blockTo, func(tx *mac.Transmission) {
+			frac := bandOverlapFraction(center, tx.Channel, span)
+			if frac == 0 {
+				return
+			}
+			rxDBm := r.Air.RxPower(tx.Src, r.ScannerID, tx.PowerDB) - r.ExtraLossDB
+			base := AmplitudeAt(rxDBm) * frac
+			r.addEnvelope(dst, salt, from, i0, i1, tx, base)
+		})
+	}
+}
+
+// addEnvelope adds one transmission's amplitude envelope into the
+// sample range [i0, i1) of the window starting at from. Fading and the
+// 5 MHz leading-ramp fraction derive from the window salt and the
+// transmission UID, so a transmission spanning a block boundary renders
+// identically however the window is chunked.
+func (r *Renderer) addEnvelope(dst []float64, salt uint64, from time.Duration, i0, i1 int, tx *mac.Transmission, base float64) {
 	startIdx := int((tx.Start - from) / SamplePeriod)
 	endIdx := int((tx.End - from) / SamplePeriod)
-	if startIdx < 0 {
-		startIdx = 0
+	if startIdx < i0 {
+		startIdx = i0
 	}
-	if endIdx > len(out) {
-		endIdx = len(out)
+	if endIdx > i1 {
+		endIdx = i1
 	}
-	dur := tx.End - tx.Start
+	h := mix64(salt ^ tx.UID*uidStride)
 	is5 := tx.Channel.Width == spectrum.W5
 	var rampEnd time.Duration
 	if is5 {
-		frac := rampFracLo + r.Rng.Float64()*(rampFracHi-rampFracLo)
-		rampEnd = tx.Start + time.Duration(float64(dur)*frac)
+		frac := rampFracLo + float64(h>>11)/(1<<53)*(rampFracHi-rampFracLo)
+		rampEnd = tx.Start + time.Duration(float64(tx.End-tx.Start)*frac)
 	}
+	fadeOff := mix64(h)
+	tab := noiseDeviates()
 	for i := startIdx; i < endIdx; i++ {
 		amp := base
-		t := from + time.Duration(i)*SamplePeriod
-		if is5 && t < rampEnd {
+		if is5 && from+SampleTime(i) < rampEnd {
 			amp *= rampAmplitude
 		}
-		fade := 1 + r.Rng.NormFloat64()*fadeSigma
+		fade := 1 + tab[(fadeOff+uint64(i))&noiseTableMask]*fadeSigma
 		if fade < fadeFloor {
 			fade = fadeFloor
 		}
-		out[i] += amp * fade
+		dst[i-i0] += amp * fade
 	}
 }
 
-// RenderBlocks renders the window and slices it into USRP-style blocks
-// of BlockSamples samples; the final partial block is dropped, matching
-// the hardware's block delivery.
+// RenderBlocks renders the window into USRP-style blocks of exactly
+// BlockSamples samples; the final partial block is dropped, matching
+// the hardware's block delivery. Each block is its own allocation, so
+// dropping the partial block does not retain a full-window backing
+// array.
 func (r *Renderer) RenderBlocks(center spectrum.UHF, from, to time.Duration) [][]float64 {
-	s := r.Render(center, from, to)
 	var blocks [][]float64
-	for len(s) >= BlockSamples {
-		blocks = append(blocks, s[:BlockSamples])
-		s = s[BlockSamples:]
-	}
+	r.EachBlock(center, from, to, func(b []float64) {
+		if len(b) < BlockSamples {
+			return
+		}
+		cp := make([]float64, BlockSamples)
+		copy(cp, b)
+		blocks = append(blocks, cp)
+	})
 	return blocks
 }
 

@@ -1,0 +1,104 @@
+package iq
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"whitefi/internal/mac"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// busyAir builds a medium with CBR traffic on a few channels.
+func busyAir(seed int64, until time.Duration) (*sim.Engine, *mac.Air) {
+	eng := sim.New(seed)
+	air := mac.NewAir(eng)
+	for i, u := range []spectrum.UHF{8, 10, 12} {
+		ap := mac.NewNode(eng, air, 1+2*i, spectrum.Chan(u, spectrum.W5), true)
+		mac.NewNode(eng, air, 2+2*i, spectrum.Chan(u, spectrum.W5), false)
+		cbr := mac.NewCBR(eng, ap, 2+2*i, 1000, 5*time.Millisecond)
+		cbr.Start()
+	}
+	eng.RunUntil(until)
+	return eng, air
+}
+
+func TestRenderIntoReusesBuffer(t *testing.T) {
+	_, air := busyAir(1, 50*time.Millisecond)
+	ra := NewRenderer(air, 99, rand.New(rand.NewSource(3)))
+	rb := NewRenderer(air, 99, rand.New(rand.NewSource(3)))
+	want := ra.Render(10, 0, 20*time.Millisecond)
+	buf := make([]float64, 0, len(want))
+	got := rb.RenderInto(buf, 10, 0, 20*time.Millisecond)
+	if &got[0] != &buf[:1][0] {
+		t.Error("RenderInto did not reuse the caller's buffer")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEachBlockMatchesRender(t *testing.T) {
+	_, air := busyAir(2, 80*time.Millisecond)
+	ra := NewRenderer(air, 99, rand.New(rand.NewSource(5)))
+	rb := NewRenderer(air, 99, rand.New(rand.NewSource(5)))
+	// A window that is not a multiple of BlockSamples, with packets
+	// crossing block boundaries.
+	want := ra.Render(10, 3*time.Millisecond, 73*time.Millisecond)
+	var got []float64
+	rb.EachBlock(10, 3*time.Millisecond, 73*time.Millisecond, func(b []float64) {
+		got = append(got, b...)
+	})
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d differs: %v vs %v (chunked render must be bit-identical)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRenderBlocksMatchesRender(t *testing.T) {
+	_, air := busyAir(3, 80*time.Millisecond)
+	ra := NewRenderer(air, 99, rand.New(rand.NewSource(7)))
+	rb := NewRenderer(air, 99, rand.New(rand.NewSource(7)))
+	want := ra.Render(10, 0, 50*time.Millisecond)
+	blocks := rb.RenderBlocks(10, 0, 50*time.Millisecond)
+	if len(blocks) != len(want)/BlockSamples {
+		t.Fatalf("block count %d, want %d", len(blocks), len(want)/BlockSamples)
+	}
+	for bi, b := range blocks {
+		for k, v := range b {
+			if v != want[bi*BlockSamples+k] {
+				t.Fatalf("block %d sample %d differs", bi, k)
+			}
+		}
+	}
+}
+
+// BenchmarkRenderPreHistory shows renders are O(transmissions
+// overlapping the window): 10x more pre-history, flat per-window cost.
+func BenchmarkRenderPreHistory(b *testing.B) {
+	for _, pre := range []time.Duration{time.Second, 10 * time.Second} {
+		name := "1x"
+		if pre > time.Second {
+			name = "10x"
+		}
+		b.Run(name, func(b *testing.B) {
+			_, air := busyAir(4, pre)
+			r := NewRenderer(air, 99, rand.New(rand.NewSource(9)))
+			var buf []float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = r.RenderInto(buf, 10, pre-250*time.Millisecond, pre)
+			}
+		})
+	}
+}

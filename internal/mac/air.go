@@ -73,20 +73,44 @@ type PathLoss func(src, dst int) float64
 // are recorded here; carrier sense, frame delivery and airtime accounting
 // all derive from the record. Air is not safe for concurrent use: the
 // simulation engine is single-threaded by design.
+//
+// The transmission record is a time-indexed log: start-time sorted (the
+// virtual clock is monotonic), partitioned by center UHF channel, and
+// queried with binary search, so scan-window renders and airtime
+// accounting cost O(transmissions overlapping the window) instead of
+// O(total history).
 type Air struct {
 	Eng *sim.Engine
 	// Loss is the path-loss model; nil means zero loss everywhere.
 	Loss PathLoss
+	// Retention, when positive, is the history horizon: once the log has
+	// grown past an internal watermark, completed transmissions that
+	// ended more than Retention before the current virtual time are
+	// pruned automatically. Scan windows must not reach further back
+	// than Retention. Zero (the default) keeps the full history.
+	Retention time.Duration
 
-	history []Transmission // completed and active, in start order
-	active  []*Transmission
+	log    []Transmission // completed and active, in start order
+	active []*Transmission
+	// byCenter partitions log indices by the transmission's center UHF
+	// channel; other catches the (never expected) out-of-range centers.
+	byCenter [spectrum.NumUHF][]int32
+	other    []int32
+	// maxDur is the longest on-air duration in the log: the look-behind
+	// bound for binary-search window queries.
+	maxDur time.Duration
+	// pruneAt is the log length at which the next automatic prune runs.
+	pruneAt int
 
-	nodes   map[int]*airNode
+	// nodes holds the attached nodes sorted by id: iteration is a plain
+	// slice walk (deterministic and map-free — the per-event eachNode
+	// fan-out is the MAC hot path) and lookup is a binary search.
+	nodes   []*airNode
 	nextUID uint64
-	// order holds node ids sorted ascending; all iteration over nodes
-	// goes through it so simulations are deterministic (Go randomises
-	// map iteration order).
-	order []int
+
+	// scratch buffers reused by window queries (Air is single-threaded).
+	scratchIdx []int32
+	scratchIvs []busyInterval
 }
 
 type airNode struct {
@@ -102,7 +126,21 @@ type airNode struct {
 
 // NewAir creates an empty medium bound to the engine.
 func NewAir(eng *sim.Engine) *Air {
-	return &Air{Eng: eng, nodes: make(map[int]*airNode)}
+	return &Air{Eng: eng}
+}
+
+// nodeIndex returns the position of id in the sorted node slice, or
+// the insertion point when absent.
+func (a *Air) nodeIndex(id int) int {
+	return sort.Search(len(a.nodes), func(i int) bool { return a.nodes[i].id >= id })
+}
+
+// node returns the attached node with the given id, or nil.
+func (a *Air) node(id int) *airNode {
+	if i := a.nodeIndex(id); i < len(a.nodes) && a.nodes[i].id == id {
+		return a.nodes[i]
+	}
+	return nil
 }
 
 func (a *Air) loss(src, dst int) float64 {
@@ -122,32 +160,29 @@ func (a *Air) RxPower(src, dst int, txPowerDBm float64) float64 {
 // transitions.
 func (a *Air) attach(id int, ch spectrum.Channel, isAP bool, senser carrierSenser, deliver func(phy.Frame, *Transmission)) *airNode {
 	n := &airNode{id: id, channel: ch, span: ch.Span(), senser: senser, deliver: deliver, isAP: isAP}
-	if _, exists := a.nodes[id]; !exists {
-		i := sort.SearchInts(a.order, id)
-		a.order = append(a.order, 0)
-		copy(a.order[i+1:], a.order[i:])
-		a.order[i] = id
+	i := a.nodeIndex(id)
+	if i < len(a.nodes) && a.nodes[i].id == id {
+		a.nodes[i] = n
+	} else {
+		a.nodes = append(a.nodes, nil)
+		copy(a.nodes[i+1:], a.nodes[i:])
+		a.nodes[i] = n
 	}
-	a.nodes[id] = n
 	n.sensedCnt = a.countSensed(n)
 	return n
 }
 
 // detach removes a node from the medium.
 func (a *Air) detach(id int) {
-	if _, exists := a.nodes[id]; exists {
-		i := sort.SearchInts(a.order, id)
-		a.order = append(a.order[:i], a.order[i+1:]...)
+	if i := a.nodeIndex(id); i < len(a.nodes) && a.nodes[i].id == id {
+		a.nodes = append(a.nodes[:i], a.nodes[i+1:]...)
 	}
-	delete(a.nodes, id)
 }
 
 // eachNode visits nodes in ascending id order.
 func (a *Air) eachNode(f func(*airNode)) {
-	for _, id := range a.order {
-		if n := a.nodes[id]; n != nil {
-			f(n)
-		}
+	for _, n := range a.nodes {
+		f(n)
 	}
 }
 
@@ -186,7 +221,7 @@ func (a *Air) hears(n *airNode, tx *Transmission) bool {
 // SensedBusy reports whether node id currently senses any carrier on any
 // UHF channel of its tuned span (the multi-channel carrier sense rule).
 func (a *Air) SensedBusy(id int) bool {
-	n := a.nodes[id]
+	n := a.node(id)
 	if n == nil {
 		return false
 	}
@@ -209,9 +244,9 @@ func (a *Air) Transmit(id int, ch spectrum.Channel, f phy.Frame, powerDBm float6
 		NoCS:    noCS,
 		UID:     a.nextUID,
 	}
-	a.history = append(a.history, *tx)
+	a.record(*tx)
 	a.active = append(a.active, tx)
-	if n := a.nodes[id]; n != nil {
+	if n := a.node(id); n != nil {
 		n.txUntil = tx.End
 	}
 	// Raise busy at every node that hears this transmission.
@@ -279,11 +314,11 @@ func (a *Air) cleanAt(n *airNode, tx *Transmission) bool {
 	if n.txUntil > tx.Start {
 		return false
 	}
-	// History is start-ordered; nothing starting more than maxFrameAir
+	// The log is start-ordered; nothing starting more than maxFrameAir
 	// before tx.Start can still overlap it, so a backwards scan with an
 	// early break keeps this O(recent) rather than O(history).
-	for i := len(a.history) - 1; i >= 0; i-- {
-		o := &a.history[i]
+	for i := len(a.log) - 1; i >= 0; i-- {
+		o := &a.log[i]
 		if o.Start < tx.Start-maxFrameAir {
 			break
 		}
@@ -310,31 +345,176 @@ const maxFrameAir = 50 * time.Millisecond
 // decodeSNRdB is the SNR needed for the transceiver to decode a frame.
 const decodeSNRdB = 10
 
+// record appends a transmission to the time-indexed log and maintains
+// the per-center partitions, the look-behind bound, and the automatic
+// retention prune.
+func (a *Air) record(tx Transmission) {
+	i := int32(len(a.log))
+	a.log = append(a.log, tx)
+	if c := tx.Channel.Center; c.Valid() {
+		a.byCenter[c] = append(a.byCenter[c], i)
+	} else {
+		a.other = append(a.other, i)
+	}
+	if d := tx.Duration(); d > a.maxDur {
+		a.maxDur = d
+	}
+	if a.Retention > 0 && len(a.log) >= a.pruneAt {
+		a.Prune(a.Eng.Now() - a.Retention)
+		a.pruneAt = 2*len(a.log) + minPruneWatermark
+	}
+}
+
+// minPruneWatermark keeps automatic pruning from running on tiny logs.
+const minPruneWatermark = 1024
+
 // History returns all recorded transmissions, in start order. The
 // returned slice is owned by the medium; callers must not modify it.
-func (a *Air) History() []Transmission { return a.history }
+func (a *Air) History() []Transmission { return a.log }
 
-// Compact drops completed transmissions that ended before t, bounding
+// Prune drops completed transmissions that ended before t, bounding
 // memory in long simulations. Scan windows must not reach behind t.
-func (a *Air) Compact(before time.Duration) {
-	kept := a.history[:0]
-	for _, tx := range a.history {
+// Active transmissions always survive. The per-center partitions are
+// rebuilt, so pruning costs O(surviving log).
+func (a *Air) Prune(before time.Duration) {
+	kept := a.log[:0]
+	for _, tx := range a.log {
 		if tx.End >= before {
 			kept = append(kept, tx)
 		}
 	}
-	a.history = kept
+	a.log = kept
+	for c := range a.byCenter {
+		a.byCenter[c] = a.byCenter[c][:0]
+	}
+	a.other = a.other[:0]
+	a.maxDur = 0
+	for i, tx := range a.log {
+		if c := tx.Channel.Center; c.Valid() {
+			a.byCenter[c] = append(a.byCenter[c], int32(i))
+		} else {
+			a.other = append(a.other, int32(i))
+		}
+		if d := tx.Duration(); d > a.maxDur {
+			a.maxDur = d
+		}
+	}
+}
+
+// Compact is an alias for Prune, kept for older call sites.
+func (a *Air) Compact(before time.Duration) { a.Prune(before) }
+
+// searchStart returns the first log index whose transmission starts at
+// or after t.
+func (a *Air) searchStart(t time.Duration) int {
+	return sort.Search(len(a.log), func(i int) bool { return a.log[i].Start >= t })
+}
+
+// searchStartIdx is searchStart over a partition's index slice.
+func (a *Air) searchStartIdx(idx []int32, t time.Duration) int {
+	return sort.Search(len(idx), func(i int) bool { return a.log[idx[i]].Start >= t })
+}
+
+// ForEachOverlapping visits, in start order, every transmission on air
+// at any point of [from, to), regardless of channel. The visited pointer
+// is only valid during the call.
+func (a *Air) ForEachOverlapping(from, to time.Duration, visit func(*Transmission)) {
+	for i := a.searchStart(from - a.maxDur); i < len(a.log); i++ {
+		tx := &a.log[i]
+		if tx.Start >= to {
+			break
+		}
+		if tx.End > from {
+			visit(tx)
+		}
+	}
+}
+
+// HistoryOverlapping returns the transmissions on air at any point of
+// [from, to), in start order. It allocates; use ForEachOverlapping or
+// AppendOverlapping on hot paths.
+func (a *Air) HistoryOverlapping(from, to time.Duration) []Transmission {
+	var out []Transmission
+	a.ForEachOverlapping(from, to, func(tx *Transmission) { out = append(out, *tx) })
+	return out
+}
+
+// ForEachCenterOverlapping visits, in start order, every transmission
+// whose channel is centered on UHF channel center and that is on air at
+// any point of [from, to). Narrow-band renders use this to skip every
+// irrelevant channel partition entirely.
+func (a *Air) ForEachCenterOverlapping(center spectrum.UHF, from, to time.Duration, visit func(*Transmission)) {
+	a.forEachIdxOverlapping(a.partition(center), from, to, visit)
+}
+
+func (a *Air) partition(center spectrum.UHF) []int32 {
+	if !center.Valid() {
+		return nil
+	}
+	return a.byCenter[center]
+}
+
+func (a *Air) forEachIdxOverlapping(idx []int32, from, to time.Duration, visit func(*Transmission)) {
+	for i := a.searchStartIdx(idx, from-a.maxDur); i < len(idx); i++ {
+		tx := &a.log[idx[i]]
+		if tx.Start >= to {
+			break
+		}
+		if tx.End > from {
+			visit(tx)
+		}
+	}
+}
+
+// forEachContaining visits, in start order, every transmission whose
+// channel span includes UHF channel u and that overlaps [from, to). Only
+// the partitions of centers within the widest half-span of u are
+// consulted.
+func (a *Air) forEachContaining(u spectrum.UHF, from, to time.Duration, visit func(*Transmission)) {
+	// The widest channel (20 MHz) spans two UHF channels to each side of
+	// its center, so any transmission containing u is centered within
+	// maxHalfSpan of it.
+	const maxHalfSpan = 2
+	a.scratchIdx = a.scratchIdx[:0]
+	for c := u - maxHalfSpan; c <= u+maxHalfSpan; c++ {
+		idx := a.partition(c)
+		for i := a.searchStartIdx(idx, from-a.maxDur); i < len(idx); i++ {
+			tx := &a.log[idx[i]]
+			if tx.Start >= to {
+				break
+			}
+			if tx.End > from && tx.Channel.Contains(u) {
+				a.scratchIdx = append(a.scratchIdx, idx[i])
+			}
+		}
+	}
+	for i := a.searchStartIdx(a.other, from-a.maxDur); i < len(a.other); i++ {
+		tx := &a.log[a.other[i]]
+		if tx.Start >= to {
+			break
+		}
+		if tx.End > from && tx.Channel.Contains(u) {
+			a.scratchIdx = append(a.scratchIdx, a.other[i])
+		}
+	}
+	// Log indices are start-ordered; merge the partitions by sorting the
+	// collected indices so visitors observe start order. Insertion sort:
+	// the collected runs are already sorted and short.
+	for i := 1; i < len(a.scratchIdx); i++ {
+		for j := i; j > 0 && a.scratchIdx[j] < a.scratchIdx[j-1]; j-- {
+			a.scratchIdx[j], a.scratchIdx[j-1] = a.scratchIdx[j-1], a.scratchIdx[j]
+		}
+	}
+	for _, i := range a.scratchIdx {
+		visit(&a.log[i])
+	}
 }
 
 // Overlapping returns the transmissions on air at any point of [from, to)
-// whose channel span includes UHF channel u.
+// whose channel span includes UHF channel u, in start order.
 func (a *Air) Overlapping(u spectrum.UHF, from, to time.Duration) []Transmission {
 	var out []Transmission
-	for _, tx := range a.history {
-		if tx.overlapsTime(from, to) && tx.Channel.Contains(u) {
-			out = append(out, tx)
-		}
-	}
+	a.forEachContaining(u, from, to, func(tx *Transmission) { out = append(out, *tx) })
 	return out
 }
 
@@ -353,11 +533,12 @@ func (a *Air) BusyFractionExcluding(u spectrum.UHF, from, to time.Duration, excl
 	if to <= from {
 		return 0
 	}
-	type iv struct{ s, e time.Duration }
-	var ivs []iv
-	for _, tx := range a.Overlapping(u, from, to) {
+	ivs := a.scratchIvs[:0]
+	// forEachContaining visits in start order, so the intervals arrive
+	// already sorted and the union is a single sweep.
+	a.forEachContaining(u, from, to, func(tx *Transmission) {
 		if exclude[tx.Src] {
-			continue
+			return
 		}
 		s, e := tx.Start, tx.End
 		if s < from {
@@ -366,9 +547,9 @@ func (a *Air) BusyFractionExcluding(u spectrum.UHF, from, to time.Duration, excl
 		if e > to {
 			e = to
 		}
-		ivs = append(ivs, iv{s, e})
-	}
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+		ivs = append(ivs, busyInterval{s, e})
+	})
+	a.scratchIvs = ivs[:0]
 	var busy, end time.Duration
 	end = -1
 	for _, v := range ivs {
@@ -383,6 +564,9 @@ func (a *Air) BusyFractionExcluding(u spectrum.UHF, from, to time.Duration, excl
 	return float64(busy) / float64(to-from)
 }
 
+// busyInterval is one clipped on-air span inside a query window.
+type busyInterval struct{ s, e time.Duration }
+
 // ActiveAPs returns the number of distinct AP nodes that transmitted on a
 // channel spanning u during [from, to), excluding node exclude. This is
 // the ground-truth B_c of Section 4.1.
@@ -393,19 +577,19 @@ func (a *Air) ActiveAPs(u spectrum.UHF, from, to time.Duration, exclude int) int
 // ActiveAPsExcluding is ActiveAPs with a set of excluded source nodes.
 func (a *Air) ActiveAPsExcluding(u spectrum.UHF, from, to time.Duration, exclude map[int]bool) int {
 	seen := map[int]bool{}
-	for _, tx := range a.Overlapping(u, from, to) {
+	a.forEachContaining(u, from, to, func(tx *Transmission) {
 		if exclude[tx.Src] {
-			continue
+			return
 		}
-		if n := a.nodes[tx.Src]; n != nil && n.isAP {
+		if n := a.node(tx.Src); n != nil && n.isAP {
 			seen[tx.Src] = true
-			continue
+			return
 		}
 		// Transmissions from nodes that have since detached still
 		// count if they look like AP traffic (beacons).
-		if a.nodes[tx.Src] == nil && tx.Frame.Kind == phy.KindBeacon {
+		if a.node(tx.Src) == nil && tx.Frame.Kind == phy.KindBeacon {
 			seen[tx.Src] = true
 		}
-	}
+	})
 	return len(seen)
 }

@@ -28,7 +28,9 @@ import (
 )
 
 // Scanner is the secondary radio: it renders scan windows of the medium
-// and runs SIFT over them.
+// and runs SIFT over them. Scan windows are streamed through the SIFT
+// detector in USRP-sized blocks from one reusable buffer, so a scan
+// allocates only its result pulses no matter how long the window is.
 type Scanner struct {
 	// ID identifies the scanner's location for path loss.
 	ID int
@@ -39,6 +41,7 @@ type Scanner struct {
 
 	renderer *iq.Renderer
 	air      *mac.Air
+	det      sift.Detector
 }
 
 // NewScanner creates a scanner at node id, with its own noise RNG.
@@ -75,8 +78,23 @@ func (s *Scanner) ScanChannel(center spectrum.UHF, from, to time.Duration) ScanR
 func (s *Scanner) scan(center spectrum.UHF, from, to time.Duration, spanMHz float64) ScanResult {
 	s.renderer.ExtraLossDB = s.ExtraLossDB
 	s.renderer.SpanMHz = spanMHz
-	samples := s.renderer.Render(center, from, to)
-	pulses := sift.DetectPulses(samples, s.Cfg)
+	// Stream block-sized renders through the detector instead of
+	// materializing the whole window: same pulses, O(block) memory.
+	s.det.Reset(s.Cfg)
+	push := func(block []float64) { s.det.Push(block) }
+	window, threshold := s.Cfg.Effective()
+	if threshold > iq.MaxNoiseAmplitude() {
+		// Receiver noise can never cross this threshold, so stretches
+		// with no transmission in the band need not be rendered or
+		// scanned at all: only the padded active ranges are streamed.
+		// The margin keeps every pulse edge (and the moving-average
+		// refill after a skip) inside rendered samples.
+		margin := 4*window + minSkipMargin
+		s.renderer.EachActiveBlock(center, from, to, margin, push, s.det.SkipNoise)
+	} else {
+		s.renderer.EachBlock(center, from, to, push)
+	}
+	pulses := s.det.Finish()
 	return ScanResult{
 		Center:     center,
 		Window:     to - from,
@@ -85,6 +103,10 @@ func (s *Scanner) scan(center spectrum.UHF, from, to time.Duration, spanMHz floa
 		Airtime:    sift.AirtimeUtilization(pulses, to-from),
 	}
 }
+
+// minSkipMargin pads the sparse-scan margin beyond the detector-window
+// multiple, covering the minimum-pulse suppression lookahead.
+const minSkipMargin = 8
 
 // Chirps scans the given channel window and returns decoded chirp
 // values. It uses the narrow per-channel span: chirps are 5 MHz frames

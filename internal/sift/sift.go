@@ -22,9 +22,9 @@
 package sift
 
 import (
+	"sort"
 	"time"
 
-	"whitefi/internal/iq"
 	"whitefi/internal/phy"
 	"whitefi/internal/spectrum"
 )
@@ -65,6 +65,12 @@ func (c Config) threshold() float64 {
 	return c.Threshold
 }
 
+// Effective returns the window and threshold actually used, with the
+// paper defaults applied to zero fields.
+func (c Config) Effective() (window int, threshold float64) {
+	return c.window(), c.threshold()
+}
+
 // Pulse is one contiguous above-threshold burst of signal: a candidate
 // packet transmission. Times are relative to the start of the sample
 // window.
@@ -81,61 +87,24 @@ func (p Pulse) Duration() time.Duration { return p.End - p.Start }
 // threshold and ends when it falls below. Pulses shorter than three
 // samples are discarded as noise spikes. A pulse still above threshold
 // at the end of the stream is closed at the stream boundary.
+//
+// Edge attribution compensates the moving average's group delay
+// asymmetrically: when the average rises above the threshold, the
+// newest sample in the window is the one that pushed it up, so the
+// pulse starts there; when it falls below, every sample in the window
+// is already off, so the pulse ended at the window's oldest sample.
+// For strong signals this recovers the true packet edges exactly,
+// which keeps the measured DATA->ACK gap equal to the SIFS — the
+// quantity SIFT's width inference matches against.
+//
+// DetectPulses is the one-shot form of the streaming Detector; feeding
+// the same samples block-by-block through a Detector yields identical
+// pulses.
 func DetectPulses(samples []float64, cfg Config) []Pulse {
-	w := cfg.window()
-	thr := cfg.threshold()
-	if len(samples) < w {
-		return nil
-	}
-	var pulses []Pulse
-	var sum float64
-	for i := 0; i < w; i++ {
-		sum += samples[i]
-	}
-	inPulse := false
-	var startIdx int
-	// Edge attribution compensates the moving average's group delay
-	// asymmetrically: when the average rises above the threshold, the
-	// newest sample in the window is the one that pushed it up, so the
-	// pulse starts there; when it falls below, every sample in the
-	// window is already off, so the pulse ended at the window's oldest
-	// sample. For strong signals this recovers the true packet edges
-	// exactly, which keeps the measured DATA->ACK gap equal to the SIFS
-	// — the quantity SIFT's width inference matches against.
-	for i := w - 1; ; i++ {
-		avg := sum / float64(w)
-		if !inPulse && avg >= thr {
-			inPulse = true
-			startIdx = i
-			if i == w-1 {
-				// Signal already present at stream start.
-				startIdx = 0
-			}
-		} else if inPulse && avg < thr {
-			inPulse = false
-			endIdx := i - w + 1
-			if endIdx-startIdx >= minPulseSamples {
-				pulses = append(pulses, Pulse{
-					Start: iq.SampleTime(startIdx),
-					End:   iq.SampleTime(endIdx),
-				})
-			}
-		}
-		if i+1 >= len(samples) {
-			break
-		}
-		sum += samples[i+1] - samples[i+1-w]
-	}
-	if inPulse {
-		endIdx := len(samples) - 1
-		if endIdx-startIdx >= minPulseSamples {
-			pulses = append(pulses, Pulse{
-				Start: iq.SampleTime(startIdx),
-				End:   iq.SampleTime(endIdx),
-			})
-		}
-	}
-	return pulses
+	var d Detector
+	d.Reset(cfg)
+	d.Push(samples)
+	return d.Finish()
 }
 
 // DetectionKind classifies a matched pulse pattern.
@@ -257,7 +226,12 @@ func CountMatching(pulses []Pulse, w spectrum.Width, frameBytes int, lowTol, hig
 // EstimateAPs estimates the number of distinct APs whose beacons appear
 // in a pulse train, by clustering beacon-CTS detections by their phase
 // modulo the beacon interval: one AP's beacons share a phase, two APs
-// rarely do. phaseTol merges clusters closer than itself.
+// rarely do. phaseTol merges neighbouring phases closer than itself.
+//
+// The phases are sorted and clustered in a single linear merge pass
+// over the beacon-interval circle — O(n log n) instead of the quadratic
+// pairwise comparison — with an explicit wrap-around check joining the
+// last and first clusters when they meet across the modulus boundary.
 func EstimateAPs(dets []Detection, beaconInterval, phaseTol time.Duration) int {
 	if beaconInterval <= 0 {
 		return 0
@@ -272,29 +246,18 @@ func EstimateAPs(dets []Detection, beaconInterval, phaseTol time.Duration) int {
 	if len(phases) == 0 {
 		return 0
 	}
-	used := make([]bool, len(phases))
-	clusters := 0
-	for i := range phases {
-		if used[i] {
-			continue
+	sort.Slice(phases, func(i, j int) bool { return phases[i] < phases[j] })
+	clusters := 1
+	for i := 1; i < len(phases); i++ {
+		if phases[i]-phases[i-1] > phaseTol {
+			clusters++
 		}
-		clusters++
-		for j := i; j < len(phases); j++ {
-			if used[j] {
-				continue
-			}
-			d := phases[i] - phases[j]
-			if d < 0 {
-				d = -d
-			}
-			// Wrap-around distance on the interval circle.
-			if w := beaconInterval - d; w < d {
-				d = w
-			}
-			if d <= phaseTol {
-				used[j] = true
-			}
-		}
+	}
+	// Wrap-around: the gap from the highest phase back around the
+	// circle to the lowest. When it is within tolerance the first and
+	// last clusters are one AP drifting across the modulus boundary.
+	if clusters > 1 && beaconInterval-phases[len(phases)-1]+phases[0] <= phaseTol {
+		clusters--
 	}
 	return clusters
 }

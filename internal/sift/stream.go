@@ -1,0 +1,142 @@
+package sift
+
+import "whitefi/internal/iq"
+
+// Detector is the streaming form of the SIFT edge detector: it consumes
+// USRP-style sample blocks incrementally, carrying the moving-average
+// window and any open pulse across block boundaries, so a multi-second
+// scan window never has to be materialized as one buffer. Feeding a
+// window block-by-block produces exactly the pulses DetectPulses
+// returns for the concatenated window (DetectPulses is itself a
+// one-shot wrapper around Detector).
+//
+// The zero value is not ready for use; call Reset first.
+type Detector struct {
+	w int
+	// thrW is threshold * window: the moving average crosses the
+	// threshold exactly when the window sum crosses thrW, which saves
+	// the per-sample division.
+	thrW float64
+
+	ring []float64 // last w samples, ring[i%w] holds sample i
+	sum  float64
+	n    int // total samples consumed
+
+	inPulse  bool
+	startIdx int
+	pulses   []Pulse
+}
+
+// NewDetector returns a streaming detector for the given configuration
+// (zero value selects the paper defaults).
+func NewDetector(cfg Config) *Detector {
+	d := &Detector{}
+	d.Reset(cfg)
+	return d
+}
+
+// Reset reinitialises the detector for a new window. The moving-average
+// ring is reused when the window size is unchanged; accumulated pulses
+// are released to their caller (Reset does not reuse the pulse slice,
+// so the result of a previous Finish stays valid).
+func (d *Detector) Reset(cfg Config) {
+	w := cfg.window()
+	if cap(d.ring) >= w {
+		d.ring = d.ring[:w]
+		// The rolling sum relies on the invariant sum == Σring; a
+		// reused ring must start clean or SkipNoise refills would
+		// subtract stale amplitudes.
+		for i := range d.ring {
+			d.ring[i] = 0
+		}
+	} else {
+		d.ring = make([]float64, w)
+	}
+	d.w = w
+	d.thrW = cfg.threshold() * float64(w)
+	d.sum = 0
+	d.n = 0
+	d.inPulse = false
+	d.pulses = nil
+}
+
+// Samples returns the number of samples consumed since the last Reset.
+func (d *Detector) Samples() int { return d.n }
+
+// Push consumes one block of amplitude samples. Blocks may be any
+// length, including shorter than the moving-average window.
+func (d *Detector) Push(block []float64) {
+	for _, v := range block {
+		i := d.n
+		if i < d.w {
+			// Window still filling: mirror the one-shot detector's
+			// initial sum, evaluating first once w samples are in.
+			d.ring[i] = v
+			d.sum += v
+			d.n++
+			if d.n == d.w {
+				d.eval(d.w - 1)
+			}
+			continue
+		}
+		p := i % d.w
+		// Single combined update keeps the floating-point operation
+		// order identical to the one-shot rolling sum.
+		d.sum += v - d.ring[p]
+		d.ring[p] = v
+		d.n++
+		d.eval(i)
+	}
+}
+
+// eval applies the edge rules for the window ending at sample i. See
+// DetectPulses for the group-delay attribution rationale.
+func (d *Detector) eval(i int) {
+	if !d.inPulse && d.sum >= d.thrW {
+		d.inPulse = true
+		d.startIdx = i
+		if i == d.w-1 {
+			// Signal already present at stream start.
+			d.startIdx = 0
+		}
+	} else if d.inPulse && d.sum < d.thrW {
+		d.inPulse = false
+		d.close(i - d.w + 1)
+	}
+}
+
+// SkipNoise advances the stream position over k samples that were
+// never rendered because they are known to be pure receiver noise.
+// The caller guarantees noise alone cannot reach the detection
+// threshold (iq.MaxNoiseAmplitude below Config.Threshold) and that
+// skipped stretches sit at least a window length away from any signal
+// (the margin of iq's EachActiveBlock), so no pulse edge can fall in a
+// skipped stretch. The moving-average ring is left stale; it refills
+// from the margin samples before any signal arrives, and stale noise
+// sums stay below threshold by the same amplitude bound.
+func (d *Detector) SkipNoise(k int) {
+	if d.inPulse {
+		panic("sift: SkipNoise inside a pulse — margin too small for the detector window")
+	}
+	d.n += k
+}
+
+func (d *Detector) close(endIdx int) {
+	if endIdx-d.startIdx >= minPulseSamples {
+		d.pulses = append(d.pulses, Pulse{
+			Start: iq.SampleTime(d.startIdx),
+			End:   iq.SampleTime(endIdx),
+		})
+	}
+}
+
+// Finish closes a pulse still above threshold at the stream boundary
+// and returns all detected pulses, in time order. The detector must be
+// Reset before the next window.
+func (d *Detector) Finish() []Pulse {
+	if d.inPulse {
+		d.inPulse = false
+		d.close(d.n - 1)
+	}
+	return d.pulses
+}

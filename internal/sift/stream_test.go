@@ -1,0 +1,129 @@
+package sift
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"whitefi/internal/iq"
+	"whitefi/internal/mac"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// pushSplit feeds samples through a fresh detector in blocks of size
+// blk (the final block may be partial) and returns the pulses.
+func pushSplit(samples []float64, cfg Config, blk int) []Pulse {
+	d := NewDetector(cfg)
+	for off := 0; off < len(samples); off += blk {
+		end := off + blk
+		if end > len(samples) {
+			end = len(samples)
+		}
+		d.Push(samples[off:end])
+	}
+	return d.Finish()
+}
+
+func samePulses(a, b []Pulse) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDetectorMatchesOneShot: streaming over block-split input must
+// produce identical pulses to one-shot DetectPulses over the
+// concatenated window, for ragged block sizes and pulses spanning
+// block boundaries.
+func TestDetectorMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	// Synthetic train: pulses of diverse lengths, several crossing the
+	// 2048-sample USRP block boundary, plus one open at stream end.
+	var want []Pulse
+	cursor := 300 * time.Microsecond
+	for i := 0; i < 40; i++ {
+		dur := time.Duration(40+rng.Intn(3000)) * time.Microsecond
+		want = append(want, Pulse{Start: cursor, End: cursor + dur})
+		cursor += dur + time.Duration(15+rng.Intn(400))*time.Microsecond
+	}
+	n := iq.SampleIndex(cursor) - 50 // truncate: last pulse open at end
+	s := synth(n, 120, want, rng)
+	oneShot := DetectPulses(s, Config{})
+	if len(oneShot) < 30 {
+		t.Fatalf("one-shot found only %d pulses", len(oneShot))
+	}
+	for _, blk := range []int{1, 3, iq.BlockSamples - 1, iq.BlockSamples, 4096, n} {
+		got := pushSplit(s, Config{}, blk)
+		if !samePulses(got, oneShot) {
+			t.Fatalf("block size %d: %d pulses, one-shot %d (must be identical)", blk, len(got), len(oneShot))
+		}
+	}
+}
+
+// TestDetectorMatchesOneShotRendered repeats the identity check over a
+// realistic rendered exchange train rather than synthetic rectangles.
+func TestDetectorMatchesOneShotRendered(t *testing.T) {
+	eng := sim.New(43)
+	air := mac.NewAir(eng)
+	ch := spectrum.Chan(10, spectrum.W5)
+	ap := mac.NewNode(eng, air, 1, ch, true)
+	mac.NewNode(eng, air, 2, ch, false)
+	cbr := mac.NewCBR(eng, ap, 2, 1000, 4*time.Millisecond)
+	cbr.Start()
+	eng.RunUntil(200 * time.Millisecond)
+	r := iq.NewRenderer(air, 99, rand.New(rand.NewSource(43)))
+	s := r.Render(10, 0, 200*time.Millisecond)
+	oneShot := DetectPulses(s, Config{})
+	if len(oneShot) < 10 {
+		t.Fatalf("one-shot found only %d pulses", len(oneShot))
+	}
+	for _, blk := range []int{17, iq.BlockSamples} {
+		if got := pushSplit(s, Config{}, blk); !samePulses(got, oneShot) {
+			t.Fatalf("block size %d: pulses differ from one-shot", blk)
+		}
+	}
+}
+
+func TestDetectorShortStream(t *testing.T) {
+	// Fewer total samples than the window: no pulses, like DetectPulses.
+	d := NewDetector(Config{})
+	d.Push([]float64{1000, 1000})
+	if got := d.Finish(); got != nil {
+		t.Errorf("short stream produced %v", got)
+	}
+	// Reset reuses the detector.
+	d.Reset(Config{})
+	if d.Samples() != 0 {
+		t.Error("Reset did not clear the sample count")
+	}
+}
+
+func TestDetectorResetIsolatesWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	p := Pulse{Start: 100 * time.Microsecond, End: 600 * time.Microsecond}
+	s := synth(1500, 100, []Pulse{p}, rng)
+	d := NewDetector(Config{})
+	d.Push(s)
+	first := d.Finish()
+	if len(first) != 1 {
+		t.Fatalf("first window: %v", first)
+	}
+	captured := first[0]
+	d.Reset(Config{})
+	d.Push(s)
+	second := d.Finish()
+	if !samePulses(first, second) {
+		t.Fatalf("windows differ after Reset: %v vs %v", first, second)
+	}
+	// The first result must survive the second window: Reset hands the
+	// pulse slice to its caller instead of clobbering the backing array.
+	if first[0] != captured {
+		t.Fatalf("first window's result was clobbered by the second: %v vs %v", first[0], captured)
+	}
+}

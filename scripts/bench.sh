@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench.sh — run the evaluation benchmarks and emit machine-readable
+# JSON so the performance trajectory is tracked across PRs.
+#
+# Usage:
+#   scripts/bench.sh [pattern] [benchtime]
+#
+#   pattern    go test -bench regexp      (default: .)
+#   benchtime  go test -benchtime value   (default: 1x)
+#
+# Output: BENCH_<git-short-sha>.json in the repository root — one JSON
+# object per line ("name", "iterations", "ns_per_op", plus
+# "bytes_per_op"/"allocs_per_op" when -benchmem reports them), followed
+# by a trailing metadata object with the commit, date and host.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+pattern=${1:-.}
+benchtime=${2:-1x}
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)
+out="BENCH_${sha}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... | tee "$raw"
+
+awk -v commit="$sha" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+    line = sprintf("{\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", $1, $2, $3)
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op")     line = line sprintf(",\"bytes_per_op\":%s", $(i-1))
+        if ($(i) == "allocs/op") line = line sprintf(",\"allocs_per_op\":%s", $(i-1))
+    }
+    print line "}"
+}
+END {
+    printf "{\"meta\":{\"commit\":\"%s\",\"date\":\"%s\",\"benchtime\":\"'"$benchtime"'\"}}\n", commit, date
+}
+' "$raw" >"$out"
+
+echo "wrote $out"
