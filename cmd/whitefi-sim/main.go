@@ -6,11 +6,21 @@
 //
 //	whitefi-sim -clients 3 -duration 60s -background 8 -seed 7
 //	whitefi-sim -map building5 -mic-at 20s
+//	whitefi-sim -topology star -range 200 -clients 4
+//	whitefi-sim -json | jq .goodput_mbps
+//
+// The default topology is "colocated": every node in perfect range on
+// the legacy flat medium, reproducing the paper's single-cell setups
+// bit-for-bit. The spatial topologies place nodes on a plane under the
+// log-distance propagation model (-range sets the AP-client spacing in
+// meters), so carrier sense, delivery, and each node's spectrum view
+// become position dependent.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"time"
@@ -24,6 +34,50 @@ import (
 	"whitefi/internal/trace"
 )
 
+// stepRecord is one -json periodic trace line.
+type stepRecord struct {
+	T          float64 `json:"t_s"`
+	Channel    string  `json:"channel"`
+	Backup     string  `json:"backup"`
+	GoodputMbs float64 `json:"goodput_mbps"`
+	Associated int     `json:"associated"`
+	Clients    int     `json:"clients"`
+}
+
+// switchRecord is one -json switch-log line.
+type switchRecord struct {
+	Event  string  `json:"event"`
+	T      float64 `json:"t_s"`
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	Reason string  `json:"reason"`
+	Metric float64 `json:"metric"`
+}
+
+// placements returns per-node positions (index 0 the AP, then clients)
+// for a topology, or ok=false for an unknown name.
+func placements(topology string, clients int, rangeM float64) (pos []mac.Position, spatial, ok bool) {
+	pos = make([]mac.Position, clients+1)
+	switch topology {
+	case "colocated":
+		return pos, false, true
+	case "line":
+		// AP at the origin, clients strung out along +x every rangeM.
+		for i := 1; i <= clients; i++ {
+			pos[i] = mac.Position{X: float64(i) * rangeM}
+		}
+		return pos, true, true
+	case "star":
+		// Clients on a circle of radius rangeM around the AP.
+		for i := 1; i <= clients; i++ {
+			a := 2 * math.Pi * float64(i-1) / float64(clients)
+			pos[i] = mac.Position{X: rangeM * math.Cos(a), Y: rangeM * math.Sin(a)}
+		}
+		return pos, true, true
+	}
+	return nil, false, false
+}
+
 func main() {
 	clients := flag.Int("clients", 2, "number of associated clients")
 	duration := flag.Duration("duration", 60*time.Second, "virtual run time")
@@ -32,6 +86,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	mapName := flag.String("map", "campus", "spectrum map: campus | building5 | empty")
 	micAt := flag.Duration("mic-at", 0, "turn a wireless mic on on the AP's channel at this time (0 = never)")
+	topology := flag.String("topology", "colocated", "node placement: colocated | line | star (non-colocated enables log-distance propagation)")
+	rangeM := flag.Float64("range", 150, "AP-client spacing in meters for spatial topologies")
+	jsonOut := flag.Bool("json", false, "emit the periodic trace as JSON lines instead of text")
 	flag.Parse()
 
 	base := incumbent.SimulationBaseMap()
@@ -47,13 +104,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	pos, spatial, ok := placements(*topology, *clients, *rangeM)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+
 	eng := sim.New(*seed)
 	air := mac.NewAir(eng)
+	var prop mac.Propagation
+	if spatial {
+		prop = mac.LogDistance{}
+		air.Prop = prop
+	}
 
 	mic := incumbent.NewMic(eng, 0)
 	sensors := make([]*radio.IncumbentSensor, *clients+1)
 	for i := range sensors {
-		sensors[i] = &radio.IncumbentSensor{Base: base, Mics: []*incumbent.Mic{mic}}
+		sensors[i] = &radio.IncumbentSensor{Base: base, Mics: []*incumbent.Mic{mic}, Pos: pos[i], Prop: prop}
 	}
 	net := core.NewNetwork(eng, air, core.Config{ProbePeriod: 2 * time.Second}, sensors)
 	net.StartDownlink(1000)
@@ -62,19 +130,38 @@ func main() {
 	free := base.FreeChannels()
 	for i := 0; i < *background && len(free) > 0; i++ {
 		u := free[rng.Intn(len(free))]
-		mac.NewBackgroundPair(eng, air, 2000+2*i, 2001+2*i,
+		p := mac.NewBackgroundPair(eng, air, 2000+2*i, 2001+2*i,
 			spectrum.Chan(u, spectrum.W5), 1000, *bgDelay)
+		if spatial {
+			// Scatter background pairs inside the network's footprint so
+			// they matter to at least part of the topology.
+			at := mac.Position{X: (rng.Float64()*2 - 1) * *rangeM, Y: (rng.Float64()*2 - 1) * *rangeM}
+			p.AP.SetPosition(at)
+			p.Client.SetPosition(mac.Position{X: at.X + 20, Y: at.Y})
+		}
+	}
+
+	var em *trace.JSONEmitter
+	if *jsonOut {
+		em = trace.NewJSONEmitter(os.Stdout)
 	}
 
 	if *micAt > 0 {
 		eng.Schedule(*micAt, func() {
 			mic.Channel = net.AP.Channel().Center
 			mic.TurnOn()
-			fmt.Printf("%8s  mic ON at %v (AP channel)\n", eng.Now(), mic.Channel)
+			if em != nil {
+				em.Emit(map[string]any{"event": "mic_on", "t_s": eng.Now().Seconds(), "channel": mic.Channel.String()})
+			} else {
+				fmt.Printf("%8s  mic ON at %v (AP channel)\n", eng.Now(), mic.Channel)
+			}
 		})
 	}
 
-	fmt.Printf("map: %s   clients: %d   background: %d @ %v\n", base, *clients, *background, *bgDelay)
+	if em == nil {
+		fmt.Printf("map: %s   topology: %s   clients: %d   background: %d @ %v\n",
+			base, *topology, *clients, *background, *bgDelay)
+	}
 	var last int64
 	step := 5 * time.Second
 	for t := step; t <= *duration; t += step {
@@ -88,11 +175,36 @@ func main() {
 				assoc++
 			}
 		}
-		fmt.Printf("%8s  channel=%-14v backup=%-14v goodput=%6s Mbps  associated=%d/%d\n",
-			t, net.AP.Channel(), net.AP.Backup(), trace.Mbps(bps), assoc, len(net.Clients))
+		if em != nil {
+			em.Emit(stepRecord{
+				T:          t.Seconds(),
+				Channel:    net.AP.Channel().String(),
+				Backup:     net.AP.Backup().String(),
+				GoodputMbs: bps / 1e6,
+				Associated: assoc,
+				Clients:    len(net.Clients),
+			})
+		} else {
+			fmt.Printf("%8s  channel=%-14v backup=%-14v goodput=%6s Mbps  associated=%d/%d\n",
+				t, net.AP.Channel(), net.AP.Backup(), trace.Mbps(bps), assoc, len(net.Clients))
+		}
 		air.Compact(t - 15*time.Second)
 	}
 
+	if em != nil {
+		for _, s := range net.AP.Switches {
+			em.Emit(switchRecord{
+				Event: "switch", T: s.At.Seconds(),
+				From: s.From.String(), To: s.To.String(),
+				Reason: s.Reason.String(), Metric: s.Metric,
+			})
+		}
+		if err := em.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "json trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Println("\nswitch log:")
 	for _, s := range net.AP.Switches {
 		fmt.Printf("  %8s  %-14v -> %-14v  %s (metric %.2f)\n", s.At, s.From, s.To, s.Reason, s.Metric)

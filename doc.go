@@ -8,10 +8,19 @@
 // scanner, and synthetic incumbent datasets standing in for TV Fool and
 // the authors' campus measurements).
 //
-// See DESIGN.md for the system inventory and per-experiment index, and
-// EXPERIMENTS.md for paper-vs-measured results. The root-level
-// benchmarks (bench_test.go) regenerate every table and figure of the
-// paper's evaluation; scripts/bench.sh emits the timings as JSON.
+// The medium is spatial: nodes have positions, and a pluggable
+// propagation model (mac.Propagation — flat by default, log-distance
+// with deterministic per-link shadowing for spatial scenarios) drives
+// carrier sense, frame capture, per-node airtime views, incumbent
+// detection range, and SIFT pulse heights. Hidden terminals, co-channel
+// spatial reuse, and genuinely divergent per-node spectrum maps are
+// first-class scenarios (internal/exp/spatial.go).
+//
+// See README.md for the entry-point guide, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The root-level benchmarks (bench_test.go)
+// regenerate every table and figure of the paper's evaluation;
+// scripts/bench.sh emits the timings as JSON.
 //
 // Performance knobs (see DESIGN.md "Hot-path architecture"):
 //

@@ -1,0 +1,64 @@
+// Spatial: the same WhiteFi stack on a medium with geometry. Places an
+// AP and a client 100 m apart under log-distance propagation, with an
+// incumbent transmitter sited so only the client can hear it — on the
+// very channel the AP bootstraps onto. Watch the client's observation
+// report carry the divergent spectrum map to the AP and MCham
+// aggregation move the network to a channel free at *all* nodes.
+//
+//	go run ./examples/spatial
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"whitefi/internal/assign"
+	"whitefi/internal/core"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/radio"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+func main() {
+	eng := sim.New(7)
+	air := mac.NewAir(eng)
+	// Log-distance path loss: ~270 m decode range, ~400 m carrier-sense
+	// range at the default 16 dBm. The flat legacy medium is simply the
+	// absence of this line.
+	prop := mac.LogDistance{}
+	air.Prop = prop
+
+	// Two isolated single-channel white spaces; everything else is TV.
+	base := spectrum.MapFromBits(^uint32(0)).SetFree(2).SetFree(10)
+
+	// Work out where the AP will bootstrap and put a 0 dBm incumbent
+	// transmitter on exactly that channel, 600 m from the AP and 500 m
+	// from the client: at -110 dBm sensitivity its footprint ends near
+	// 540 m, so the pair genuinely disagrees about the channel.
+	boot := assign.Select(assign.Observation{Map: base}, nil).Channel
+	station := &incumbent.Station{Channel: boot.Center, Pos: mac.Position{X: 600}, PowerDBm: 0}
+	fmt.Printf("incumbent transmitter on %v at x=600m\n", station.Channel)
+
+	sensors := []*radio.IncumbentSensor{
+		{Base: base, Pos: mac.Position{X: 0}, Stations: []*incumbent.Station{station}, Prop: prop, DetectThresholdDBm: -110},
+		{Base: base, Pos: mac.Position{X: 100}, Stations: []*incumbent.Station{station}, Prop: prop, DetectThresholdDBm: -110},
+	}
+	net := core.NewNetwork(eng, air, core.Config{ProbePeriod: time.Second}, sensors)
+	net.StartDownlink(1000)
+
+	fmt.Printf("AP map:     %s\n", sensors[0].CurrentMap())
+	fmt.Printf("client map: %s  <- sees the incumbent the AP cannot\n", sensors[1].CurrentMap())
+	fmt.Printf("AP bootstraps onto %v\n\n", net.AP.Channel())
+
+	eng.RunUntil(6 * time.Second)
+
+	fmt.Println("switch log:")
+	for _, s := range net.AP.Switches {
+		fmt.Printf("  %8s  %-14v -> %-14v  %s\n", s.At, s.From, s.To, s.Reason)
+	}
+	final := net.AP.Channel()
+	ok := sensors[0].CurrentMap().ChannelFree(final) && sensors[1].CurrentMap().ChannelFree(final)
+	fmt.Printf("\nfinal channel %v — free at all nodes: %v\n", final, ok)
+}

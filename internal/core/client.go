@@ -62,9 +62,12 @@ func NewClient(eng *sim.Engine, air *mac.Air, id int, cfg Config, sensor *radio.
 	}
 	c.ssidCode = discovery.ChirpValue(cfg.SSID)
 	c.apChannel = ap.Channel()
+	if sensor != nil {
+		air.SetPosition(id, sensor.Pos)
+	}
 	c.Node = mac.NewNode(eng, air, id, c.apChannel, false)
 	c.Node.OnReceive = c.receive
-	c.Airtime = &radio.TrueAirtime{Air: air, Exclude: ap.own}
+	c.Airtime = &radio.TrueAirtime{Air: air, Exclude: ap.own, Observer: id}
 	ap.RegisterOwn(id)
 	c.lastBeacon = eng.Now()
 	c.running = true

@@ -225,7 +225,13 @@ func NewAP(eng *sim.Engine, air *mac.Air, id int, cfg Config, sensor *radio.Incu
 	}
 	ap.ssidCode = discovery.ChirpValue(cfg.SSID)
 	ap.selector.Hysteresis = cfg.Hysteresis
-	ap.Airtime = &radio.TrueAirtime{Air: air, Exclude: ap.own}
+	// The AP's location is its sensor's; airtime accounting is what the
+	// AP itself can hear from there (identical to the ideal accounting
+	// on a flat medium).
+	if sensor != nil {
+		air.SetPosition(id, sensor.Pos)
+	}
+	ap.Airtime = &radio.TrueAirtime{Air: air, Exclude: ap.own, Observer: id}
 
 	// Initial channel selection: AP-only observation (bootstrapping).
 	obs := ap.observe()

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment outputs")
+
+// TestGoldenFlatPropagation pins the rendered output of the headline
+// experiment tables. The spatial propagation layer must keep every
+// legacy scenario byte-identical: all of these runs use the default
+// FlatPropagation (every node in perfect range), so any drift here
+// means the refactor changed legacy physics, not just added geometry.
+//
+// Regenerate deliberately with:
+//
+//	go test ./internal/exp -run Golden -update
+func TestGoldenFlatPropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment sweeps")
+	}
+	cases := []struct {
+		name string
+		got  func() string
+	}{
+		{"fig8", func() string { return Fig8Table(2, []int{4, 24}).String() }},
+		{"fig10", func() string { return Fig10Table(1).String() }},
+		{"fig13", func() string { return Fig13(1).String() }},
+		{"sec53", func() string { return Sec53(2).String() }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join("testdata", "golden_"+c.name+".txt")
+			out := c.got()
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if out != string(want) {
+				t.Errorf("%s output drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", c.name, out, want)
+			}
+		})
+	}
+}

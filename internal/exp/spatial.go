@@ -1,0 +1,263 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"whitefi/internal/assign"
+	"whitefi/internal/core"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/radio"
+	"whitefi/internal/spectrum"
+	"whitefi/internal/trace"
+)
+
+// The spatial scenarios run the stack under the log-distance propagation
+// model instead of the paper's flat all-in-range medium. They are the
+// scenario families geometry unlocks: hidden terminals, spatial reuse
+// between co-channel BSSs, and per-node spectrum maps that genuinely
+// diverge because an incumbent transmitter is audible at one node and
+// not another. All placements are in meters; with the default model the
+// relevant ranges are roughly 270 m (decode), 400 m (carrier sense) and
+// 580 m (interference).
+
+// spatialWorld is newWorld under log-distance propagation.
+func spatialWorld(seed int64) *world {
+	w := newWorld(seed)
+	w.air.Prop = mac.LogDistance{}
+	return w
+}
+
+// spatialChannel is the 5 MHz channel the point-to-point spatial
+// scenarios run on.
+var spatialChannel = spectrum.Chan(3, spectrum.W5)
+
+// HiddenTerminalPoint is one layout's outcome: the fraction of data
+// airings that went unacknowledged at the two senders, and the
+// aggregate delivered goodput at the middle receiver.
+type HiddenTerminalPoint struct {
+	Layout        string
+	CollisionRate float64
+	GoodputBps    float64
+}
+
+// hiddenTerminalRun measures one (layout, seed) cell: two CBR senders
+// converging on a middle receiver, either co-located (all within
+// carrier-sense range) or spread so the senders cannot hear each other
+// while the receiver hears both.
+func hiddenTerminalRun(seed int64, hidden bool) (collisionRate, goodput float64) {
+	w := spatialWorld(seed)
+	ch := spatialChannel
+	r := mac.NewNode(w.eng, w.air, 1, ch, false)
+	a := mac.NewNode(w.eng, w.air, 2, ch, false)
+	b := mac.NewNode(w.eng, w.air, 3, ch, false)
+	if hidden {
+		// 500 m between the senders: past carrier-sense range (~400 m);
+		// the receiver in the middle decodes both (~250 m < 270 m).
+		a.SetPosition(mac.Position{X: 0, Y: 0})
+		b.SetPosition(mac.Position{X: 500, Y: 0})
+	} else {
+		a.SetPosition(mac.Position{X: 240, Y: 0})
+		b.SetPosition(mac.Position{X: 260, Y: 0})
+	}
+	r.SetPosition(mac.Position{X: 250, Y: 0})
+	fa := mac.NewCBR(w.eng, a, 1, 1000, 4*time.Millisecond)
+	fb := mac.NewCBR(w.eng, b, 1, 1000, 4*time.Millisecond)
+	fa.Start()
+	// Desynchronise the second flow so the hidden pair does not start
+	// in lockstep.
+	w.eng.After(time.Duration(w.eng.Rand().Int63n(int64(4*time.Millisecond))), fb.Start)
+	const run = 5 * time.Second
+	w.eng.RunUntil(run)
+	airings := a.Stats.TxData + b.Stats.TxData
+	if airings == 0 {
+		return 0, 0
+	}
+	timeouts := a.Stats.AckTimeouts + b.Stats.AckTimeouts
+	return float64(timeouts) / float64(airings), float64(r.Stats.RxBytes) * 8 / run.Seconds()
+}
+
+// HiddenTerminal sweeps the co-located baseline against the hidden-pair
+// layout over reps seeds on the parallel harness. The qualitative
+// physics: without carrier sense between the senders, overlapping
+// airings collide at the receiver, so the hidden layout shows a sharply
+// elevated collision rate and depressed goodput.
+func HiddenTerminal(reps int) []HiddenTerminalPoint {
+	type cell struct{ rate, gp float64 }
+	cells := make([]cell, 2*reps)
+	runIndexed(len(cells), func(i int) {
+		hidden := i >= reps
+		seed := int64(2025 + i%reps)
+		rate, gp := hiddenTerminalRun(seed, hidden)
+		cells[i] = cell{rate, gp}
+	})
+	agg := func(lo int, label string) HiddenTerminalPoint {
+		var rates, gps []float64
+		for _, c := range cells[lo : lo+reps] {
+			rates = append(rates, c.rate)
+			gps = append(gps, c.gp)
+		}
+		return HiddenTerminalPoint{Layout: label, CollisionRate: trace.Mean(rates), GoodputBps: trace.Mean(gps)}
+	}
+	return []HiddenTerminalPoint{agg(0, "co-located"), agg(reps, "hidden")}
+}
+
+// HiddenTerminalTable renders the hidden-terminal comparison.
+func HiddenTerminalTable(reps int) *trace.Table {
+	t := &trace.Table{
+		Title:   "Hidden terminal: two senders -> middle receiver, log-distance medium",
+		Headers: []string{"layout", "collision-rate", "goodput(Mbps)"},
+	}
+	for _, p := range HiddenTerminal(reps) {
+		t.AddRow(p.Layout, fmt.Sprintf("%.3f", p.CollisionRate), trace.Mbps(p.GoodputBps))
+	}
+	return t
+}
+
+// SpatialReusePoint is one layout's per-BSS downlink goodput and its
+// fraction of the isolated single-BSS baseline.
+type SpatialReusePoint struct {
+	Layout          string
+	PerBSSBps       float64
+	FractionOfAlone float64
+}
+
+// spatialReuseRun builds nBSS co-channel AP/client pairs at the given
+// x offsets and returns the mean per-BSS saturated downlink goodput.
+func spatialReuseRun(seed int64, offsets []float64) float64 {
+	w := spatialWorld(seed)
+	ch := spatialChannel
+	aps := make([]*mac.Node, len(offsets))
+	for i, off := range offsets {
+		ap := mac.NewNode(w.eng, w.air, 10+2*i, ch, true)
+		cl := mac.NewNode(w.eng, w.air, 11+2*i, ch, false)
+		ap.SetPosition(mac.Position{X: off, Y: 0})
+		cl.SetPosition(mac.Position{X: off + 25, Y: 0})
+		flow := mac.NewBacklogged(w.eng, ap, 11+2*i, 1000)
+		flow.Start()
+		aps[i] = ap
+	}
+	const settle = 1 * time.Second
+	const measure = 4 * time.Second
+	w.eng.RunUntil(settle)
+	base := int64(0)
+	for _, ap := range aps {
+		base += ap.Stats.PayloadRxOK
+	}
+	w.eng.RunUntil(settle + measure)
+	var total int64
+	for _, ap := range aps {
+		total += ap.Stats.PayloadRxOK
+	}
+	return float64(total-base) * 8 / measure.Seconds() / float64(len(offsets))
+}
+
+// SpatialReuse compares one isolated BSS against two co-channel BSSs
+// either co-located (sharing the medium, each getting roughly half) or
+// separated by 1 km (beyond interference range, each keeping nearly its
+// isolated goodput — the spatial-reuse win a flat medium cannot show).
+func SpatialReuse(reps int) []SpatialReusePoint {
+	layouts := []struct {
+		label   string
+		offsets []float64
+	}{
+		{"isolated", []float64{0}},
+		{"co-located pair", []float64{0, 50}},
+		{"separated pair (1 km)", []float64{0, 1000}},
+	}
+	cells := make([]float64, len(layouts)*reps)
+	runIndexed(len(cells), func(i int) {
+		l := layouts[i/reps]
+		cells[i] = spatialReuseRun(int64(4409+i%reps), l.offsets)
+	})
+	out := make([]SpatialReusePoint, len(layouts))
+	var alone float64
+	for li, l := range layouts {
+		var gps []float64
+		for r := 0; r < reps; r++ {
+			gps = append(gps, cells[li*reps+r])
+		}
+		mean := trace.Mean(gps)
+		if li == 0 {
+			alone = mean
+		}
+		frac := 0.0
+		if alone > 0 {
+			frac = mean / alone
+		}
+		out[li] = SpatialReusePoint{Layout: l.label, PerBSSBps: mean, FractionOfAlone: frac}
+	}
+	return out
+}
+
+// SpatialReuseTable renders the spatial-reuse comparison.
+func SpatialReuseTable(reps int) *trace.Table {
+	t := &trace.Table{
+		Title:   "Spatial reuse: per-BSS downlink goodput on one shared 5 MHz channel",
+		Headers: []string{"layout", "per-BSS(Mbps)", "frac-of-isolated"},
+	}
+	for _, p := range SpatialReuse(reps) {
+		t.AddRow(p.Layout, trace.Mbps(p.PerBSSBps), fmt.Sprintf("%.2f", p.FractionOfAlone))
+	}
+	return t
+}
+
+// SpatialMapsResult is the outcome of the map-divergence scenario: an
+// incumbent transmitter audible at the client but not at the AP.
+type SpatialMapsResult struct {
+	StationChannel spectrum.UHF
+	APMap          spectrum.Map // AP's sensed map at the end of the run
+	ClientMap      spectrum.Map // client's sensed map at the end of the run
+	Final          spectrum.Channel
+	FreeAtAllNodes bool // final channel free in both maps
+}
+
+// SpatialIncumbentDivergence places a WhiteFi AP/client pair 100 m
+// apart under log-distance propagation, with an incumbent transmitter
+// sited so that its carrier reaches the client above the detection
+// threshold but falls short of the AP — on the very channel the AP
+// bootstraps onto. The client's periodic observation report carries the
+// divergent map to the AP, whose next MCham evaluation must move the
+// network to a channel free at *all* nodes. This is the paper's core
+// spatial-variation argument run end to end, rather than synthesised
+// with pre-drawn locale maps.
+func SpatialIncumbentDivergence(seed int64) SpatialMapsResult {
+	w := spatialWorld(seed)
+	prop := w.air.Prop
+
+	// Two isolated single-channel fragments: the only candidates are
+	// the 5 MHz channels on u=2 and u=10.
+	base := spectrum.MapFromBits(^uint32(0))
+	base = base.SetFree(2).SetFree(10)
+
+	// The AP bootstraps from its own observation alone; compute that
+	// choice up front and put the station there.
+	boot := assign.Select(assign.Observation{Map: base}, nil).Channel
+
+	apPos := mac.Position{X: 0, Y: 0}
+	clPos := mac.Position{X: 100, Y: 0}
+	// 0 dBm station 600 m from the AP, 500 m from the client; at the
+	// -110 dBm sensitivity its footprint ends near 540 m, splitting the
+	// pair.
+	st := &incumbent.Station{Channel: boot.Center, Pos: mac.Position{X: 600, Y: 0}, PowerDBm: 0}
+	const sense = -110.0
+	sensors := []*radio.IncumbentSensor{
+		{Base: base, Pos: apPos, Stations: []*incumbent.Station{st}, Prop: prop, DetectThresholdDBm: sense},
+		{Base: base, Pos: clPos, Stations: []*incumbent.Station{st}, Prop: prop, DetectThresholdDBm: sense},
+	}
+	net := core.NewNetwork(w.eng, w.air, core.Config{ProbePeriod: time.Second}, sensors)
+	net.StartDownlink(1000)
+	w.eng.RunUntil(6 * time.Second)
+
+	apMap := sensors[0].CurrentMap()
+	clMap := sensors[1].CurrentMap()
+	final := net.AP.Channel()
+	return SpatialMapsResult{
+		StationChannel: st.Channel,
+		APMap:          apMap,
+		ClientMap:      clMap,
+		Final:          final,
+		FreeAtAllNodes: apMap.ChannelFree(final) && clMap.ChannelFree(final),
+	}
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestHiddenTerminalElevatesCollisions asserts the first qualitative
+// physics target of the spatial medium: removing carrier sense between
+// two senders (by geometry alone — no protocol knob changes) sharply
+// raises the collision rate at the shared receiver.
+func TestHiddenTerminalElevatesCollisions(t *testing.T) {
+	pts := HiddenTerminal(3)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	co, hid := pts[0], pts[1]
+	if co.CollisionRate > 0.10 {
+		t.Errorf("co-located collision rate = %.3f, want small (CSMA avoids most overlap)", co.CollisionRate)
+	}
+	if hid.CollisionRate < 0.25 {
+		t.Errorf("hidden collision rate = %.3f, want sharply elevated", hid.CollisionRate)
+	}
+	if hid.CollisionRate < 3*co.CollisionRate {
+		t.Errorf("hidden rate %.3f not well above co-located %.3f", hid.CollisionRate, co.CollisionRate)
+	}
+	if hid.GoodputBps >= co.GoodputBps {
+		t.Errorf("hidden goodput %.0f should trail co-located %.0f", hid.GoodputBps, co.GoodputBps)
+	}
+}
+
+// TestSpatialReuseSeparatedBSSsKeepGoodput asserts the second physics
+// target: two co-channel BSSs a kilometer apart each achieve well over
+// 60%% of the isolated goodput, while co-located BSSs split the channel.
+func TestSpatialReuseSeparatedBSSsKeepGoodput(t *testing.T) {
+	pts := SpatialReuse(2)
+	byLabel := map[string]SpatialReusePoint{}
+	for _, p := range pts {
+		byLabel[p.Layout] = p
+	}
+	sep := byLabel["separated pair (1 km)"]
+	co := byLabel["co-located pair"]
+	if sep.FractionOfAlone < 0.6 {
+		t.Errorf("separated BSSs at %.2f of isolated goodput, want > 0.6", sep.FractionOfAlone)
+	}
+	if co.FractionOfAlone > 0.7 {
+		t.Errorf("co-located BSSs at %.2f of isolated goodput, want roughly half", co.FractionOfAlone)
+	}
+	if sep.FractionOfAlone <= co.FractionOfAlone {
+		t.Errorf("separation gained nothing: separated %.2f <= co-located %.2f",
+			sep.FractionOfAlone, co.FractionOfAlone)
+	}
+}
+
+// TestSpatialIncumbentDivergence asserts the spatial-variation target:
+// an incumbent inside client range but outside AP range makes the two
+// spectrum maps genuinely differ, and MCham aggregation over the
+// client's report moves the network to a channel free at all nodes.
+func TestSpatialIncumbentDivergence(t *testing.T) {
+	r := SpatialIncumbentDivergence(7)
+	if r.APMap == r.ClientMap {
+		t.Fatalf("AP and client maps identical (%v); station should split them", r.APMap)
+	}
+	if r.APMap.Occupied(r.StationChannel) {
+		t.Errorf("AP map marks %v occupied; station should be out of AP range", r.StationChannel)
+	}
+	if !r.ClientMap.Occupied(r.StationChannel) {
+		t.Errorf("client map misses the station on %v", r.StationChannel)
+	}
+	if r.Final.Contains(r.StationChannel) {
+		t.Errorf("network ended on %v, which spans the incumbent channel %v", r.Final, r.StationChannel)
+	}
+	if !r.FreeAtAllNodes {
+		t.Errorf("final channel %v is not free at all nodes (ap=%v client=%v)", r.Final, r.APMap, r.ClientMap)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"time"
 
+	"whitefi/internal/mac"
 	"whitefi/internal/sim"
 	"whitefi/internal/spectrum"
 )
@@ -205,6 +206,47 @@ func BuildingFiveMap() spectrum.Map {
 			panic("incumbent: bad building-5 channel")
 		}
 		m = m.SetFree(u)
+	}
+	return m
+}
+
+// Station is a spatially placed incumbent transmitter — a TV station or
+// a fixed microphone rig — that permanently occupies one UHF channel
+// within its audible footprint. Unlike the pre-drawn locale maps (which
+// assign each node an occupancy map by fiat), a Station derives each
+// node's occupancy bit from geometry: the channel is occupied at a
+// position exactly when the station's carrier reaches it above the
+// node's detection threshold under the medium's propagation model. Two
+// nodes of one network can therefore genuinely disagree about the same
+// channel — the spatial variation WhiteFi's chirping and MCham
+// aggregation exist to handle.
+type Station struct {
+	Channel spectrum.UHF
+	Pos     mac.Position
+	// PowerDBm is the station's transmit power. TV stations radiate far
+	// above portable devices; the default of 0 here is deliberate so
+	// tests pick explicit budgets.
+	PowerDBm float64
+}
+
+// AudibleAt reports whether the station's carrier arrives at pos above
+// thresholdDBm under prop (nil prop = flat medium: always audible).
+func (s *Station) AudibleAt(pos mac.Position, prop mac.Propagation, thresholdDBm float64) bool {
+	loss := 0.0
+	if prop != nil {
+		loss = prop.LossDB(s.Pos, pos)
+	}
+	return s.PowerDBm-loss >= thresholdDBm
+}
+
+// OccupancyAt folds a set of stations into the spectrum map seen at pos:
+// base plus every station audible there.
+func OccupancyAt(base spectrum.Map, stations []*Station, pos mac.Position, prop mac.Propagation, thresholdDBm float64) spectrum.Map {
+	m := base
+	for _, s := range stations {
+		if s.AudibleAt(pos, prop, thresholdDBm) {
+			m = m.SetOccupied(s.Channel)
+		}
 	}
 	return m
 }

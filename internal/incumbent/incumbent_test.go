@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"whitefi/internal/mac"
 	"whitefi/internal/sim"
 	"whitefi/internal/spectrum"
 )
@@ -199,5 +200,28 @@ func TestMicLifecycle(t *testing.T) {
 	m.TurnOn()
 	if len(events) != 3 {
 		t.Errorf("redundant transitions fired callbacks: %v", events)
+	}
+}
+
+func TestStationAudibilityFiniteRange(t *testing.T) {
+	prop := mac.LogDistance{}
+	st := &Station{Channel: 5, Pos: mac.Position{X: 0, Y: 0}, PowerDBm: 0}
+	if !st.AudibleAt(mac.Position{X: 100, Y: 0}, prop, -110) {
+		t.Error("station inaudible at 100 m")
+	}
+	if st.AudibleAt(mac.Position{X: 2000, Y: 0}, prop, -110) {
+		t.Error("station audible at 2 km on a 110 dB budget")
+	}
+	// Nil propagation = flat medium: audible anywhere.
+	if !st.AudibleAt(mac.Position{X: 1e6, Y: 0}, nil, -110) {
+		t.Error("flat-medium station not audible everywhere")
+	}
+	m := OccupancyAt(spectrum.Map{}, []*Station{st}, mac.Position{X: 100, Y: 0}, prop, -110)
+	if !m.Occupied(5) {
+		t.Error("OccupancyAt did not fold the audible station in")
+	}
+	m = OccupancyAt(spectrum.Map{}, []*Station{st}, mac.Position{X: 2000, Y: 0}, prop, -110)
+	if m.Occupied(5) {
+		t.Error("OccupancyAt marked an out-of-range station occupied")
 	}
 }

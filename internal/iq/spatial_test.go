@@ -1,0 +1,53 @@
+package iq
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"whitefi/internal/mac"
+	"whitefi/internal/phy"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// TestPulseHeightFallsWithDistance: under log-distance propagation the
+// rendered envelope of the same transmission shrinks with the scanner's
+// distance from the transmitter, and beyond the link budget it drowns
+// in receiver noise — the geometry SIFT's detection cliff rides on.
+func TestPulseHeightFallsWithDistance(t *testing.T) {
+	eng := sim.New(3)
+	air := mac.NewAir(eng)
+	air.Prop = mac.LogDistance{}
+	ch := spectrum.Chan(10, spectrum.W5)
+	n := mac.NewNode(eng, air, 1, ch, true)
+	n.SetPosition(mac.Position{X: 0, Y: 0})
+	n.SendImmediate(phy.DataFrame(1, phy.Broadcast, 1000))
+	eng.Run()
+
+	peakAt := func(scannerID int, d float64) float64 {
+		air.SetPosition(scannerID, mac.Position{X: d, Y: 0})
+		r := NewRenderer(air, scannerID, rand.New(rand.NewSource(7)))
+		var peak float64
+		for _, s := range r.Render(ch.Center, 0, 3*time.Millisecond) {
+			if s > peak {
+				peak = s
+			}
+		}
+		return peak
+	}
+	near := peakAt(90, 50)
+	mid := peakAt(91, 250)
+	far := peakAt(92, 800)
+	if !(near > 3*mid) {
+		t.Errorf("peak at 50 m (%v) not well above peak at 250 m (%v)", near, mid)
+	}
+	if !(mid > far) {
+		t.Errorf("peak at 250 m (%v) not above peak at 800 m (%v)", mid, far)
+	}
+	// At 800 m the signal is below the noise floor: the peak is pure
+	// receiver noise.
+	if far > MaxNoiseAmplitude()*1.5 {
+		t.Errorf("peak at 800 m = %v, want noise-level (<= %v)", far, MaxNoiseAmplitude()*1.5)
+	}
+}

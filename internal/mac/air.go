@@ -81,8 +81,13 @@ type PathLoss func(src, dst int) float64
 // O(total history).
 type Air struct {
 	Eng *sim.Engine
-	// Loss is the path-loss model; nil means zero loss everywhere.
+	// Loss is the legacy id-keyed path-loss override; when non-nil it
+	// takes precedence over Prop. Nil (the default) defers to Prop.
 	Loss PathLoss
+	// Prop is the spatial propagation model applied between node
+	// positions (see SetPosition). Nil behaves as FlatPropagation: zero
+	// loss everywhere, the paper's all-in-range simulation setups.
+	Prop Propagation
 	// Retention, when positive, is the history horizon: once the log has
 	// grown past an internal watermark, completed transmissions that
 	// ended more than Retention before the current virtual time are
@@ -107,6 +112,12 @@ type Air struct {
 	// fan-out is the MAC hot path) and lookup is a binary search.
 	nodes   []*airNode
 	nextUID uint64
+
+	// pos maps node id to position. Ids here are not limited to
+	// attached MAC nodes: standalone scanners and spatially placed
+	// incumbent transmitters reserve ids too. Absent ids sit at the
+	// origin, which under a nil/flat model reproduces legacy behavior.
+	pos map[int]Position
 
 	// scratch buffers reused by window queries (Air is single-threaded).
 	scratchIdx []int32
@@ -143,11 +154,27 @@ func (a *Air) node(id int) *airNode {
 	return nil
 }
 
+// SetPosition places id on the simulation plane. Call it for every MAC
+// node, standalone scanner, and incumbent transmitter of a spatial
+// scenario; ids never placed default to the origin.
+func (a *Air) SetPosition(id int, p Position) {
+	if a.pos == nil {
+		a.pos = map[int]Position{}
+	}
+	a.pos[id] = p
+}
+
+// PositionOf returns id's position (the origin when never placed).
+func (a *Air) PositionOf(id int) Position { return a.pos[id] }
+
 func (a *Air) loss(src, dst int) float64 {
-	if a.Loss == nil {
+	if a.Loss != nil {
+		return a.Loss(src, dst)
+	}
+	if a.Prop == nil {
 		return 0
 	}
-	return a.Loss(src, dst)
+	return a.Prop.LossDB(a.pos[src], a.pos[dst])
 }
 
 // RxPower returns the power (dBm) at which dst hears src.
@@ -530,6 +557,31 @@ func (a *Air) BusyFraction(u spectrum.UHF, from, to time.Duration) float64 {
 // measuring background airtime: the MCham metric estimates the share of
 // the channel *other* traffic leaves available.
 func (a *Air) BusyFractionExcluding(u spectrum.UHF, from, to time.Duration, exclude map[int]bool) float64 {
+	return a.BusyFractionAt(IdealObserver, u, from, to, exclude)
+}
+
+// IdealObserver selects the omniscient accounting in BusyFractionAt and
+// ActiveAPsAt: every transmission is audible regardless of distance (the
+// global ground truth the QualNet-style experiments validate against).
+const IdealObserver = -1
+
+// audibleAt reports whether observer receives tx above the carrier-sense
+// threshold; the ideal observer hears everything.
+func (a *Air) audibleAt(observer int, tx *Transmission) bool {
+	if observer == IdealObserver {
+		return true
+	}
+	return a.RxPower(tx.Src, observer, tx.PowerDB) >= DefaultCSThresholdDBm
+}
+
+// BusyFractionAt is BusyFractionExcluding as heard at node observer:
+// only transmissions whose received power at the observer's position
+// reaches the carrier-sense threshold contribute. This is the
+// receiver-relative airtime a real node's scanner would measure — under
+// spatial propagation, different nodes genuinely observe different
+// airtime on the same UHF channel. The indexed log keeps the query
+// O(transmissions overlapping the window).
+func (a *Air) BusyFractionAt(observer int, u spectrum.UHF, from, to time.Duration, exclude map[int]bool) float64 {
 	if to <= from {
 		return 0
 	}
@@ -537,7 +589,7 @@ func (a *Air) BusyFractionExcluding(u spectrum.UHF, from, to time.Duration, excl
 	// forEachContaining visits in start order, so the intervals arrive
 	// already sorted and the union is a single sweep.
 	a.forEachContaining(u, from, to, func(tx *Transmission) {
-		if exclude[tx.Src] {
+		if exclude[tx.Src] || !a.audibleAt(observer, tx) {
 			return
 		}
 		s, e := tx.Start, tx.End
@@ -576,9 +628,17 @@ func (a *Air) ActiveAPs(u spectrum.UHF, from, to time.Duration, exclude int) int
 
 // ActiveAPsExcluding is ActiveAPs with a set of excluded source nodes.
 func (a *Air) ActiveAPsExcluding(u spectrum.UHF, from, to time.Duration, exclude map[int]bool) int {
+	return a.ActiveAPsAt(IdealObserver, u, from, to, exclude)
+}
+
+// ActiveAPsAt is ActiveAPsExcluding as heard at node observer: APs whose
+// transmissions do not reach the observer's position above the
+// carrier-sense threshold are invisible to it, just as they would be to
+// the node's SIFT scanner.
+func (a *Air) ActiveAPsAt(observer int, u spectrum.UHF, from, to time.Duration, exclude map[int]bool) int {
 	seen := map[int]bool{}
 	a.forEachContaining(u, from, to, func(tx *Transmission) {
-		if exclude[tx.Src] {
+		if exclude[tx.Src] || !a.audibleAt(observer, tx) {
 			return
 		}
 		if n := a.node(tx.Src); n != nil && n.isAP {

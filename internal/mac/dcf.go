@@ -61,6 +61,10 @@ type Node struct {
 	slotsLeft int
 	retries   int
 	seq       uint64
+	// txGen invalidates events scheduled for transmissions that predate
+	// the last Retune: a channel switch mid-transmission must not let
+	// the old frame's end event mutate MAC state on the new channel.
+	txGen uint64
 
 	difsEv  *sim.Event
 	slotEv  *sim.Event
@@ -106,11 +110,24 @@ func (n *Node) Detach() {
 // Channel returns the channel the node is tuned to.
 func (n *Node) Channel() spectrum.Channel { return n.channel }
 
+// SetPosition places the node on the simulation plane. Under a spatial
+// propagation model, carrier sense, delivery, and every scanner's view
+// of this node's transmissions follow from the position.
+func (n *Node) SetPosition(p Position) { n.air.SetPosition(n.ID, p) }
+
+// Position returns the node's position on the plane.
+func (n *Node) Position() Position { return n.air.PositionOf(n.ID) }
+
 // Retune switches the node to a new channel. In-flight MAC state is
 // reset: queued frames are kept, but any frame awaiting ACK is treated
-// as failed-over (WhiteFi's protocols re-send state after a switch).
+// as failed-over (WhiteFi's protocols re-send state after a switch). A
+// transmission still on air keeps its airtime on the old channel, but
+// its end event is disowned: it no longer advances this node's MAC (the
+// head-of-line frame is re-sent on the new channel instead), and medium
+// access resumes only once the radio is done flushing it (half duplex).
 func (n *Node) Retune(ch spectrum.Channel) {
 	n.cancelTimers()
+	n.txGen++
 	n.pending = nil
 	n.state = stIdle
 	n.cw = phy.CWMin
@@ -159,8 +176,20 @@ func (n *Node) cancelTimers() {
 }
 
 // kick starts medium acquisition if there is work and the MAC is idle.
+// A half-duplex radio cannot acquire the medium while its own last
+// frame is still draining (possible when a Retune interrupted a
+// transmission): access is deferred to the frame's end.
 func (n *Node) kick() {
 	if n.state != stIdle || len(n.queue) == 0 {
+		return
+	}
+	if until := n.an.txUntil; until > n.eng.Now() {
+		gen := n.txGen
+		n.eng.Schedule(until, func() {
+			if n.txGen == gen {
+				n.kick()
+			}
+		})
 		return
 	}
 	n.beginAccess()
@@ -241,7 +270,12 @@ func (n *Node) transmitHead() {
 	} else if !f.Kind.NeedsACK() {
 		n.Stats.TxBroadcast++
 	}
-	n.eng.Schedule(tx.End, func() { n.txEnded(f) })
+	gen := n.txGen
+	n.eng.Schedule(tx.End, func() {
+		if n.txGen == gen {
+			n.txEnded(f)
+		}
+	})
 }
 
 func (n *Node) txEnded(f phy.Frame) {

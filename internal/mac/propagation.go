@@ -1,0 +1,142 @@
+package mac
+
+import "math"
+
+// Position is a node location on the simulation plane, in meters.
+// WhiteFi's core argument is spatial variation — the AP and its clients
+// see different white spaces — so geometry is a first-class input to the
+// medium: carrier sense, frame capture, airtime accounting and the IQ
+// renders all derive received power from the transmitter's and
+// receiver's positions through the medium's Propagation model.
+type Position struct {
+	X, Y float64
+}
+
+// DistanceTo returns the Euclidean distance to q in meters.
+func (p Position) DistanceTo(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Propagation computes the path loss in dB over one link. Models must be
+// deterministic pure functions of the two endpoints: the same pair of
+// positions always yields the same loss, in any call order and from any
+// goroutine (experiment worlds run concurrently and may share one model
+// value). Randomized effects such as shadowing therefore derive from a
+// seeded hash of the link, not from mutable RNG state.
+type Propagation interface {
+	// LossDB returns the attenuation in dB from a transmitter at a to a
+	// receiver at b. Links are symmetric: LossDB(a, b) == LossDB(b, a).
+	LossDB(a, b Position) float64
+}
+
+// FlatPropagation is the legacy medium: zero loss between any two
+// points, putting every node in perfect range of every other — the
+// paper's single-cell simulation setups. It is the default model of a
+// medium with no Propagation set, so existing scenarios reproduce
+// bit-for-bit.
+type FlatPropagation struct{}
+
+// LossDB implements Propagation with zero loss everywhere.
+func (FlatPropagation) LossDB(a, b Position) float64 { return 0 }
+
+// Log-distance model defaults, calibrated for the UHF band.
+const (
+	// DefaultRefLossDB is the free-space path loss at the 1 m reference
+	// distance for a ~600 MHz carrier: 20*log10(4*pi*d*f/c) ~ 28 dB.
+	DefaultRefLossDB = 28.0
+	// DefaultRefDistanceM is the reference distance in meters.
+	DefaultRefDistanceM = 1.0
+	// DefaultPathLossExponent is the log-distance exponent; 3.0 models
+	// the obstructed outdoor / light-indoor environments of the paper's
+	// campus measurements (free space would be 2.0).
+	DefaultPathLossExponent = 3.0
+)
+
+// LogDistance is the classic log-distance path-loss model with optional
+// deterministic log-normal shadowing:
+//
+//	loss(d) = RefLossDB + 10*Exponent*log10(d/RefDistance) + X_link
+//
+// where X_link ~ N(0, ShadowSigmaDB) is drawn once per link from a hash
+// of (Seed, endpoint positions). Zero-valued fields select the defaults
+// above, so LogDistance{} is a usable free-standing model. With the
+// default 16 dBm transmit power this yields a carrier-sense range of
+// about 400 m, a decode range of about 270 m, and an interference range
+// of about 580 m — node placements on the order of hundreds of meters
+// produce hidden terminals and spatial reuse.
+type LogDistance struct {
+	// RefLossDB is the loss at RefDistance; 0 selects DefaultRefLossDB.
+	RefLossDB float64
+	// RefDistance is the reference distance in meters; 0 selects
+	// DefaultRefDistanceM. Distances below it are clamped to it, so
+	// co-located nodes see the reference loss, not -Inf.
+	RefDistance float64
+	// Exponent is the path-loss exponent; 0 selects
+	// DefaultPathLossExponent.
+	Exponent float64
+	// ShadowSigmaDB is the standard deviation of the per-link log-normal
+	// shadowing term in dB; 0 disables shadowing.
+	ShadowSigmaDB float64
+	// Seed salts the per-link shadowing draw. Two media built with the
+	// same seed and node placement observe identical shadowing — the
+	// determinism contract the parallel experiment harness relies on.
+	Seed uint64
+}
+
+// LossDB implements Propagation.
+func (l LogDistance) LossDB(a, b Position) float64 {
+	ref := l.RefDistance
+	if ref <= 0 {
+		ref = DefaultRefDistanceM
+	}
+	refLoss := l.RefLossDB
+	if refLoss == 0 {
+		refLoss = DefaultRefLossDB
+	}
+	exp := l.Exponent
+	if exp <= 0 {
+		exp = DefaultPathLossExponent
+	}
+	d := a.DistanceTo(b)
+	if d < ref {
+		d = ref
+	}
+	loss := refLoss + 10*exp*math.Log10(d/ref)
+	if l.ShadowSigmaDB > 0 {
+		loss += l.ShadowSigmaDB * linkDeviate(l.Seed, a, b)
+	}
+	if loss < 0 {
+		return 0
+	}
+	return loss
+}
+
+// linkDeviate returns a standard normal deviate that is a pure function
+// of (seed, {a, b}): the endpoints are ordered canonically so the link
+// is symmetric, their coordinate bits are mixed with a splitmix64-style
+// finalizer, and the two hash halves feed a Box-Muller transform.
+func linkDeviate(seed uint64, a, b Position) float64 {
+	// Canonical endpoint order keeps LossDB(a,b) == LossDB(b,a).
+	if a.X > b.X || (a.X == b.X && a.Y > b.Y) {
+		a, b = b, a
+	}
+	h := seed ^ 0x9E3779B97F4A7C15
+	for _, f := range [4]float64{a.X, a.Y, b.X, b.Y} {
+		h = hashMix(h ^ math.Float64bits(f))
+	}
+	// Box-Muller from the two 32-bit halves, nudged off zero.
+	u1 := (float64(h>>32) + 0.5) / (1 << 32)
+	u2 := (float64(h&0xFFFFFFFF) + 0.5) / (1 << 32)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// hashMix is a splitmix64-style finalizer.
+func hashMix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

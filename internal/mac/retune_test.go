@@ -1,0 +1,99 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"whitefi/internal/phy"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// TestRetuneMidTransmission covers the channel-switch race: a node is
+// retuned while its data frame is still on air. The in-flight frame's
+// end event must not mutate MAC state on the new channel (no ghost ACK
+// timer, no spurious backoff draws); the queued frames — including the
+// interrupted head-of-line frame — must be re-sent on the new channel
+// through the normal access procedure once the radio has flushed the
+// old transmission.
+func TestRetuneMidTransmission(t *testing.T) {
+	eng := sim.New(1)
+	air := NewAir(eng)
+	chA := spectrum.Chan(3, spectrum.W5)
+	chB := spectrum.Chan(10, spectrum.W5)
+	n := NewNode(eng, air, 1, chA, true)
+	peer := NewNode(eng, air, 2, chB, false) // ACKs on the target channel
+	got := 0
+	peer.OnReceive = func(f phy.Frame, _ *Transmission) { got++ }
+
+	n.Send(phy.DataFrame(1, 2, 1000))
+	n.Send(phy.DataFrame(1, 2, 1000))
+
+	// Retune in the middle of the first frame's airtime (a 1000-byte
+	// frame at 5 MHz is well over a millisecond on air).
+	retuned := false
+	eng.Schedule(600*time.Microsecond, func() {
+		if !air.node(1).channel.Overlaps(chA) {
+			t.Fatal("node not on the original channel yet")
+		}
+		if n.QueueLen() != 2 {
+			t.Fatalf("queue len before retune = %d, want 2 (head in flight stays queued)", n.QueueLen())
+		}
+		n.Retune(chB)
+		retuned = true
+	})
+	eng.Run()
+
+	if !retuned {
+		t.Fatal("retune never ran")
+	}
+	if got != 2 {
+		t.Fatalf("peer received %d data frames on the new channel, want 2", got)
+	}
+	if n.Stats.TxOK != 2 {
+		t.Fatalf("TxOK = %d, want 2 (both frames acknowledged after the switch)", n.Stats.TxOK)
+	}
+	// The interrupted frame aired once on the old channel and once on
+	// the new one; the second frame aired once.
+	if n.Stats.TxData != 3 {
+		t.Fatalf("TxData = %d, want 3 (one wasted airing on the old channel)", n.Stats.TxData)
+	}
+	// No ghost ACK timer may fire for the transmission the retune
+	// abandoned: its end event is disowned, so it must not enter the
+	// awaiting-ACK state at all.
+	if n.Stats.AckTimeouts != 0 {
+		t.Fatalf("AckTimeouts = %d, want 0 (stale txEnded leaked through the retune)", n.Stats.AckTimeouts)
+	}
+	if n.QueueLen() != 0 {
+		t.Fatalf("queue len = %d, want 0", n.QueueLen())
+	}
+	if n.Stats.TxDropped != 0 {
+		t.Fatalf("TxDropped = %d, want 0", n.Stats.TxDropped)
+	}
+}
+
+// TestRetuneDefersAccessUntilRadioFlushes pins the half-duplex rule: a
+// node retuned mid-transmission must not put a new frame on air before
+// the interrupted one has drained.
+func TestRetuneDefersAccessUntilRadioFlushes(t *testing.T) {
+	eng := sim.New(1)
+	air := NewAir(eng)
+	chA := spectrum.Chan(3, spectrum.W5)
+	chB := spectrum.Chan(10, spectrum.W5)
+	n := NewNode(eng, air, 1, chA, true)
+	NewNode(eng, air, 2, chB, false)
+
+	n.Send(phy.DataFrame(1, 2, 1000))
+	var oldEnd time.Duration
+	eng.Schedule(600*time.Microsecond, func() {
+		oldEnd = air.History()[0].End
+		n.Retune(chB)
+	})
+	eng.Run()
+
+	for _, tx := range air.History() {
+		if tx.Src == 1 && tx.Channel == chB && tx.Start < oldEnd {
+			t.Fatalf("frame on new channel started at %v while old transmission ran until %v", tx.Start, oldEnd)
+		}
+	}
+}

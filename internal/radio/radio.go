@@ -50,6 +50,18 @@ func NewScanner(air *mac.Air, id int, rng *rand.Rand) *Scanner {
 	return &Scanner{ID: id, renderer: r, air: air}
 }
 
+// CalibrateFor sets the SIFT threshold for the weakest transmitter the
+// scanner must still detect, given the power at which its signal
+// arrives here (use mac.Air.RxPower for a placed transmitter). Under
+// spatial propagation pulse heights fall off with distance; the default
+// threshold is calibrated for near-full-power signals and would miss a
+// transmitter near the edge of the scanner's range. The calibrated
+// threshold stays above the worst-case rendered noise amplitude, so the
+// sparse scan path remains valid.
+func (s *Scanner) CalibrateFor(minRxDBm float64) {
+	s.Cfg.Threshold = sift.ThresholdFor(iq.AmplitudeAt(minRxDBm), iq.MaxNoiseAmplitude())
+}
+
 // ScanResult is the SIFT output of one scan window on one UHF channel.
 type ScanResult struct {
 	Center     spectrum.UHF
@@ -157,9 +169,23 @@ func (s *SIFTAirtime) Measure(from, to time.Duration, exclude int) (airtime [spe
 // truth. Exclude lists node ids whose traffic is ignored — a WhiteFi
 // network excludes its own members, since MCham estimates the share
 // left by *other* traffic.
+//
+// Observer, when set to a node id, makes the accounting
+// receiver-relative: only transmissions that reach the observer's
+// position above the carrier-sense threshold count, matching what that
+// node's own scanner would measure. The zero value keeps the ideal
+// (omniscient) accounting; under a flat medium the two are identical.
 type TrueAirtime struct {
-	Air     *mac.Air
-	Exclude map[int]bool
+	Air      *mac.Air
+	Exclude  map[int]bool
+	Observer int
+}
+
+func (t *TrueAirtime) observer() int {
+	if t.Observer == 0 {
+		return mac.IdealObserver
+	}
+	return t.Observer
 }
 
 // Measure implements AirtimeSource from medium accounting.
@@ -172,9 +198,10 @@ func (t *TrueAirtime) Measure(from, to time.Duration, exclude int) (airtime [spe
 		}
 		ex[exclude] = true
 	}
+	obs := t.observer()
 	for u := spectrum.UHF(0); u < spectrum.NumUHF; u++ {
-		airtime[u] = t.Air.BusyFractionExcluding(u, from, to, ex)
-		aps[u] = t.Air.ActiveAPsExcluding(u, from, to, ex)
+		airtime[u] = t.Air.BusyFractionAt(obs, u, from, to, ex)
+		aps[u] = t.Air.ActiveAPsAt(obs, u, from, to, ex)
 	}
 	return airtime, aps
 }
@@ -217,27 +244,62 @@ func SnifferCaptures(rng *rand.Rand, snrDB float64) bool {
 // rxDBm against the receiver noise floor.
 func SNRAt(rxDBm float64) float64 { return rxDBm - mac.NoiseFloorDBm }
 
+// TVDetectDBm is the received power at which the prototype's scanner
+// detects a TV carrier (Section 3).
+const TVDetectDBm = -114.0
+
 // IncumbentSensor fuses a node's static incumbent map (TV stations,
-// location dependent) with the live state of wireless microphones. The
-// prototype's scanner detects TV at -114 dBm and mics at -110 dBm; the
-// paper assumes reasonably accurate incumbent detection and so do we —
-// detection latency comes from the caller's scan cadence, not from
-// missed detections.
+// location dependent) with the live state of wireless microphones and
+// any spatially placed incumbent transmitters. The prototype's scanner
+// detects TV at -114 dBm and mics at -110 dBm; the paper assumes
+// reasonably accurate incumbent detection and so do we — detection
+// latency comes from the caller's scan cadence, not from missed
+// detections.
+//
+// Detection range is finite: a Station contributes to the map only when
+// its carrier reaches Pos above DetectThresholdDBm under Prop, so two
+// sensors of the same network at different positions genuinely see
+// different white spaces. With no stations (or a nil/flat Prop and
+// in-budget stations) the sensor reduces to the legacy Base+Mics view.
 type IncumbentSensor struct {
 	// Base is the static TV occupancy at this node's location.
 	Base spectrum.Map
 	// Mics are the microphones audible at this node.
 	Mics []*incumbent.Mic
+
+	// Pos is the sensor's (node's) position on the plane. Network
+	// constructors adopt it as the node's medium position.
+	Pos mac.Position
+	// Stations are spatially placed incumbent transmitters; each
+	// occupies its channel at this sensor iff audible from Pos.
+	Stations []*incumbent.Station
+	// Prop is the propagation model used for station audibility; keep
+	// it the same model as the medium's. Nil means flat (always
+	// audible).
+	Prop mac.Propagation
+	// DetectThresholdDBm is the detection sensitivity; 0 selects
+	// TVDetectDBm.
+	DetectThresholdDBm float64
 }
 
-// CurrentMap returns the node's spectrum map right now: the static base
-// plus every currently active microphone channel.
+func (s *IncumbentSensor) detectThreshold() float64 {
+	if s.DetectThresholdDBm == 0 {
+		return TVDetectDBm
+	}
+	return s.DetectThresholdDBm
+}
+
+// CurrentMap returns the node's spectrum map right now: the static base,
+// every currently active microphone channel, and every audible station.
 func (s *IncumbentSensor) CurrentMap() spectrum.Map {
 	m := s.Base
 	for _, mic := range s.Mics {
 		if mic.Active() {
 			m = m.SetOccupied(mic.Channel)
 		}
+	}
+	if len(s.Stations) > 0 {
+		m = incumbent.OccupancyAt(m, s.Stations, s.Pos, s.Prop, s.detectThreshold())
 	}
 	return m
 }

@@ -22,6 +22,7 @@
 package sift
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -69,6 +70,29 @@ func (c Config) threshold() float64 {
 // paper defaults applied to zero fields.
 func (c Config) Effective() (window int, threshold float64) {
 	return c.window(), c.threshold()
+}
+
+// ThresholdFor returns an amplitude-aware detection threshold for a
+// scanner whose weakest signal of interest arrives with a moving-average
+// amplitude of expectedAmp, over receiver noise whose moving average
+// never exceeds noiseCeil. Under spatial propagation pulse heights fall
+// off with distance, so a fixed threshold calibrated for co-located
+// nodes either misses distant transmitters or (if simply lowered) fires
+// on noise; placing the threshold at the geometric mean of the two
+// levels keeps equal headroom in dB to both. The result never drops
+// below the noise ceiling, and signals weaker than noise are declared
+// undetectable by clamping just above it (the SIFT cliff of Figure 7 —
+// SIFT degrades sharply, not gracefully). Thresholds above noiseCeil
+// also preserve the sparse-scan invariant (iq.MaxNoiseAmplitude) that
+// lets noise-only stretches be skipped without rendering.
+func ThresholdFor(expectedAmp, noiseCeil float64) float64 {
+	if noiseCeil <= 0 {
+		return DefaultThreshold
+	}
+	if expectedAmp <= noiseCeil {
+		return noiseCeil * 1.05
+	}
+	return math.Sqrt(expectedAmp * noiseCeil)
 }
 
 // Pulse is one contiguous above-threshold burst of signal: a candidate

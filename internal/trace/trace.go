@@ -1,9 +1,11 @@
 // Package trace provides the measurement and reporting helpers the
 // benchmark harness uses: time series, summary statistics, histograms,
-// and fixed-width table rendering matching the rows the paper reports.
+// fixed-width table rendering matching the rows the paper reports, and
+// a JSON-lines emitter for machine-readable run traces.
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -199,3 +201,33 @@ func (h Histogram) Buckets() []int {
 
 // Mbps formats bits-per-second as a Mbps string.
 func Mbps(bps float64) string { return fmt.Sprintf("%.2f", bps/1e6) }
+
+// JSONEmitter writes one JSON object per line — the machine-readable
+// form of a simulation's periodic trace, suitable for diffing runs or
+// feeding a plotter. The first marshal or write error sticks and
+// silences subsequent emits, so callers can emit unchecked in a loop
+// and inspect Err once at the end.
+type JSONEmitter struct {
+	w   io.Writer
+	err error
+}
+
+// NewJSONEmitter creates an emitter writing JSON lines to w.
+func NewJSONEmitter(w io.Writer) *JSONEmitter { return &JSONEmitter{w: w} }
+
+// Emit marshals v onto one line.
+func (e *JSONEmitter) Emit(v any) {
+	if e.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		e.err = err
+		return
+	}
+	b = append(b, '\n')
+	_, e.err = e.w.Write(b)
+}
+
+// Err returns the first error encountered, if any.
+func (e *JSONEmitter) Err() error { return e.err }
