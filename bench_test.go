@@ -106,6 +106,24 @@ func BenchmarkFig14Adaptive(b *testing.B) {
 	}
 }
 
+func BenchmarkDriveByMobility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.DriveByTable(2).String())
+	}
+}
+
+func BenchmarkRoamingRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.RoamingTable(2).String())
+	}
+}
+
+func BenchmarkMicChurnDynamics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.MicChurnTable(2).String())
+	}
+}
+
 func BenchmarkAblationSIFTWindow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		printish(i, exp.AblationSIFTWindow(3).String())

@@ -57,12 +57,17 @@ func main() {
 		"ablation-weight": func(int) *trace.Table {
 			return exp.AblationAPWeight(100)
 		},
+
+		"driveby":   exp.DriveByTable,
+		"roaming":   exp.RoamingTable,
+		"mic-churn": exp.MicChurnTable,
 	}
 	order := []string{
 		"sec2.1", "fig2", "sec2.3", "fig5", "table1", "fig6", "fig7",
 		"fig8", "fig9", "sec5.3", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "ablation-window", "ablation-mcham", "ablation-jsift",
 		"ablation-hysteresis", "ablation-weight",
+		"driveby", "roaming", "mic-churn",
 	}
 
 	var ids []string

@@ -7,6 +7,7 @@
 //	whitefi-sim -clients 3 -duration 60s -background 8 -seed 7
 //	whitefi-sim -map building5 -mic-at 20s
 //	whitefi-sim -topology star -range 200 -clients 4
+//	whitefi-sim -topology star -mobility rwp -speed 15 -mic-duty 0.2
 //	whitefi-sim -json | jq .goodput_mbps
 //
 // The default topology is "colocated": every node in perfect range on
@@ -15,6 +16,17 @@
 // log-distance propagation model (-range sets the AP-client spacing in
 // meters), so carrier sense, delivery, and each node's spectrum view
 // become position dependent.
+//
+// The dynamics flags make the world time-varying. -mobility rwp moves
+// every client on a seeded random-waypoint walk inside the cell;
+// -mobility roam walks the first client out of the cell and back, so the
+// disconnect -> chirp -> re-associate recovery runs organically. Both
+// imply the spatial medium. -mic-duty d > 0 replaces the one scripted
+// microphone with a Markov mic per free channel (exponential busy/idle
+// holding times, busy fraction d over a 20 s mean cycle), forcing
+// incumbent switches on the mic's own schedule. With -json, positions,
+// mic transitions, disconnections and recoveries are emitted as JSON
+// lines alongside the periodic trace.
 package main
 
 import (
@@ -26,6 +38,7 @@ import (
 	"time"
 
 	"whitefi/internal/core"
+	"whitefi/internal/dynamics"
 	"whitefi/internal/incumbent"
 	"whitefi/internal/mac"
 	"whitefi/internal/radio"
@@ -42,6 +55,28 @@ type stepRecord struct {
 	GoodputMbs float64 `json:"goodput_mbps"`
 	Associated int     `json:"associated"`
 	Clients    int     `json:"clients"`
+	// Cumulative disconnection counters across all clients; only moving
+	// or mic-churned runs ever see them advance.
+	Disconnects int `json:"disconnects"`
+	Reconnects  int `json:"reconnects"`
+}
+
+// posRecord is one -json client position line (mobility runs).
+type posRecord struct {
+	Event string  `json:"event"`
+	T     float64 `json:"t_s"`
+	ID    int     `json:"id"`
+	X     float64 `json:"x_m"`
+	Y     float64 `json:"y_m"`
+	DistM float64 `json:"ap_dist_m"`
+}
+
+// micRecord is one -json microphone transition line.
+type micRecord struct {
+	Event   string  `json:"event"`
+	T       float64 `json:"t_s"`
+	Channel string  `json:"channel"`
+	Active  bool    `json:"active"`
 }
 
 // switchRecord is one -json switch-log line.
@@ -88,8 +123,16 @@ func main() {
 	micAt := flag.Duration("mic-at", 0, "turn a wireless mic on on the AP's channel at this time (0 = never)")
 	topology := flag.String("topology", "colocated", "node placement: colocated | line | star (non-colocated enables log-distance propagation)")
 	rangeM := flag.Float64("range", 150, "AP-client spacing in meters for spatial topologies")
+	mobility := flag.String("mobility", "none", "client mobility: none | rwp (seeded random waypoint) | roam (first client roams out and back); non-none implies the spatial medium")
+	speed := flag.Float64("speed", 15, "mobility speed in m/s")
+	micDuty := flag.Float64("mic-duty", 0, "Markov mic duty cycle: one stochastic mic per free channel, busy this fraction of a 20 s mean cycle (0 = only the scripted -mic-at mic)")
 	jsonOut := flag.Bool("json", false, "emit the periodic trace as JSON lines instead of text")
 	flag.Parse()
+
+	if *mobility != "none" && *mobility != "rwp" && *mobility != "roam" {
+		fmt.Fprintf(os.Stderr, "unknown mobility %q\n", *mobility)
+		os.Exit(2)
+	}
 
 	base := incumbent.SimulationBaseMap()
 	switch *mapName {
@@ -109,6 +152,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topology)
 		os.Exit(2)
 	}
+	// Mobility needs geometry to matter: a moving node on the flat
+	// medium never leaves range.
+	spatial = spatial || *mobility != "none"
 
 	eng := sim.New(*seed)
 	air := mac.NewAir(eng)
@@ -118,13 +164,93 @@ func main() {
 		air.Prop = prop
 	}
 
+	var em *trace.JSONEmitter
+	if *jsonOut {
+		em = trace.NewJSONEmitter(os.Stdout)
+	}
+
+	// Incumbent microphones: one scripted mic by default (-mic-at), or a
+	// stochastic Markov mic per free channel at -mic-duty > 0.
 	mic := incumbent.NewMic(eng, 0)
+	mics := []*incumbent.Mic{mic}
+	var acts []*dynamics.Activity
+	if *micDuty > 0 {
+		mics = nil
+		for i, u := range base.FreeChannels() {
+			m := incumbent.NewMic(eng, u)
+			mics = append(mics, m)
+			acts = append(acts, dynamics.NewDutyActivity(eng, m, *micDuty, 20*time.Second, *seed*1009+int64(i)*613))
+		}
+	}
 	sensors := make([]*radio.IncumbentSensor, *clients+1)
 	for i := range sensors {
-		sensors[i] = &radio.IncumbentSensor{Base: base, Mics: []*incumbent.Mic{mic}, Pos: pos[i], Prop: prop}
+		sensors[i] = &radio.IncumbentSensor{Base: base, Mics: mics, Pos: pos[i], Prop: prop}
 	}
 	net := core.NewNetwork(eng, air, core.Config{ProbePeriod: 2 * time.Second}, sensors)
 	net.StartDownlink(1000)
+
+	// Observe every mic transition (after the AP and clients hooked
+	// their own watchers, so the chain stays intact).
+	for _, m := range mics {
+		m := m
+		prev := m.OnChange
+		m.OnChange = func(active bool) {
+			if prev != nil {
+				prev(active)
+			}
+			if em != nil {
+				em.Emit(micRecord{Event: "mic", T: eng.Now().Seconds(), Channel: m.Channel.String(), Active: active})
+			} else {
+				state := "OFF"
+				if active {
+					state = "ON"
+				}
+				fmt.Printf("%8s  mic %s on %v\n", eng.Now(), state, m.Channel)
+			}
+		}
+	}
+	for _, a := range acts {
+		a.Start()
+	}
+
+	// Mobility: trajectories applied by the epoch updater, with the AP's
+	// chirp scanner recalibrated every epoch for the weakest client link
+	// so roamers are re-acquired exactly when their budget allows.
+	var upd *dynamics.Updater
+	if *mobility != "none" {
+		upd = dynamics.NewUpdater(eng, air, 0)
+		for i, c := range net.Clients {
+			start := pos[i+1]
+			switch *mobility {
+			case "rwp":
+				upd.Track(c.ID, &dynamics.RandomWaypoint{
+					Seed:  *seed*101 + int64(i),
+					Min:   mac.Position{X: -2 * *rangeM, Y: -2 * *rangeM},
+					Max:   mac.Position{X: 2 * *rangeM, Y: 2 * *rangeM},
+					Start: start, SpeedMin: *speed / 2, SpeedMax: *speed,
+					Pause: 2 * time.Second,
+				}, sensors[i+1])
+			case "roam":
+				if i != 0 {
+					continue
+				}
+				// Walk out to 4x the decode radius' neighborhood and back.
+				far := mac.Position{X: start.X + 600, Y: start.Y}
+				upd.Track(c.ID, dynamics.PathThrough(5*time.Second, *speed, start, far, start), sensors[i+1])
+			}
+		}
+		upd.OnEpoch(func(time.Duration) {
+			minRx := 0.0
+			for i, c := range net.Clients {
+				rx := air.RxPower(c.ID, net.AP.ID, mac.DefaultTxPowerDBm)
+				if i == 0 || rx < minRx {
+					minRx = rx
+				}
+			}
+			net.AP.Scanner.CalibrateFor(minRx)
+		})
+		upd.Start()
+	}
 
 	rng := rand.New(rand.NewSource(*seed * 13))
 	free := base.FreeChannels()
@@ -141,26 +267,16 @@ func main() {
 		}
 	}
 
-	var em *trace.JSONEmitter
-	if *jsonOut {
-		em = trace.NewJSONEmitter(os.Stdout)
-	}
-
-	if *micAt > 0 {
+	if *micAt > 0 && *micDuty <= 0 {
 		eng.Schedule(*micAt, func() {
 			mic.Channel = net.AP.Channel().Center
 			mic.TurnOn()
-			if em != nil {
-				em.Emit(map[string]any{"event": "mic_on", "t_s": eng.Now().Seconds(), "channel": mic.Channel.String()})
-			} else {
-				fmt.Printf("%8s  mic ON at %v (AP channel)\n", eng.Now(), mic.Channel)
-			}
 		})
 	}
 
 	if em == nil {
-		fmt.Printf("map: %s   topology: %s   clients: %d   background: %d @ %v\n",
-			base, *topology, *clients, *background, *bgDelay)
+		fmt.Printf("map: %s   topology: %s   clients: %d   background: %d @ %v   mobility: %s   mic-duty: %.2f\n",
+			base, *topology, *clients, *background, *bgDelay, *mobility, *micDuty)
 	}
 	var last int64
 	step := 5 * time.Second
@@ -169,24 +285,37 @@ func main() {
 		cur := net.GoodputBytes()
 		bps := float64(cur-last) * 8 / step.Seconds()
 		last = cur
-		assoc := 0
+		assoc, disc, rec := 0, 0, 0
 		for _, c := range net.Clients {
 			if c.Associated() {
 				assoc++
 			}
+			disc += c.Disconnects
+			rec += c.Reconnections
 		}
 		if em != nil {
 			em.Emit(stepRecord{
-				T:          t.Seconds(),
-				Channel:    net.AP.Channel().String(),
-				Backup:     net.AP.Backup().String(),
-				GoodputMbs: bps / 1e6,
-				Associated: assoc,
-				Clients:    len(net.Clients),
+				T:           t.Seconds(),
+				Channel:     net.AP.Channel().String(),
+				Backup:      net.AP.Backup().String(),
+				GoodputMbs:  bps / 1e6,
+				Associated:  assoc,
+				Clients:     len(net.Clients),
+				Disconnects: disc,
+				Reconnects:  rec,
 			})
+			if upd != nil {
+				for _, c := range net.Clients {
+					p := air.PositionOf(c.ID)
+					em.Emit(posRecord{
+						Event: "pos", T: t.Seconds(), ID: c.ID, X: p.X, Y: p.Y,
+						DistM: p.DistanceTo(air.PositionOf(net.AP.ID)),
+					})
+				}
+			}
 		} else {
-			fmt.Printf("%8s  channel=%-14v backup=%-14v goodput=%6s Mbps  associated=%d/%d\n",
-				t, net.AP.Channel(), net.AP.Backup(), trace.Mbps(bps), assoc, len(net.Clients))
+			fmt.Printf("%8s  channel=%-14v backup=%-14v goodput=%6s Mbps  associated=%d/%d  disc=%d rec=%d\n",
+				t, net.AP.Channel(), net.AP.Backup(), trace.Mbps(bps), assoc, len(net.Clients), disc, rec)
 		}
 		air.Compact(t - 15*time.Second)
 	}

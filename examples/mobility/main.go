@@ -1,0 +1,56 @@
+// Example mobility: a client drives through an AP's cell while a Markov
+// microphone churns the operating channel — the two time-varying world
+// models of the dynamics subsystem in one run. Prints a per-second trace
+// of distance, association state, and goodput.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"whitefi/internal/core"
+	"whitefi/internal/dynamics"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/radio"
+	"whitefi/internal/sim"
+)
+
+func main() {
+	eng := sim.New(7)
+	air := mac.NewAir(eng)
+	air.Prop = mac.LogDistance{}
+
+	base := incumbent.SimulationBaseMap()
+	mic := incumbent.NewMic(eng, base.FreeChannels()[0])
+	act := dynamics.NewDutyActivity(eng, mic, 0.25, 15*time.Second, 99)
+
+	apSensor := &radio.IncumbentSensor{Base: base, Mics: []*incumbent.Mic{mic}, Prop: air.Prop}
+	clSensor := &radio.IncumbentSensor{Base: base, Mics: []*incumbent.Mic{mic}, Pos: mac.Position{X: 100}, Prop: air.Prop}
+	net := core.NewNetwork(eng, air, core.Config{ProbePeriod: 20 * time.Second}, []*radio.IncumbentSensor{apSensor, clSensor})
+	cl := net.Clients[0]
+
+	// Roam out to 500 m and back at 20 m/s.
+	u := dynamics.NewUpdater(eng, air, 0)
+	u.Track(cl.ID, dynamics.PathThrough(3*time.Second, 20,
+		mac.Position{X: 100}, mac.Position{X: 500}, mac.Position{X: 100}), clSensor)
+	u.OnEpoch(func(time.Duration) {
+		net.AP.Scanner.CalibrateForLink(cl.ID, mac.DefaultTxPowerDBm)
+	})
+	u.Start()
+	act.Start()
+	net.StartDownlink(1000)
+
+	var last int64
+	for t := time.Second; t <= 60*time.Second; t += time.Second {
+		eng.RunUntil(t)
+		cur := net.GoodputBytes()
+		d := air.PositionOf(cl.ID).DistanceTo(air.PositionOf(net.AP.ID))
+		fmt.Printf("t=%3ds dist=%4.0fm assoc=%-5v mic=%-5v ch=%-14v goodput=%5.2f Mbps\n",
+			int(t.Seconds()), d, cl.Associated(), mic.Active(), net.AP.Channel(),
+			float64(cur-last)*8/1e6)
+		last = cur
+	}
+	fmt.Printf("\ndisconnects=%d reconnects=%d ap-recoveries=%d switches=%d\n",
+		cl.Disconnects, cl.Reconnections, net.AP.Reconnections, len(net.AP.Switches))
+}

@@ -266,6 +266,11 @@ func (a *AP) Channel() spectrum.Channel { return a.Node.Channel() }
 // Backup returns the currently advertised backup channel.
 func (a *AP) Backup() spectrum.Channel { return a.backup }
 
+// OnBackup reports whether the AP's main radio currently sits on the
+// backup channel collecting chirps (the disconnected state). The
+// dynamics scenarios integrate it over time to measure time-on-backup.
+func (a *AP) OnBackup() bool { return a.onBackup }
+
 // Clients returns the ids of currently associated clients.
 func (a *AP) Clients() []int {
 	out := make([]int, 0, len(a.clients))
@@ -632,6 +637,23 @@ func (a *AP) fullScanTick() {
 	}
 }
 
+// chirpErosionSteps tolerates the 5 MHz leading-ramp erosion (the
+// Figure 5 hardware quirk): at sub-saturation SNR — a chirper near the
+// edge of scanner range — the low-amplitude leading portion of a chirp
+// frame renders below the calibrated SIFT threshold, shortening the
+// detected pulse by up to ~10% of its airtime, i.e. a few length-code
+// steps. Values that many steps *below* the SSID code still count as
+// ours. At full SNR (the flat single-cell setups) chirps decode exactly,
+// so the tolerance changes nothing there; the cost is slightly weaker
+// SSID discrimination against networks with adjacent codes.
+const chirpErosionSteps = 4
+
+// chirpMatches reports whether a decoded chirp value plausibly encodes
+// the given SSID code, allowing for leading-ramp erosion.
+func chirpMatches(v, code int) bool {
+	return v <= code && v >= code-chirpErosionSteps
+}
+
 // scanForChirps checks the recent window on UHF channel u for chirps
 // length-coded with this network's SSID. Chirps older than the last
 // completed reassignment are stale — they belong to a disconnection
@@ -649,7 +671,7 @@ func (a *AP) scanForChirps(u spectrum.UHF) bool {
 		return false
 	}
 	for _, v := range a.Scanner.Chirps(u, from, to) {
-		if v == a.ssidCode {
+		if chirpMatches(v, a.ssidCode) {
 			return true
 		}
 	}

@@ -111,7 +111,7 @@ func (p *Prober) beaconIn(ch spectrum.Channel, from, to time.Duration) bool {
 		if tx.Start < from || tx.End > to {
 			return
 		}
-		if p.Air.RxPower(tx.Src, p.Scanner.ID, tx.PowerDB) >= mac.NoiseFloorDBm+10 {
+		if p.Air.RxPowerOf(tx, p.Scanner.ID) >= mac.NoiseFloorDBm+10 {
 			found = true
 		}
 	})

@@ -1,0 +1,138 @@
+package dynamics
+
+import (
+	"math/rand"
+	"time"
+
+	"whitefi/internal/incumbent"
+	"whitefi/internal/sim"
+)
+
+// Transition is one state change of an Activity process.
+type Transition struct {
+	At     time.Duration
+	Active bool
+}
+
+// Activity drives a wireless microphone with a two-state (busy/idle)
+// Markov process: exponential holding times with means MeanBusy and
+// MeanIdle. It generalises the hand-scheduled Mic.ScheduleOn/Off of the
+// static tests — the stochastic incumbents of a world that changes on
+// its own schedule, not the experiment script's.
+//
+// The process owns its RNG (seeded at construction), so its realisation
+// is a pure function of (seed, means) regardless of what else the
+// simulation does — the determinism contract the parallel experiment
+// harness relies on.
+type Activity struct {
+	Mic      *incumbent.Mic
+	MeanBusy time.Duration
+	MeanIdle time.Duration
+
+	// Trace records every transition, for metrics and determinism
+	// checks.
+	Trace []Transition
+
+	eng     *sim.Engine
+	rng     *rand.Rand
+	running bool
+	ev      *sim.Event
+}
+
+// NewActivity wraps mic with a Markov activity process. The mic starts
+// (and the process begins) idle.
+func NewActivity(eng *sim.Engine, mic *incumbent.Mic, meanBusy, meanIdle time.Duration, seed int64) *Activity {
+	return &Activity{
+		Mic:      mic,
+		MeanBusy: meanBusy,
+		MeanIdle: meanIdle,
+		eng:      eng,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// NewDutyActivity is NewActivity parameterised by a duty cycle: the mic
+// is busy duty of the time on average, over cycles of mean length cycle
+// (MeanBusy = duty*cycle, MeanIdle = (1-duty)*cycle).
+func NewDutyActivity(eng *sim.Engine, mic *incumbent.Mic, duty float64, cycle time.Duration, seed int64) *Activity {
+	if duty < 0 {
+		duty = 0
+	}
+	if duty > 1 {
+		duty = 1
+	}
+	busy := time.Duration(duty * float64(cycle))
+	return NewActivity(eng, mic, busy, cycle-busy, seed)
+}
+
+// Start begins the process from the idle state.
+func (a *Activity) Start() {
+	if a.running {
+		return
+	}
+	a.running = true
+	a.ev = a.eng.After(a.holding(a.MeanIdle), a.flip)
+}
+
+// Stop halts the process; the mic keeps its current state.
+func (a *Activity) Stop() {
+	a.running = false
+	if a.ev != nil {
+		a.eng.Cancel(a.ev)
+		a.ev = nil
+	}
+}
+
+// holding draws an exponential holding time with the given mean,
+// clamped to at least a millisecond so degenerate means cannot wedge
+// the event loop.
+func (a *Activity) holding(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return time.Millisecond
+	}
+	d := time.Duration(a.rng.ExpFloat64() * float64(mean))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func (a *Activity) flip() {
+	if !a.running {
+		return
+	}
+	if a.Mic.Active() {
+		a.Mic.TurnOff()
+		a.Trace = append(a.Trace, Transition{At: a.eng.Now(), Active: false})
+		a.ev = a.eng.After(a.holding(a.MeanIdle), a.flip)
+	} else {
+		a.Mic.TurnOn()
+		a.Trace = append(a.Trace, Transition{At: a.eng.Now(), Active: true})
+		a.ev = a.eng.After(a.holding(a.MeanBusy), a.flip)
+	}
+}
+
+// BusyFraction integrates the trace: the fraction of [0, until] the mic
+// spent active.
+func (a *Activity) BusyFraction(until time.Duration) float64 {
+	if until <= 0 {
+		return 0
+	}
+	var busy time.Duration
+	on := time.Duration(-1)
+	for _, tr := range a.Trace {
+		if tr.At > until {
+			break
+		}
+		if tr.Active {
+			on = tr.At
+		} else if on >= 0 {
+			busy += tr.At - on
+			on = -1
+		}
+	}
+	if on >= 0 {
+		busy += until - on
+	}
+	return float64(busy) / float64(until)
+}

@@ -1,0 +1,182 @@
+// Package dynamics makes the simulated world a function of time.
+// WhiteFi's hardest machinery — chirp-assisted disconnection recovery,
+// backup-channel rendezvous, MCham re-assignment — exists because the
+// white-space world changes under the network: clients move through
+// spatially varying spectrum and wireless microphones key up without
+// warning. This package supplies those dynamics as three deterministic,
+// seedable building blocks:
+//
+//   - Trajectories: positions as pure (or sequentially seeded) functions
+//     of virtual time — linear, waypoint paths, and the classic random
+//     waypoint model.
+//   - Activity: a two-state busy/idle Markov process with exponential
+//     holding times that drives an incumbent.Mic, generalising the
+//     hand-scheduled Mic.ScheduleOn/Off of the static tests.
+//   - Updater: an epoch ticker on the sim engine that batch-applies
+//     trajectories to mac.Air positions (and incumbent stations and
+//     sensors), so the medium's position generation advances once per
+//     epoch and link-budget caches invalidate cheaply.
+//
+// Everything here is deterministic per seed at any experiment worker
+// count: trajectories and activities own their RNGs (never the engine's,
+// whose draw order depends on unrelated events), and the Updater applies
+// moves in registration order.
+package dynamics
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"whitefi/internal/mac"
+)
+
+// Trajectory is a node position as a function of virtual time.
+// Implementations must be usable from a single simulation goroutine with
+// non-decreasing or arbitrary t; RandomWaypoint extends its path lazily
+// but deterministically, so any query order yields the same positions.
+type Trajectory interface {
+	PositionAt(t time.Duration) mac.Position
+}
+
+// Mobility maps node ids to time-varying positions; the Updater
+// implements it over its tracked trajectories.
+type Mobility interface {
+	// PositionAt returns id's position at virtual time t, and whether id
+	// is mobility-tracked at all.
+	PositionAt(id int, t time.Duration) (mac.Position, bool)
+}
+
+// Stationary is the trivial trajectory: a fixed position.
+type Stationary struct{ Pos mac.Position }
+
+// PositionAt implements Trajectory.
+func (s Stationary) PositionAt(time.Duration) mac.Position { return s.Pos }
+
+// Linear moves from Start with constant velocity (meters per second).
+type Linear struct {
+	Start  mac.Position
+	VX, VY float64
+}
+
+// PositionAt implements Trajectory.
+func (l Linear) PositionAt(t time.Duration) mac.Position {
+	s := t.Seconds()
+	return mac.Position{X: l.Start.X + l.VX*s, Y: l.Start.Y + l.VY*s}
+}
+
+// Waypoints follows a piecewise-linear path: at Times[i] the node is at
+// Points[i], moving at constant speed between consecutive points. Before
+// the first time it holds the first point; after the last, the last.
+type Waypoints struct {
+	Points []mac.Position
+	Times  []time.Duration
+}
+
+// PathThrough builds a Waypoints trajectory visiting the points in order
+// at a constant speed (m/s), starting at time start.
+func PathThrough(start time.Duration, speed float64, points ...mac.Position) Waypoints {
+	times := make([]time.Duration, len(points))
+	at := start
+	for i, p := range points {
+		if i > 0 && speed > 0 {
+			at += time.Duration(p.DistanceTo(points[i-1]) / speed * float64(time.Second))
+		}
+		times[i] = at
+	}
+	return Waypoints{Points: points, Times: times}
+}
+
+// PositionAt implements Trajectory.
+func (w Waypoints) PositionAt(t time.Duration) mac.Position {
+	if len(w.Points) == 0 {
+		return mac.Position{}
+	}
+	i := sort.Search(len(w.Times), func(i int) bool { return w.Times[i] > t })
+	// w.Times[i-1] <= t < w.Times[i]
+	if i == 0 {
+		return w.Points[0]
+	}
+	if i == len(w.Points) {
+		return w.Points[len(w.Points)-1]
+	}
+	a, b := w.Points[i-1], w.Points[i]
+	span := w.Times[i] - w.Times[i-1]
+	if span <= 0 {
+		return b
+	}
+	f := float64(t-w.Times[i-1]) / float64(span)
+	return mac.Position{X: a.X + (b.X-a.X)*f, Y: a.Y + (b.Y-a.Y)*f}
+}
+
+// RandomWaypoint is the classic random-waypoint mobility model: pick a
+// uniform destination inside the box [Min, Max], travel there at a speed
+// drawn from [SpeedMin, SpeedMax], pause, repeat. Legs are generated
+// lazily from the model's own seeded RNG in strictly sequential order,
+// so the realised path is a pure function of the configuration — the
+// same at any worker count and under any query pattern.
+type RandomWaypoint struct {
+	Seed               int64
+	Min, Max           mac.Position
+	SpeedMin, SpeedMax float64 // m/s; SpeedMax <= SpeedMin means fixed SpeedMin
+	Pause              time.Duration
+	Start              mac.Position // initial position (clamped into the box)
+
+	rng  *rand.Rand
+	path Waypoints // realised path, extended lazily
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// PositionAt implements Trajectory.
+func (r *RandomWaypoint) PositionAt(t time.Duration) mac.Position {
+	r.extendTo(t)
+	return r.path.PositionAt(t)
+}
+
+// extendTo grows the realised path until it covers t.
+func (r *RandomWaypoint) extendTo(t time.Duration) {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.Seed))
+		start := r.Start
+		start.X = clamp(start.X, r.Min.X, r.Max.X)
+		start.Y = clamp(start.Y, r.Min.Y, r.Max.Y)
+		r.path.Points = append(r.path.Points, start)
+		r.path.Times = append(r.path.Times, 0)
+	}
+	for r.path.Times[len(r.path.Times)-1] <= t {
+		last := r.path.Points[len(r.path.Points)-1]
+		at := r.path.Times[len(r.path.Times)-1]
+		if r.Pause > 0 {
+			r.path.Points = append(r.path.Points, last)
+			r.path.Times = append(r.path.Times, at+r.Pause)
+			at += r.Pause
+		}
+		next := mac.Position{
+			X: r.Min.X + r.rng.Float64()*(r.Max.X-r.Min.X),
+			Y: r.Min.Y + r.rng.Float64()*(r.Max.Y-r.Min.Y),
+		}
+		speed := r.SpeedMin
+		if r.SpeedMax > r.SpeedMin {
+			speed += r.rng.Float64() * (r.SpeedMax - r.SpeedMin)
+		}
+		if speed <= 0 {
+			speed = 1
+		}
+		travel := time.Duration(next.DistanceTo(last) / speed * float64(time.Second))
+		if travel <= 0 {
+			travel = time.Millisecond
+		}
+		r.path.Points = append(r.path.Points, next)
+		r.path.Times = append(r.path.Times, at+travel)
+	}
+}

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestDriveByShape: the goodput-vs-distance curve must show the decode
+// shoulder — near-full rate deep inside the cell, nothing in the outer
+// bins.
+func TestDriveByShape(t *testing.T) {
+	pts := DriveBy(1)
+	if len(pts) != driveByBins {
+		t.Fatalf("bins = %d", len(pts))
+	}
+	near := pts[1] // 100-200 m: inside decode range the whole dwell
+	if near.GoodputBps < 1e6 {
+		t.Errorf("goodput at 100-200 m = %.2f Mbps, want > 1", near.GoodputBps/1e6)
+	}
+	for _, p := range pts[5:] { // 500 m and beyond: past decode range
+		if p.GoodputBps > 1e4 {
+			t.Errorf("goodput at %d-%d m = %.3f Mbps, want ~0", p.BinLoM, p.BinHiM, p.GoodputBps/1e6)
+		}
+	}
+	// Monotone-ish shoulder: the 100-200 m bin beats the 300-400 m bin.
+	if pts[3].GoodputBps >= near.GoodputBps {
+		t.Errorf("no decode shoulder: %.2f at 300-400 m vs %.2f at 100-200 m",
+			pts[3].GoodputBps/1e6, near.GoodputBps/1e6)
+	}
+}
+
+// TestRoamingRecovers: every run must complete at least one full
+// mobility-driven disconnect -> chirp -> re-associate cycle and report a
+// plausible outage time (the client is out of range for ~26 s).
+func TestRoamingRecovers(t *testing.T) {
+	for _, p := range Roaming(2) {
+		if p.Disconnects < 1 {
+			t.Errorf("seed %d: no disconnection while roaming out (got %d)", p.Seed, p.Disconnects)
+		}
+		if p.Reconnections < 1 {
+			t.Errorf("seed %d: client never re-associated (got %d)", p.Seed, p.Reconnections)
+		}
+		if p.APRecoveries < 1 {
+			t.Errorf("seed %d: AP completed no chirp recovery (got %d)", p.Seed, p.APRecoveries)
+		}
+		if p.OutageSec < 5 || p.OutageSec > 60 {
+			t.Errorf("seed %d: outage %.1f s out of plausible range", p.Seed, p.OutageSec)
+		}
+	}
+}
+
+// TestMicChurnAdapts: under Markov mic churn WhiteFi must keep its
+// operating channel mic-free far more than the static baseline at the
+// highest duty level, and must actually be switching.
+func TestMicChurnAdapts(t *testing.T) {
+	pts := MicChurn(1)
+	if len(pts) != len(micChurnDuties) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	heavy := pts[len(pts)-1]
+	if heavy.IncPerMin <= 0.5 {
+		t.Errorf("duty %.2f: incumbent switch rate %.2f/min, want > 0.5", heavy.Duty, heavy.IncPerMin)
+	}
+	if heavy.FreeFrac < heavy.StaticFree+0.1 {
+		t.Errorf("duty %.2f: WhiteFi free-frac %.3f not clearly above static %.3f",
+			heavy.Duty, heavy.FreeFrac, heavy.StaticFree)
+	}
+	for _, p := range pts {
+		// The realised mic duty should track the configured one.
+		if p.MicBusyMean < p.Duty*0.5 || p.MicBusyMean > p.Duty*1.5+0.02 {
+			t.Errorf("duty %.2f: realised mic busy fraction %.3f far off", p.Duty, p.MicBusyMean)
+		}
+	}
+}
+
+// TestDynamicsParallelDeterminism: the dynamics scenario tables must be
+// byte-identical at any worker count — trajectories and Markov
+// activities own their RNGs and every cell is hermetic.
+func TestDynamicsParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second dynamic scenario sweeps")
+	}
+	cases := []struct {
+		name string
+		run  func() string
+	}{
+		{"driveby", func() string { return DriveByTable(2).String() }},
+		{"roaming", func() string { return RoamingTable(2).String() }},
+		{"micchurn", func() string { return MicChurnTable(2).String() }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var serial, parallel string
+			withWorkers(1, func() { serial = c.run() })
+			withWorkers(8, func() { parallel = c.run() })
+			if serial != parallel {
+				t.Errorf("output differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+			}
+		})
+	}
+}

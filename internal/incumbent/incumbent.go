@@ -220,6 +220,11 @@ func BuildingFiveMap() spectrum.Map {
 // nodes of one network can therefore genuinely disagree about the same
 // channel — the spatial variation WhiteFi's chirping and MCham
 // aggregation exist to handle.
+//
+// Stations may move: Pos is read live on every audibility query, so a
+// dynamics.Updater tracking the station sweeps its detection footprint
+// across the nodes as simulation time advances (a roving ENG microphone
+// truck, in the paper's terms).
 type Station struct {
 	Channel spectrum.UHF
 	Pos     mac.Position

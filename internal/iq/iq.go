@@ -376,7 +376,7 @@ func (r *Renderer) renderRange(dst []float64, salt uint64, center spectrum.UHF, 
 			if frac == 0 {
 				return
 			}
-			rxDBm := r.Air.RxPower(tx.Src, r.ScannerID, tx.PowerDB) - r.ExtraLossDB
+			rxDBm := r.Air.RxPowerOf(tx, r.ScannerID) - r.ExtraLossDB
 			base := AmplitudeAt(rxDBm) * frac
 			r.addEnvelope(dst, salt, from, i0, i1, tx, base)
 		})

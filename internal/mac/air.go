@@ -46,6 +46,12 @@ type Transmission struct {
 	NoCS bool
 	// UID uniquely identifies the transmission within its medium.
 	UID uint64
+	// SrcPos is the transmitter's position at launch. A transmission
+	// keeps its launch-time source geometry for its whole lifetime:
+	// carrier sense, capture and IQ renders of this PPDU are computed
+	// from SrcPos even if the source moves while the frame is in flight
+	// (see SetPosition).
+	SrcPos Position
 }
 
 // Duration returns the on-air duration.
@@ -96,7 +102,7 @@ type Air struct {
 	Retention time.Duration
 
 	log    []Transmission // completed and active, in start order
-	active []*Transmission
+	active []activeTx
 	// byCenter partitions log indices by the transmission's center UHF
 	// channel; other catches the (never expected) out-of-range centers.
 	byCenter [spectrum.NumUHF][]int32
@@ -118,10 +124,36 @@ type Air struct {
 	// incumbent transmitters reserve ids too. Absent ids sit at the
 	// origin, which under a nil/flat model reproduces legacy behavior.
 	pos map[int]Position
+	// posGen counts position updates. Consumers caching anything derived
+	// from positions (link budgets, footprints) compare generations
+	// instead of re-deriving per query; the medium's own pair-loss cache
+	// below works the same way.
+	posGen uint64
+
+	// lossCache memoizes Prop.LossDB per id pair for the current position
+	// generation; lossGen records the generation it was built against.
+	// An epoch of batched moves therefore costs one cache flush, not a
+	// per-query model evaluation forever after.
+	lossCache map[uint64]float64
+	lossGen   uint64
+
+	// sensedPool recycles the pinned carrier-sense sets of finished
+	// transmissions.
+	sensedPool [][]int32
 
 	// scratch buffers reused by window queries (Air is single-threaded).
 	scratchIdx []int32
 	scratchIvs []busyInterval
+}
+
+// activeTx is one in-flight transmission plus the pinned set of node ids
+// whose carrier sense it raised at launch. finish releases exactly this
+// set, so positions changing mid-flight can never strand a busy count.
+// The set is kept sorted by id; attach/retune/detach re-derive a node's
+// membership (syncActive) against the transmission's launch geometry.
+type activeTx struct {
+	tx     *Transmission
+	sensed []int32
 }
 
 type airNode struct {
@@ -156,16 +188,40 @@ func (a *Air) node(id int) *airNode {
 
 // SetPosition places id on the simulation plane. Call it for every MAC
 // node, standalone scanner, and incumbent transmitter of a spatial
-// scenario; ids never placed default to the origin.
+// scenario; ids never placed default to the origin. Positions may change
+// at any time (the dynamics layer batch-updates them every mobility
+// epoch); each update bumps the position generation, invalidating the
+// medium's pair-loss cache wholesale.
+//
+// Moves interact with in-flight transmissions under launch-time
+// semantics: a PPDU already on air keeps the source position it was
+// launched from (Transmission.SrcPos) for carrier sense, capture and IQ
+// rendering, and the set of nodes whose carrier sense it raised is
+// pinned at launch, so a mid-flight move can neither strand a busy
+// indication nor retroactively change who the frame was audible to.
+// Transmissions launched after the move use the new geometry.
 func (a *Air) SetPosition(id int, p Position) {
 	if a.pos == nil {
 		a.pos = map[int]Position{}
 	}
+	// A no-op move keeps the generation (and so the pair-loss cache):
+	// the epoch updater re-applies every trajectory each epoch, and
+	// paused or arrived nodes should not flush anything.
+	if a.pos[id] == p {
+		return
+	}
 	a.pos[id] = p
+	a.posGen++
 }
 
 // PositionOf returns id's position (the origin when never placed).
 func (a *Air) PositionOf(id int) Position { return a.pos[id] }
+
+// PosGen returns the position generation: it increments on every
+// SetPosition, so callers caching position-derived values (link budgets,
+// incumbent footprints, calibrated thresholds) can compare generations
+// instead of recomputing per query.
+func (a *Air) PosGen() uint64 { return a.posGen }
 
 func (a *Air) loss(src, dst int) float64 {
 	if a.Loss != nil {
@@ -174,12 +230,56 @@ func (a *Air) loss(src, dst int) float64 {
 	if a.Prop == nil {
 		return 0
 	}
-	return a.Prop.LossDB(a.pos[src], a.pos[dst])
+	return a.pairLoss(src, dst)
 }
 
-// RxPower returns the power (dBm) at which dst hears src.
+// pairLoss memoizes Prop.LossDB per id pair at the current position
+// generation. Propagation models are pure and symmetric, so the pair is
+// canonically ordered and a stale generation flushes the whole cache in
+// one step.
+func (a *Air) pairLoss(src, dst int) float64 {
+	lo, hi := src, dst
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if a.lossGen != a.posGen || a.lossCache == nil {
+		if a.lossCache == nil {
+			a.lossCache = make(map[uint64]float64)
+		} else {
+			clear(a.lossCache)
+		}
+		a.lossGen = a.posGen
+	}
+	key := uint64(uint32(lo))<<32 | uint64(uint32(hi))
+	if v, ok := a.lossCache[key]; ok {
+		return v
+	}
+	v := a.Prop.LossDB(a.pos[src], a.pos[dst])
+	a.lossCache[key] = v
+	return v
+}
+
+// RxPower returns the power (dBm) at which dst hears src, with both
+// endpoints at their current positions.
 func (a *Air) RxPower(src, dst int, txPowerDBm float64) float64 {
 	return txPowerDBm - a.loss(src, dst)
+}
+
+// RxPowerOf returns the power (dBm) at which dst hears transmission tx,
+// evaluated with the transmission's launch-time source geometry: the
+// wavefront left from where the transmitter stood when the PPDU started,
+// regardless of where that node is now.
+func (a *Air) RxPowerOf(tx *Transmission, dst int) float64 {
+	if a.Loss != nil {
+		return tx.PowerDB - a.Loss(tx.Src, dst)
+	}
+	if a.Prop == nil {
+		return tx.PowerDB
+	}
+	if a.pos[tx.Src] == tx.SrcPos {
+		return tx.PowerDB - a.pairLoss(tx.Src, dst)
+	}
+	return tx.PowerDB - a.Prop.LossDB(tx.SrcPos, a.pos[dst])
 }
 
 // attach registers a node. deliver is called for each frame successfully
@@ -195,14 +295,21 @@ func (a *Air) attach(id int, ch spectrum.Channel, isAP bool, senser carrierSense
 		copy(a.nodes[i+1:], a.nodes[i:])
 		a.nodes[i] = n
 	}
-	n.sensedCnt = a.countSensed(n)
+	a.syncActive(n)
 	return n
 }
 
-// detach removes a node from the medium.
+// detach removes a node from the medium and from the pinned sensed set
+// of every in-flight transmission (its busy counts leave with it).
 func (a *Air) detach(id int) {
 	if i := a.nodeIndex(id); i < len(a.nodes) && a.nodes[i].id == id {
 		a.nodes = append(a.nodes[:i], a.nodes[i+1:]...)
+	}
+	for i := range a.active {
+		e := &a.active[i]
+		if j := idIndex(e.sensed, id); j >= 0 {
+			e.sensed = append(e.sensed[:j], e.sensed[j+1:]...)
+		}
 	}
 }
 
@@ -214,35 +321,70 @@ func (a *Air) eachNode(f func(*airNode)) {
 }
 
 // retune changes the channel a node listens and senses on. The node's
-// busy state is recomputed against currently active transmissions.
+// busy state is re-derived against currently active transmissions.
 func (a *Air) retune(n *airNode, ch spectrum.Channel) {
 	n.channel = ch
 	n.span = ch.Span()
 	was := n.sensedCnt > 0
-	n.sensedCnt = a.countSensed(n)
+	a.syncActive(n)
 	now := n.sensedCnt > 0
 	if was != now && n.senser != nil {
 		n.senser.mediumBusyChanged(now)
 	}
 }
 
-func (a *Air) countSensed(n *airNode) int {
+// syncActive re-derives node n's membership in every in-flight
+// transmission's pinned sensed set — against each transmission's
+// launch-time source geometry and n's current channel and position —
+// and sets n.sensedCnt accordingly. attach and retune use it so that
+// finish (which releases exactly the pinned sets) stays consistent with
+// nodes that joined, left, or changed channels mid-flight.
+func (a *Air) syncActive(n *airNode) {
 	cnt := 0
-	for _, tx := range a.active {
-		if tx.Src != n.id && a.hears(n, tx) {
+	for i := range a.active {
+		e := &a.active[i]
+		if e.tx.Src == n.id {
+			continue
+		}
+		j := idIndex(e.sensed, n.id)
+		if a.hears(n, e.tx) {
 			cnt++
+			if j < 0 {
+				e.sensed = insertID(e.sensed, n.id)
+			}
+		} else if j >= 0 {
+			e.sensed = append(e.sensed[:j], e.sensed[j+1:]...)
 		}
 	}
-	return cnt
+	n.sensedCnt = cnt
+}
+
+// idIndex returns the position of id in the sorted set s, or -1.
+func idIndex(s []int32, id int) int {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= int32(id) })
+	if i < len(s) && s[i] == int32(id) {
+		return i
+	}
+	return -1
+}
+
+// insertID adds id to the sorted set s.
+func insertID(s []int32, id int) []int32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= int32(id) })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = int32(id)
+	return s
 }
 
 // hears reports whether node n senses transmission tx: spans overlap and
-// received power is above the carrier-sense threshold.
+// received power (from the transmission's launch-time source position)
+// is above the carrier-sense threshold.
 func (a *Air) hears(n *airNode, tx *Transmission) bool {
 	if !n.channel.Overlaps(tx.Channel) {
 		return false
 	}
-	return a.RxPower(tx.Src, n.id, tx.PowerDB) >= DefaultCSThresholdDBm
+	return a.RxPowerOf(tx, n.id) >= DefaultCSThresholdDBm
 }
 
 // SensedBusy reports whether node id currently senses any carrier on any
@@ -270,44 +412,53 @@ func (a *Air) Transmit(id int, ch spectrum.Channel, f phy.Frame, powerDBm float6
 		PowerDB: powerDBm,
 		NoCS:    noCS,
 		UID:     a.nextUID,
+		SrcPos:  a.pos[id],
 	}
 	a.record(*tx)
-	a.active = append(a.active, tx)
+	entry := activeTx{tx: tx, sensed: a.grabSensed()}
 	if n := a.node(id); n != nil {
 		n.txUntil = tx.End
 	}
-	// Raise busy at every node that hears this transmission.
+	// Raise busy at every node that hears this transmission, pinning the
+	// raised set (eachNode visits in ascending id order, so it is sorted).
 	a.eachNode(func(n *airNode) {
 		if n.id == tx.Src || !a.hears(n, tx) {
 			return
 		}
+		entry.sensed = append(entry.sensed, int32(n.id))
 		n.sensedCnt++
 		if n.sensedCnt == 1 && n.senser != nil {
 			n.senser.mediumBusyChanged(true)
 		}
 	})
+	a.active = append(a.active, entry)
 	a.Eng.Schedule(tx.End, func() { a.finish(tx) })
 	return tx
 }
 
-// finish ends a transmission: drops busy indications and resolves
-// delivery at each candidate receiver.
+// finish ends a transmission: drops busy indications at exactly the
+// nodes the launch pinned (as maintained by syncActive since) and
+// resolves delivery at each candidate receiver.
 func (a *Air) finish(tx *Transmission) {
-	for i, at := range a.active {
-		if at == tx {
+	var sensed []int32
+	for i := range a.active {
+		if a.active[i].tx == tx {
+			sensed = a.active[i].sensed
 			a.active = append(a.active[:i], a.active[i+1:]...)
 			break
 		}
 	}
-	a.eachNode(func(n *airNode) {
-		if n.id == tx.Src || !a.hears(n, tx) {
-			return
+	for _, id := range sensed {
+		n := a.node(int(id))
+		if n == nil {
+			continue
 		}
 		n.sensedCnt--
 		if n.sensedCnt == 0 && n.senser != nil {
 			n.senser.mediumBusyChanged(false)
 		}
-	})
+	}
+	a.releaseSensed(sensed)
 	// Delivery: only receivers tuned to exactly the transmission's
 	// channel (same center frequency and width) can decode, per the
 	// variable-width decoding limitation.
@@ -333,7 +484,7 @@ func (a *Air) finish(tx *Transmission) {
 // no other audible transmission overlapping tx in time on any UHF
 // channel of the receiver's span.
 func (a *Air) cleanAt(n *airNode, tx *Transmission) bool {
-	rx := a.RxPower(tx.Src, n.id, tx.PowerDB)
+	rx := a.RxPowerOf(tx, n.id)
 	if rx-NoiseFloorDBm < decodeSNRdB {
 		return false
 	}
@@ -358,7 +509,7 @@ func (a *Air) cleanAt(n *airNode, tx *Transmission) bool {
 		if !n.channel.Overlaps(o.Channel) {
 			continue
 		}
-		if a.RxPower(o.Src, n.id, o.PowerDB) >= NoiseFloorDBm {
+		if a.RxPowerOf(o, n.id) >= NoiseFloorDBm {
 			return false
 		}
 	}
@@ -368,6 +519,24 @@ func (a *Air) cleanAt(n *airNode, tx *Transmission) bool {
 // maxFrameAir generously bounds the longest possible frame on air (an
 // MTU-sized frame at 5 MHz is about 9 ms).
 const maxFrameAir = 50 * time.Millisecond
+
+// grabSensed returns an empty pinned-set buffer, recycling one released
+// by an earlier finish when possible.
+func (a *Air) grabSensed() []int32 {
+	if n := len(a.sensedPool); n > 0 {
+		s := a.sensedPool[n-1]
+		a.sensedPool = a.sensedPool[:n-1]
+		return s[:0]
+	}
+	return nil
+}
+
+// releaseSensed returns a pinned-set buffer to the pool.
+func (a *Air) releaseSensed(s []int32) {
+	if cap(s) > 0 {
+		a.sensedPool = append(a.sensedPool, s)
+	}
+}
 
 // decodeSNRdB is the SNR needed for the transceiver to decode a frame.
 const decodeSNRdB = 10
@@ -571,7 +740,7 @@ func (a *Air) audibleAt(observer int, tx *Transmission) bool {
 	if observer == IdealObserver {
 		return true
 	}
-	return a.RxPower(tx.Src, observer, tx.PowerDB) >= DefaultCSThresholdDBm
+	return a.RxPowerOf(tx, observer) >= DefaultCSThresholdDBm
 }
 
 // BusyFractionAt is BusyFractionExcluding as heard at node observer:

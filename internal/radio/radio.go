@@ -62,6 +62,16 @@ func (s *Scanner) CalibrateFor(minRxDBm float64) {
 	s.Cfg.Threshold = sift.ThresholdFor(iq.AmplitudeAt(minRxDBm), iq.MaxNoiseAmplitude())
 }
 
+// CalibrateForLink calibrates the SIFT threshold for transmitter src as
+// currently heard at this scanner's position, from the medium's live
+// geometry. Mobility epochs re-invoke it (via a dynamics.Updater hook)
+// so the threshold tracks the link budget as nodes move: a returning
+// roamer's chirps become detectable again exactly when its link budget
+// clears the noise ceiling.
+func (s *Scanner) CalibrateForLink(src int, txPowerDBm float64) {
+	s.CalibrateFor(s.air.RxPower(src, s.ID, txPowerDBm))
+}
+
 // ScanResult is the SIFT output of one scan window on one UHF channel.
 type ScanResult struct {
 	Center     spectrum.UHF
@@ -124,10 +134,51 @@ const minSkipMargin = 8
 // values. It uses the narrow per-channel span: chirps are 5 MHz frames
 // centered on a UHF channel, and the wide discovery span would
 // mis-attribute a chirp to the adjacent channel.
+//
+// Two classes of non-chirp pulses are filtered before decoding, both
+// steady false-chirp sources on channels carrying other traffic:
+//
+//   - pulses clipped by the scan-window edges: a frame truncated by the
+//     window boundary has an arbitrary measured length and decodes as a
+//     random code;
+//   - pulses with a close neighbor: fragments of a signal hovering at
+//     the detection threshold (random lengths, micro-second gaps) and
+//     SIFS-spaced data/ACK exchanges. A genuine chirp is a lone
+//     broadcast — its nearest neighbor is a chirp period (or at least a
+//     DIFS, 112 us at 5 MHz, when several chirpers share the channel)
+//     away, comfortably above the isolation gap.
 func (s *Scanner) Chirps(center spectrum.UHF, from, to time.Duration) []int {
 	res := s.ScanChannel(center, from, to)
-	return sift.FindChirps(res.Pulses)
+	win := to - from
+	ps := res.Pulses
+	var vals []int
+	for i, p := range ps {
+		if p.Start <= chirpEdgeGuard || p.End >= win-chirpEdgeGuard {
+			continue
+		}
+		if i > 0 && p.Start-ps[i-1].End < chirpIsolationGap {
+			continue
+		}
+		if i+1 < len(ps) && ps[i+1].Start-p.End < chirpIsolationGap {
+			continue
+		}
+		if v, ok := sift.DecodeChirp(p.Duration()); ok {
+			vals = append(vals, v)
+		}
+	}
+	return vals
 }
+
+// chirpEdgeGuard is how close to a scan-window edge a pulse boundary may
+// sit before the pulse counts as clipped; it covers the moving-average
+// settle time of the detector.
+const chirpEdgeGuard = 8 * iq.SamplePeriod
+
+// chirpIsolationGap is the minimum idle air a chirp candidate needs on
+// both sides: above the SIFS of any width (data/ACK pairs rejected) and
+// the few-sample gaps of threshold fragmentation, below the DIFS +
+// backoff spacing of competing chirpers at the 5 MHz chirp width.
+const chirpIsolationGap = 90 * time.Microsecond
 
 // AirtimeSource produces per-UHF-channel airtime and AP-count estimates
 // over a recent window. Two implementations exist: the SIFT scanner

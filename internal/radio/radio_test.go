@@ -157,7 +157,11 @@ func TestScannerChirps(t *testing.T) {
 	backup := spectrum.Chan(22, spectrum.W5)
 	mac.NewNode(eng, air, 1, backup, false)
 	f := phy.Frame{Kind: phy.KindChirp, Src: 1, Dst: phy.Broadcast, Bytes: sift.EncodeChirpBytes(17)}
-	air.Transmit(1, backup, f, mac.DefaultTxPowerDBm, true)
+	// Launch inside the window: pulses clipped by the scan edges are
+	// discarded as undecodable (their measured length is arbitrary).
+	eng.Schedule(time.Millisecond, func() {
+		air.Transmit(1, backup, f, mac.DefaultTxPowerDBm, true)
+	})
 	eng.RunUntil(50 * time.Millisecond)
 	sc := NewScanner(air, 99, rand.New(rand.NewSource(7)))
 	vals := sc.Chirps(22, 0, 50*time.Millisecond)

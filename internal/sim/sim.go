@@ -151,6 +151,49 @@ func (e *Engine) Run() {
 	}
 }
 
+// Ticker is a repeating scheduled callback (see Every). Stop cancels
+// future firings.
+type Ticker struct {
+	eng    *Engine
+	period time.Duration
+	fn     func()
+	ev     *Event
+	done   bool
+}
+
+// Every runs fn every period, first at now+period, until Stop is called.
+// The dynamics layer uses it as the mobility epoch ticker.
+func (e *Engine) Every(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Every needs a positive period")
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.ev = e.After(period, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.done {
+		return
+	}
+	t.fn()
+	// fn may have stopped the ticker; rescheduling then would leave a
+	// phantom pending event.
+	if t.done {
+		return
+	}
+	t.ev = t.eng.After(t.period, t.tick)
+}
+
+// Stop cancels the ticker; firing a stopped ticker is a no-op.
+func (t *Ticker) Stop() {
+	t.done = true
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
 // Pending returns the number of uncancelled scheduled events.
 func (e *Engine) Pending() int {
 	n := 0

@@ -209,3 +209,30 @@ func TestQuickCancelSubset(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEvery covers the repeating ticker: fires every period until
+// stopped, and a stop from inside a callback takes effect immediately.
+func TestEvery(t *testing.T) {
+	e := New(1)
+	var at []time.Duration
+	var tk *Ticker
+	tk = e.Every(100*time.Millisecond, func() {
+		at = append(at, e.Now())
+		if len(at) == 3 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(time.Second)
+	if len(at) != 3 {
+		t.Fatalf("ticker fired %d times, want 3", len(at))
+	}
+	for i, want := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond} {
+		if at[i] != want {
+			t.Fatalf("firing %d at %v, want %v", i, at[i], want)
+		}
+	}
+	tk.Stop() // idempotent
+	if e.Pending() != 0 {
+		t.Fatalf("pending events after stop = %d", e.Pending())
+	}
+}

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# bench_trend.sh — warn-only comparison of a freshly generated
+# BENCH_<sha>.json against the most recently *committed* baseline.
+#
+# Usage:
+#   scripts/bench_trend.sh <new-bench.json>
+#
+# Finds the committed BENCH_*.json with the newest commit date, joins it
+# with the new file by benchmark name, and prints a WARN line for every
+# benchmark whose ns_per_op regressed by more than the threshold (and an
+# INFO line for large improvements). Always exits 0: the trend step is a
+# tripwire for humans reading CI logs, not a gate — absolute timings on
+# shared runners are too noisy to fail a build on.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+new=${1:?usage: scripts/bench_trend.sh <new-bench.json>}
+threshold=${BENCH_TREND_THRESHOLD:-30}   # percent slower that triggers a warning
+
+# Most recently committed baseline (by commit time), excluding the new
+# file itself if it happens to be tracked.
+baseline=""
+best=0
+for f in $(git ls-files 'BENCH_*.json'); do
+    [ "$f" = "$(basename "$new")" ] && continue
+    ct=$(git log -1 --format=%ct -- "$f" 2>/dev/null || echo 0)
+    if [ "$ct" -gt "$best" ]; then
+        best=$ct
+        baseline=$f
+    fi
+done
+
+if [ -z "$baseline" ]; then
+    echo "bench-trend: no committed BENCH_*.json baseline; skipping"
+    exit 0
+fi
+
+echo "bench-trend: comparing $new against committed baseline $baseline (warn at +${threshold}%)"
+
+awk -v thr="$threshold" '
+function sval(line, key,    m) {
+    m = ""
+    if (match(line, "\"" key "\":\"[^\"]*\"")) {
+        m = substr(line, RSTART, RLENGTH)
+        sub("\"" key "\":\"", "", m)
+        sub("\"$", "", m)
+        # Normalize away the -GOMAXPROCS suffix so files generated on
+        # hosts with different core counts still join.
+        sub(/-[0-9]+$/, "", m)
+    }
+    return m
+}
+function nval(line, key,    m) {
+    m = ""
+    if (match(line, "\"" key "\":[0-9.]+")) {
+        m = substr(line, RSTART, RLENGTH)
+        sub("\"" key "\":", "", m)
+    }
+    return m
+}
+FNR == NR {
+    name = sval($0, "name"); ns = nval($0, "ns_per_op")
+    if (name != "" && ns != "") base[name] = ns
+    next
+}
+{
+    name = sval($0, "name"); ns = nval($0, "ns_per_op")
+    if (name == "" || ns == "") next
+    if (!(name in base)) { printf "NEW   %-45s %12.0f ns/op (no baseline)\n", name, ns; next }
+    delta = (ns - base[name]) / base[name] * 100
+    if (delta > thr)       printf "WARN  %-45s %+7.1f%%  (%.0f -> %.0f ns/op)\n", name, delta, base[name], ns
+    else if (delta < -thr) printf "INFO  %-45s %+7.1f%%  (%.0f -> %.0f ns/op)\n", name, delta, base[name], ns
+}
+' <(tr -d '\r' < "$baseline") <(tr -d '\r' < "$new") || true
+
+echo "bench-trend: done (warn-only)"
