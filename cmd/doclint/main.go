@@ -1,0 +1,158 @@
+// Command doclint enforces the documentation bar of this repository:
+// every package it is pointed at must carry a package comment, and
+// every exported symbol — functions, methods on exported receivers,
+// types, consts and vars — must have a doc comment (a group doc on a
+// const/var/type block covers the block's specs). It is the CI
+// docs-lint step, a stand-in for revive's exported rule that needs
+// nothing outside the standard library.
+//
+// Usage:
+//
+//	doclint ./internal/...   # the trailing /... is implied; args are root dirs
+//	doclint internal cmd
+//
+// Exit status 1 when any finding is reported, with one "file:line:
+// symbol" line per finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"internal"}
+	}
+	findings := 0
+	for _, root := range roots {
+		// Accept go-style ./pkg/... spellings for familiarity.
+		root = strings.TrimSuffix(strings.TrimPrefix(root, "./"), "/...")
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			findings += lintDir(path)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported symbols\n", findings)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one directory's non-test sources and reports findings.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	findings := 0
+	report := func(pos token.Pos, what string) {
+		fmt.Printf("%s: %s\n", fset.Position(pos), what)
+		findings++
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc && len(pkg.Files) > 0 {
+			for _, f := range pkg.Files {
+				report(f.Package, "package "+pkg.Name+" has no package comment")
+				break
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lintDecl(report, decl)
+			}
+		}
+	}
+	return findings
+}
+
+// lintDecl reports the undocumented exported symbols of one top-level
+// declaration through report (which counts findings).
+func lintDecl(report func(token.Pos, string), decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return
+		}
+		if d.Recv != nil && !receiverExported(d.Recv) {
+			return
+		}
+		report(d.Pos(), "exported "+kindOf(d)+" "+d.Name.Name+" has no doc comment")
+	case *ast.GenDecl:
+		groupDoc := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "exported type "+s.Name.Name+" has no doc comment")
+				}
+			case *ast.ValueSpec:
+				if groupDoc || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						report(s.Pos(), "exported "+d.Tok.String()+" "+name.Name+" has no doc comment")
+					}
+				}
+			}
+		}
+	}
+}
+
+// kindOf names a FuncDecl for the report line.
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// receiverExported reports whether a method's receiver type is exported.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -7,8 +7,9 @@
 //
 // Experiment ids match DESIGN.md's per-experiment index: sec2.1, fig2,
 // sec2.3, fig5, table1, fig6, fig7, fig8, fig9, sec5.3, fig10, fig11,
-// fig12, fig13, fig14, and the ablations ablation-window,
-// ablation-mcham, ablation-jsift, ablation-hysteresis, ablation-weight.
+// fig12, fig13, fig14, the ablations ablation-window, ablation-mcham,
+// ablation-jsift, ablation-hysteresis, ablation-weight, and the
+// beyond-the-paper scenarios driveby, roaming, mic-churn, densecity.
 package main
 
 import (
@@ -61,13 +62,14 @@ func main() {
 		"driveby":   exp.DriveByTable,
 		"roaming":   exp.RoamingTable,
 		"mic-churn": exp.MicChurnTable,
+		"densecity": exp.DenseCityTable,
 	}
 	order := []string{
 		"sec2.1", "fig2", "sec2.3", "fig5", "table1", "fig6", "fig7",
 		"fig8", "fig9", "sec5.3", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "ablation-window", "ablation-mcham", "ablation-jsift",
 		"ablation-hysteresis", "ablation-weight",
-		"driveby", "roaming", "mic-churn",
+		"driveby", "roaming", "mic-churn", "densecity",
 	}
 
 	var ids []string

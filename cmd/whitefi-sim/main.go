@@ -8,6 +8,7 @@
 //	whitefi-sim -map building5 -mic-at 20s
 //	whitefi-sim -topology star -range 200 -clients 4
 //	whitefi-sim -topology star -mobility rwp -speed 15 -mic-duty 0.2
+//	whitefi-sim -dense 334 -duration 30s
 //	whitefi-sim -json | jq .goodput_mbps
 //
 // The default topology is "colocated": every node in perfect range on
@@ -27,6 +28,14 @@
 // incumbent switches on the mic's own schedule. With -json, positions,
 // mic transitions, disconnections and recoveries are emitted as JSON
 // lines alongside the periodic trace.
+//
+// -dense N switches to the city-scale dense-deployment scenario: N
+// WhiteFi BSSs (one AP, two clients each) scattered over square
+// kilometers of log-distance medium on the neighbor-culled air medium,
+// with per-AP MCham channel assignment and Markov mics; the summary
+// metrics (aggregate goodput, assignment quality, interference-free
+// fraction) are printed at the end, or emitted as one JSON record with
+// -json.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 
 	"whitefi/internal/core"
 	"whitefi/internal/dynamics"
+	"whitefi/internal/exp"
 	"whitefi/internal/incumbent"
 	"whitefi/internal/mac"
 	"whitefi/internal/radio"
@@ -89,6 +99,56 @@ type switchRecord struct {
 	Metric float64 `json:"metric"`
 }
 
+// denseRecord is the -json summary line of a -dense run.
+type denseRecord struct {
+	Event        string  `json:"event"`
+	APs          int     `json:"aps"`
+	Nodes        int     `json:"nodes"`
+	AreaKm2      float64 `json:"area_km2"`
+	GoodputMbps  float64 `json:"goodput_mbps"`
+	MChamQuality float64 `json:"mcham_quality"`
+	IFreeFrac    float64 `json:"interference_free_frac"`
+	SwitchPerBSS float64 `json:"switches_per_bss"`
+	WallSec      float64 `json:"wall_s"`
+}
+
+// runDenseCity executes the exp.DenseCity scenario once with the CLI's
+// duration split into the default settle plus the remaining measurement
+// window, and prints (or emits as JSON) the summary metrics.
+func runDenseCity(aps int, duration time.Duration, seed int64, micDuty float64, jsonOut bool) {
+	cfg := exp.DenseCityConfig{APs: aps, Seed: seed, MicDuty: micDuty}
+	if duration > 0 {
+		settle := 2 * time.Second
+		if duration < 2*settle {
+			// Honor short -duration values too: split them evenly
+			// rather than falling back to the 10 s default run.
+			settle = duration / 2
+		}
+		cfg.Settle, cfg.Measure = settle, duration-settle
+	}
+	r := exp.DenseCityRun(cfg)
+	if jsonOut {
+		em := trace.NewJSONEmitter(os.Stdout)
+		em.Emit(denseRecord{
+			Event: "dense", APs: r.APs, Nodes: r.Nodes, AreaKm2: r.AreaKm2,
+			GoodputMbps: r.GoodputMbps, MChamQuality: r.MChamQuality,
+			IFreeFrac: r.InterferenceFreeFrac, SwitchPerBSS: r.SwitchesPerBSS,
+			WallSec: r.WallClock.Seconds(),
+		})
+		if err := em.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "json trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("dense city: %d APs (%d nodes) over %.1f km²\n", r.APs, r.Nodes, r.AreaKm2)
+	fmt.Printf("  goodput            %8.1f Mbps aggregate\n", r.GoodputMbps)
+	fmt.Printf("  mcham quality      %8.3f (1.0 = every AP locally optimal)\n", r.MChamQuality)
+	fmt.Printf("  interference-free  %8.3f of BSS-time\n", r.InterferenceFreeFrac)
+	fmt.Printf("  switches           %8.2f per BSS\n", r.SwitchesPerBSS)
+	fmt.Printf("  wall clock         %8.1fs\n", r.WallClock.Seconds())
+}
+
 // placements returns per-node positions (index 0 the AP, then clients)
 // for a topology, or ok=false for an unknown name.
 func placements(topology string, clients int, rangeM float64) (pos []mac.Position, spatial, ok bool) {
@@ -126,8 +186,14 @@ func main() {
 	mobility := flag.String("mobility", "none", "client mobility: none | rwp (seeded random waypoint) | roam (first client roams out and back); non-none implies the spatial medium")
 	speed := flag.Float64("speed", 15, "mobility speed in m/s")
 	micDuty := flag.Float64("mic-duty", 0, "Markov mic duty cycle: one stochastic mic per free channel, busy this fraction of a 20 s mean cycle (0 = only the scripted -mic-at mic)")
+	denseAPs := flag.Int("dense", 0, "run the city-scale dense-deployment scenario with this many APs (2 clients each) instead of the single-BSS scenario; -duration, -seed and -mic-duty apply")
 	jsonOut := flag.Bool("json", false, "emit the periodic trace as JSON lines instead of text")
 	flag.Parse()
+
+	if *denseAPs > 0 {
+		runDenseCity(*denseAPs, *duration, *seed, *micDuty, *jsonOut)
+		return
+	}
 
 	if *mobility != "none" && *mobility != "rwp" && *mobility != "roam" {
 		fmt.Fprintf(os.Stderr, "unknown mobility %q\n", *mobility)

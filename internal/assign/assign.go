@@ -1,26 +1,3 @@
-// Package assign implements WhiteFi's adaptive spectrum assignment
-// (Section 4.1): the multichannel airtime metric MCham and the
-// client-aware channel selection that picks both the center frequency
-// and the channel width.
-//
-// Every node maintains, per UHF channel c, an incumbent occupancy bit
-// (the spectrum map), an airtime utilization estimate A_c, and an
-// estimate B_c of the number of other APs operating on c. The expected
-// share of channel c at node n is
-//
-//	rho_n(c) = max(1 - A_c, 1/(B_c + 1))
-//
-// — the residual airtime when the channel is mostly free, but never less
-// than the fair share CSMA grants against B_c contending APs. The
-// multichannel airtime metric for a candidate channel (F, W) is
-//
-//	MCham_n(F, W) = (W / 5 MHz) * prod_{c in (F,W)} rho_n(c)
-//
-// the product capturing that traffic on any spanned UHF channel contends
-// with the whole wider channel, scaled by the channel's capacity
-// relative to a single 5 MHz channel. The AP selects the channel
-// maximizing N*MCham_AP + sum_n MCham_n, weighting its own (downlink)
-// view by the number of clients N.
 package assign
 
 import (

@@ -1,15 +1,3 @@
-// Package audio models the wireless-microphone interference experiment
-// of Section 2.3: the paper places a mic receiver and a WhiteFi
-// transmitter in an anechoic chamber, transmits 70-byte packets every
-// 100 ms on the mic's UHF channel at -30 dBm, and measures a Mean
-// Opinion Score (PESQ) drop of 0.9 — far above the 0.1 threshold the
-// literature reports as audible. The conclusion drives WhiteFi's design:
-// no control traffic may be sent on a channel an incumbent occupies,
-// hence the out-of-band chirping protocol.
-//
-// PESQ itself operates on audio waveforms we do not have; this model
-// maps the interfering duty cycle and received interference power to a
-// MOS degradation, calibrated to reproduce the paper's measured point.
 package audio
 
 import (

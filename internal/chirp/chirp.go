@@ -1,16 +1,3 @@
-// Package chirp implements the backup-channel machinery of WhiteFi's
-// disconnection handling (Section 4.3): choosing the 5 MHz backup
-// channel an AP advertises in its beacons, falling back to a secondary
-// backup when an incumbent occupies the primary one, and the periodic
-// chirping a disconnected node performs.
-//
-// Chirps are ordinary CSMA frames on the backup channel whose *length*
-// encodes the chirper's SSID hash (see package sift), so an AP scanning
-// the backup channel with its secondary radio can tell whether a chirp
-// concerns its own network without retuning the main radio. The chirp
-// frame body carries the node's current spectrum map; once the AP's main
-// radio joins the backup channel it decodes those maps and re-runs
-// spectrum assignment.
 package chirp
 
 import (

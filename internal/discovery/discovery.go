@@ -1,16 +1,3 @@
-// Package discovery implements WhiteFi's AP discovery algorithms
-// (Section 4.2): the non-SIFT baseline that must tune the transceiver to
-// every (F, W) channel combination, and the two SIFT-based algorithms —
-// L-SIFT (linear scan) and J-SIFT (staggered wide-to-narrow scan,
-// Algorithm 1) — that exploit SIFT's ability to detect a transmitter of
-// any width from a single 8 MHz scan.
-//
-// With 30 UHF channels and 3 widths there are 84 (F, W) combinations;
-// the baseline expects to try half of them. L-SIFT expects NC/2 = 15
-// scans; J-SIFT expects about (NC + 2^(NW-1) + (NW-1)/2)/NW scans plus a
-// short endgame to pin down the AP's center frequency, and overtakes
-// L-SIFT once the searchable white space exceeds roughly 10 UHF
-// channels.
 package discovery
 
 import (

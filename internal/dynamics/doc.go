@@ -1,0 +1,29 @@
+// Package dynamics makes the simulated world a function of time.
+// WhiteFi's hardest machinery — chirp-assisted disconnection recovery,
+// backup-channel rendezvous, MCham re-assignment — exists because the
+// white-space world changes under the network: clients move through
+// spatially varying spectrum and wireless microphones key up without
+// warning. This package supplies those dynamics as three deterministic,
+// seedable building blocks:
+//
+//   - Trajectories: positions as pure (or sequentially seeded) functions
+//     of virtual time — linear, waypoint paths, and the classic random
+//     waypoint model.
+//   - Activity: a two-state busy/idle Markov process with exponential
+//     holding times that drives an incumbent.Mic, generalising the
+//     hand-scheduled Mic.ScheduleOn/Off of the static tests.
+//   - Updater: an epoch ticker on the sim engine that batch-applies
+//     trajectories to mac.Air positions (and incumbent stations and
+//     sensors), so the medium's position generation advances once per
+//     epoch and link-budget caches invalidate cheaply.
+//
+// Everything here is deterministic per seed at any experiment worker
+// count: trajectories and activities own their RNGs (never the engine's,
+// whose draw order depends on unrelated events), and the Updater applies
+// moves in registration order.
+//
+// In the system inventory (DESIGN.md) this package stands in for no
+// paper artifact: it is the mobility and temporal-dynamics layer grown
+// beyond the paper, which exercises the adaptation machinery organically
+// instead of through scripted toggles.
+package dynamics

@@ -1,0 +1,68 @@
+package dynamics
+
+import (
+	"testing"
+	"time"
+
+	"whitefi/internal/mac"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// TestUpdaterRebucketsGrid pins the index side of epoch mobility: after
+// every batch of Updater moves, the medium's spatial index must agree
+// with the nodes' current positions. NodesNear(p, r) returns the culled
+// candidate set around p — it must contain every attached node actually
+// within r (the superset guarantee culling correctness rests on), and a
+// tight query around each node's own live position must find it (a
+// stale bucket would not).
+func TestUpdaterRebucketsGrid(t *testing.T) {
+	eng := sim.New(7)
+	air := mac.NewAir(eng)
+	air.Prop = mac.LogDistance{}
+	air.GridCellM = 100 // small cells so epoch moves cross bucket borders
+
+	const n = 8
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = 1 + i
+		mac.NewNode(eng, air, ids[i], spectrum.Chan(3, spectrum.W5), false)
+	}
+	// Force the grid into existence before any move by issuing a culled
+	// query (the index is built lazily on first use).
+	air.NodesNear(mac.Position{}, 1)
+
+	u := NewUpdater(eng, air, 50*time.Millisecond)
+	for i, id := range ids {
+		u.Track(id, &RandomWaypoint{
+			Seed:     int64(31 + i),
+			Min:      mac.Position{X: -600, Y: -600},
+			Max:      mac.Position{X: 600, Y: 600},
+			SpeedMin: 20, SpeedMax: 40,
+		}, nil)
+	}
+	u.Start()
+
+	const radius = 250.0
+	for step := 1; step <= 40; step++ {
+		eng.RunUntil(time.Duration(step) * 50 * time.Millisecond)
+		for _, id := range ids {
+			p := air.PositionOf(id)
+			near := air.NodesNear(p, radius)
+			got := map[int]bool{}
+			for _, v := range near {
+				got[v] = true
+			}
+			if !got[id] {
+				t.Fatalf("step %d: node %d missing from the index at its own position %v", step, id, p)
+			}
+			for _, other := range ids {
+				if p.DistanceTo(air.PositionOf(other)) <= radius && !got[other] {
+					t.Fatalf("step %d: node %d within %.0f m of node %d but culled from its neighborhood",
+						step, other, radius, id)
+				}
+			}
+		}
+	}
+	u.Stop()
+}

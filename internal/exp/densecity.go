@@ -1,0 +1,460 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"whitefi/internal/assign"
+	"whitefi/internal/dynamics"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/phy"
+	"whitefi/internal/radio"
+	"whitefi/internal/spectrum"
+	"whitefi/internal/trace"
+)
+
+// DenseCity is the city-scale dense-deployment scenario: hundreds of
+// WhiteFi BSSs scattered over square kilometers of log-distance medium,
+// each serving CBR downlink traffic, with Markov microphones keying up
+// across the band. It is the regime WhiteFi's variable-width MCham
+// assignment targets (many networks contending for fragmented white
+// space) at the node counts the mmWave ad-hoc literature evaluates —
+// and the workload the medium's spatial interference culling exists
+// for: every launch fans out to the interference neighborhood instead
+// of the whole city.
+
+// DenseCityConfig parameterizes one dense-deployment world.
+type DenseCityConfig struct {
+	// APs is the number of access points (N). Each AP brings
+	// ClientsPerAP clients, so the node count is APs*(1+ClientsPerAP).
+	APs int
+	// ClientsPerAP is M; 0 selects 2.
+	ClientsPerAP int
+	// DensityPerKm2 is the AP density; the world side length follows
+	// from APs/DensityPerKm2. 0 selects 24 AP/km² (≈200 m spacing, a
+	// dense urban deployment).
+	DensityPerKm2 float64
+	// Seed drives placement, initial channels and mic schedules.
+	Seed int64
+	// Settle is the warm-up before MCham assignment; 0 selects 2 s.
+	Settle time.Duration
+	// Measure is the measurement window after assignment; 0 selects 8 s.
+	Measure time.Duration
+	// MicDuty is the Markov mic duty cycle on every free channel; 0
+	// selects 0.08. Negative disables mics.
+	MicDuty float64
+	// TrafficInterval is the CBR inter-packet delay per client flow
+	// (1000-byte packets); 0 selects 25 ms.
+	TrafficInterval time.Duration
+	// AssignPeriod is how often each AP re-evaluates its channel with
+	// the hysteresis selector; 0 selects 4 s.
+	AssignPeriod time.Duration
+	// Brute disables spatial culling (mac.Air.NoCull): the
+	// O(nodes × transmissions) fan-out the culled medium replaces. For
+	// benchmarking the two paths; results are event-identical.
+	Brute bool
+}
+
+// withDefaults fills the zero-valued fields.
+func (c DenseCityConfig) withDefaults() DenseCityConfig {
+	if c.ClientsPerAP == 0 {
+		c.ClientsPerAP = 2
+	}
+	if c.DensityPerKm2 == 0 {
+		c.DensityPerKm2 = 24
+	}
+	if c.Settle == 0 {
+		c.Settle = 2 * time.Second
+	}
+	if c.Measure == 0 {
+		c.Measure = 8 * time.Second
+	}
+	if c.MicDuty == 0 {
+		c.MicDuty = 0.08
+	}
+	if c.MicDuty < 0 {
+		c.MicDuty = 0
+	}
+	if c.TrafficInterval == 0 {
+		c.TrafficInterval = 25 * time.Millisecond
+	}
+	if c.AssignPeriod == 0 {
+		c.AssignPeriod = 4 * time.Second
+	}
+	return c
+}
+
+// DenseCityResult is the outcome of one dense-deployment run.
+type DenseCityResult struct {
+	APs     int
+	Nodes   int     // APs + clients on the medium
+	AreaKm2 float64 // world area
+	// GoodputMbps is the aggregate delivered downlink payload rate
+	// across every BSS over the measurement window.
+	GoodputMbps float64
+	// MChamQuality is the mean over APs of MCham(operating channel) /
+	// MCham(best local channel), each evaluated against the AP's own
+	// end-of-run observation: 1.0 means every AP sits on its locally
+	// optimal channel, lower values measure assignment staleness.
+	MChamQuality float64
+	// InterferenceFreeFrac is the fraction of (BSS, sample) points
+	// whose operating channel had no active microphone.
+	InterferenceFreeFrac float64
+	// SwitchesPerBSS is the mean number of channel switches per BSS
+	// over the measurement window (initial assignment excluded).
+	SwitchesPerBSS float64
+	// WallClock is the host time the run took — the scaling headline.
+	WallClock time.Duration
+}
+
+// denseCityIDBase spaces BSS ids well clear of the other scenarios'.
+const denseCityIDBase = 10000
+
+// denseBSS is one AP with its clients, flows, and assignment state.
+type denseBSS struct {
+	ap       *mac.Node
+	clients  []*mac.Node
+	flows    []*mac.CBR
+	ids      map[int]bool // all member ids, for observation exclusion
+	sel      assign.Selector
+	switches int
+	lastRx   int64
+}
+
+// retune moves the whole BSS to ch.
+func (b *denseBSS) retune(ch spectrum.Channel) {
+	b.ap.Retune(ch)
+	for _, cl := range b.clients {
+		cl.Retune(ch)
+	}
+}
+
+// DenseCityRun executes one dense-deployment world and reports its
+// metrics. The run is deterministic per config (placement, channels and
+// mic schedules all derive from Seed) and identical with and without
+// culling.
+//
+// Shape: N APs are placed by a seeded binomial point process (a Poisson
+// process conditioned on its count) over a square sized for
+// DensityPerKm2; clients scatter within association range of their AP.
+// Every BSS starts on a seeded random free channel and carries CBR
+// downlink traffic. From the end of the settle window on, each AP
+// re-runs a hysteresis-selector round (assign.Selector) every
+// AssignPeriod on its own staggered phase, against its own
+// position-dependent observation (radio.TrueAirtime with the AP as
+// observer, own-BSS traffic excluded, fused with the live mic map),
+// and retunes its BSS on a switch — distributed MCham assignment
+// without the core AP state machine, so the run isolates medium scale
+// and assignment quality rather than protocol dynamics (MicChurn
+// covers those).
+func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := spatialWorld(cfg.Seed)
+	w.air.NoCull = cfg.Brute
+
+	areaKm2 := float64(cfg.APs) / cfg.DensityPerKm2
+	sideM := math.Sqrt(areaKm2) * 1000
+
+	base := incumbent.SimulationBaseMap()
+	free := base.FreeChannels()
+
+	// Markov mics: one per free channel, each on its own seeded
+	// schedule (audible city-wide; spatially scoped incumbents are the
+	// Station model, exercised by the spatial scenarios).
+	var mics []*incumbent.Mic
+	var acts []*dynamics.Activity
+	if cfg.MicDuty > 0 {
+		for i, u := range free {
+			m := incumbent.NewMic(w.eng, u)
+			mics = append(mics, m)
+			acts = append(acts, dynamics.NewDutyActivity(w.eng, m, cfg.MicDuty, micChurnCycle, cfg.Seed*1009+int64(i)*613))
+		}
+	}
+	micMap := func() spectrum.Map {
+		m := base
+		for _, mic := range mics {
+			if mic.Active() {
+				m = m.SetOccupied(mic.Channel)
+			}
+		}
+		return m
+	}
+
+	// Placement and initial channels.
+	bss := make([]*denseBSS, cfg.APs)
+	for i := range bss {
+		apID := denseCityIDBase + i*(cfg.ClientsPerAP+1)
+		apPos := mac.Position{X: rng.Float64() * sideM, Y: rng.Float64() * sideM}
+		ch := spectrum.Chan(free[rng.Intn(len(free))], spectrum.W5)
+		b := &denseBSS{ids: map[int]bool{apID: true}}
+		b.ap = mac.NewNode(w.eng, w.air, apID, ch, true)
+		b.ap.SetPosition(apPos)
+		for c := 0; c < cfg.ClientsPerAP; c++ {
+			id := apID + 1 + c
+			cl := mac.NewNode(w.eng, w.air, id, ch, false)
+			ang := rng.Float64() * 2 * math.Pi
+			d := 10 + rng.Float64()*30 // 10-40 m: deep inside decode range
+			cl.SetPosition(mac.Position{X: apPos.X + d*math.Cos(ang), Y: apPos.Y + d*math.Sin(ang)})
+			b.clients = append(b.clients, cl)
+			b.ids[id] = true
+			f := mac.NewCBR(w.eng, b.ap, id, 1000, cfg.TrafficInterval)
+			f.Start()
+			b.flows = append(b.flows, f)
+		}
+		bss[i] = b
+	}
+	for _, a := range acts {
+		a.Start()
+	}
+
+	// localObservation is the AP's own view of the spectrum: airtime
+	// and AP counts as received at its position over the trailing
+	// window, own BSS excluded, fused with the current incumbent map.
+	// The window is long enough to average CBR burstiness into a stable
+	// airtime estimate — with a short one every observation is a fresh
+	// roll of the dice and hysteresis cannot hold.
+	const obsWindow = 1 * time.Second
+	localObservation := func(b *denseBSS, now time.Duration, m spectrum.Map) assign.Observation {
+		from := now - obsWindow
+		if from < 0 {
+			from = 0
+		}
+		src := &radio.TrueAirtime{Air: w.air, Exclude: b.ids, Observer: b.ap.ID}
+		return radio.Observe(src, m, from, now, -1)
+	}
+
+	// evaluate runs one AP's hysteresis-selector round. The first round
+	// (empty selector state) assigns unconditionally; later rounds
+	// switch only past the hysteresis margin or when a mic lands on the
+	// operating channel (Selector's involuntary path).
+	evaluate := func(b *denseBSS, countSwitches bool) {
+		sel, switched := b.sel.Evaluate(localObservation(b, w.eng.Now(), micMap()), nil)
+		if !switched || !sel.OK || sel.Channel == b.ap.Channel() {
+			return
+		}
+		b.retune(sel.Channel)
+		if countSwitches {
+			b.switches++
+		}
+	}
+
+	// Settle, one unconditional assignment for everyone, then staggered
+	// periodic re-evaluation: AP i re-runs its selector every
+	// AssignPeriod at phase i/N — the desynchronised probing of real
+	// independent APs, which lets each AP see its neighbors' moves
+	// instead of the whole city re-optimising against a stale snapshot
+	// in lockstep.
+	w.eng.RunUntil(cfg.Settle)
+	for _, b := range bss {
+		evaluate(b, false)
+	}
+	for _, b := range bss {
+		b.lastRx = b.ap.Stats.PayloadRxOK
+	}
+	end := cfg.Settle + cfg.Measure
+	for i, b := range bss {
+		b := b
+		phase := cfg.AssignPeriod * time.Duration(i) / time.Duration(len(bss))
+		for t := cfg.Settle + cfg.AssignPeriod + phase; t < end; t += cfg.AssignPeriod {
+			w.eng.Schedule(t, func() { evaluate(b, true) })
+		}
+	}
+
+	// Measurement window: sample mic occupancy of each operating
+	// channel as the Markov schedules churn.
+	const sampleStep = 250 * time.Millisecond
+	var freeSamples, totalSamples int64
+	for t := cfg.Settle + sampleStep; t <= end; t += sampleStep {
+		w.eng.RunUntil(t)
+		for _, b := range bss {
+			totalSamples++
+			hit := false
+			for _, mic := range mics {
+				if mic.Active() && b.ap.Channel().Contains(mic.Channel) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				freeSamples++
+			}
+		}
+	}
+	w.eng.RunUntil(end)
+
+	// Metrics.
+	var bits float64
+	for _, b := range bss {
+		bits += float64(b.ap.Stats.PayloadRxOK-b.lastRx) * 8
+	}
+	m := micMap()
+	var quality float64
+	var switches int
+	for _, b := range bss {
+		switches += b.switches
+		obs := localObservation(b, end, m)
+		cur := assign.MCham(obs, b.ap.Channel())
+		best := cur
+		for _, c := range spectrum.AllChannels() {
+			if obs.Map.ChannelFree(c) {
+				if v := assign.MCham(obs, c); v > best {
+					best = v
+				}
+			}
+		}
+		if best > 0 {
+			quality += cur / best
+		} else {
+			quality++ // nothing is free anywhere: the AP is trivially optimal
+		}
+	}
+	for _, a := range acts {
+		a.Stop()
+	}
+	ifree := 1.0
+	if totalSamples > 0 {
+		ifree = float64(freeSamples) / float64(totalSamples)
+	}
+	return DenseCityResult{
+		APs:                  cfg.APs,
+		Nodes:                cfg.APs * (1 + cfg.ClientsPerAP),
+		AreaKm2:              areaKm2,
+		GoodputMbps:          bits / cfg.Measure.Seconds() / 1e6,
+		MChamQuality:         quality / float64(cfg.APs),
+		InterferenceFreeFrac: ifree,
+		SwitchesPerBSS:       float64(switches) / float64(cfg.APs),
+		WallClock:            time.Since(start),
+	}
+}
+
+// DenseCityMediumLoad drives a dense-city transmission load through the
+// raw air medium — no DCF state machine, no traffic generators — and
+// returns the number of delivered data frames. It is the benchmark
+// harness isolating exactly what spatial culling changes: the launch
+// fan-out, the delivery fan-out, and the interference scan, at a fixed
+// 1000+-node scale. Each AP fires a unicast data frame at a client
+// every 10 ms (the client's MAC answers with a real ACK) and a beacon
+// plus the WhiteFi CTS-to-self every 100 ms (both broadcast, the
+// expensive fan-out), for one virtual second. Deliveries are identical
+// with and without culling; only the wall clock differs.
+func DenseCityMediumLoad(aps int, seed int64, brute bool) int64 {
+	const (
+		clientsPerAP = 2
+		densityKm2   = 24.0
+		dataInterval = 10 * time.Millisecond
+		beaconEvery  = 100 * time.Millisecond
+		run          = 1 * time.Second
+	)
+	rng := rand.New(rand.NewSource(seed))
+	w := spatialWorld(seed)
+	w.air.NoCull = brute
+	sideM := math.Sqrt(float64(aps)/densityKm2) * 1000
+	free := incumbent.SimulationBaseMap().FreeChannels()
+
+	type pair struct {
+		ap  *mac.Node
+		cls []*mac.Node
+	}
+	pairs := make([]pair, aps)
+	for i := range pairs {
+		apID := denseCityIDBase + i*(clientsPerAP+1)
+		apPos := mac.Position{X: rng.Float64() * sideM, Y: rng.Float64() * sideM}
+		ch := spectrum.Chan(free[rng.Intn(len(free))], spectrum.W5)
+		p := pair{ap: mac.NewNode(w.eng, w.air, apID, ch, true)}
+		p.ap.SetPosition(apPos)
+		for c := 0; c < clientsPerAP; c++ {
+			cl := mac.NewNode(w.eng, w.air, apID+1+c, ch, false)
+			ang := rng.Float64() * 2 * math.Pi
+			d := 10 + rng.Float64()*30
+			cl.SetPosition(mac.Position{X: apPos.X + d*math.Cos(ang), Y: apPos.Y + d*math.Sin(ang)})
+			p.cls = append(p.cls, cl)
+		}
+		pairs[i] = p
+		phase := time.Duration(rng.Int63n(int64(dataInterval)))
+		for t := phase; t < run; t += dataInterval {
+			at, tgt := t, p.cls[rng.Intn(len(p.cls))].ID
+			w.eng.Schedule(at, func() {
+				w.air.Transmit(p.ap.ID, p.ap.Channel(), phy.DataFrame(p.ap.ID, tgt, 1000), mac.DefaultTxPowerDBm, true)
+			})
+		}
+		for t := phase; t < run; t += beaconEvery {
+			at := t
+			w.eng.Schedule(at, func() {
+				tx := w.air.Transmit(p.ap.ID, p.ap.Channel(), phy.BeaconFrame(p.ap.ID, nil), mac.DefaultTxPowerDBm, true)
+				w.eng.Schedule(tx.End+phy.SIFS(p.ap.Channel().Width), func() {
+					w.air.Transmit(p.ap.ID, p.ap.Channel(), phy.CTSFrame(p.ap.ID), mac.DefaultTxPowerDBm, true)
+				})
+			})
+		}
+	}
+	w.eng.RunUntil(run + 100*time.Millisecond)
+	var delivered int64
+	for _, p := range pairs {
+		for _, cl := range p.cls {
+			delivered += int64(cl.Stats.RxData)
+		}
+	}
+	return delivered
+}
+
+// denseCitySweepAPs is the default N sweep of the DenseCity table:
+// up to 1000+ nodes at the default 3 nodes per BSS.
+var denseCitySweepAPs = []int{25, 100, 400}
+
+// DenseCity sweeps the dense-deployment scenario over reps seeds per
+// AP count on the parallel harness and returns per-N aggregates.
+func DenseCity(reps int) []DenseCityResult {
+	cells := make([]DenseCityResult, len(denseCitySweepAPs)*reps)
+	runIndexed(len(cells), func(i int) {
+		cells[i] = DenseCityRun(DenseCityConfig{
+			APs:  denseCitySweepAPs[i/reps],
+			Seed: int64(8191 + 257*(i%reps)),
+		})
+	})
+	out := make([]DenseCityResult, len(denseCitySweepAPs))
+	for ni := range denseCitySweepAPs {
+		agg := DenseCityResult{}
+		for r := 0; r < reps; r++ {
+			c := cells[ni*reps+r]
+			agg.APs, agg.Nodes, agg.AreaKm2 = c.APs, c.Nodes, c.AreaKm2
+			agg.GoodputMbps += c.GoodputMbps
+			agg.MChamQuality += c.MChamQuality
+			agg.InterferenceFreeFrac += c.InterferenceFreeFrac
+			agg.SwitchesPerBSS += c.SwitchesPerBSS
+			agg.WallClock += c.WallClock
+		}
+		n := float64(reps)
+		agg.GoodputMbps /= n
+		agg.MChamQuality /= n
+		agg.InterferenceFreeFrac /= n
+		agg.SwitchesPerBSS /= n
+		agg.WallClock /= time.Duration(reps)
+		out[ni] = agg
+	}
+	return out
+}
+
+// DenseCityTable renders the dense-deployment sweep.
+func DenseCityTable(reps int) *trace.Table {
+	t := &trace.Table{
+		Title:   "DenseCity: N BSSs over km² of log-distance medium, staggered MCham assignment, Markov mics",
+		Headers: []string{"aps", "nodes", "area(km2)", "goodput(Mbps)", "mcham-quality", "ifree-frac", "switch/bss"},
+	}
+	// WallClock stays out of the rendered table: tables are pinned by
+	// determinism tests and host timing is not a function of the seed.
+	for _, p := range DenseCity(reps) {
+		t.AddRow(fmt.Sprintf("%d", p.APs),
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%.1f", p.AreaKm2),
+			fmt.Sprintf("%.1f", p.GoodputMbps),
+			fmt.Sprintf("%.3f", p.MChamQuality),
+			fmt.Sprintf("%.3f", p.InterferenceFreeFrac),
+			fmt.Sprintf("%.2f", p.SwitchesPerBSS))
+	}
+	return t
+}

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDenseCityMediumCullEquivalence pins the scenario-level face of
+// the culling contract: the dense-city medium load delivers exactly
+// the same frames with and without spatial culling. (The event-level
+// property lives in internal/mac's cull tests; this catches any
+// scenario wiring that would break it.)
+func TestDenseCityMediumCullEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		culled := DenseCityMediumLoad(40, seed, false)
+		brute := DenseCityMediumLoad(40, seed, true)
+		if culled != brute {
+			t.Fatalf("seed %d: delivered diverged: culled %d vs brute %d", seed, culled, brute)
+		}
+		if culled == 0 {
+			t.Fatalf("seed %d: no deliveries, load generates nothing", seed)
+		}
+	}
+}
+
+// TestDenseCityAdapts runs a small city and checks the assignment
+// machinery does its job: traffic flows, every AP ends near its locally
+// optimal channel, and the interference-free fraction beats what the
+// Markov mics would allow a width-20 static pick (4 spanned channels ×
+// duty, uncorrected).
+func TestDenseCityAdapts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second dense-deployment run")
+	}
+	r := DenseCityRun(DenseCityConfig{APs: 40, Seed: 11, Measure: 6 * time.Second})
+	if r.Nodes != 120 {
+		t.Fatalf("nodes = %d, want 120", r.Nodes)
+	}
+	if r.GoodputMbps <= 1 {
+		t.Errorf("aggregate goodput = %.2f Mbps, want > 1", r.GoodputMbps)
+	}
+	if r.MChamQuality < 0.6 {
+		t.Errorf("MCham quality = %.3f, want >= 0.6 (assignment rounds not tracking)", r.MChamQuality)
+	}
+	if r.InterferenceFreeFrac < 0.6 {
+		t.Errorf("interference-free fraction = %.3f, want >= 0.6", r.InterferenceFreeFrac)
+	}
+}
+
+// TestDenseCity1000Nodes30s is the scale acceptance: a 1000+-node city
+// completes a 30 s virtual-time run with the adaptation metrics intact.
+func TestDenseCity1000Nodes30s(t *testing.T) {
+	if testing.Short() {
+		t.Skip("city-scale 30 s virtual-time run")
+	}
+	r := DenseCityRun(DenseCityConfig{APs: 334, Seed: 3, Settle: 2 * time.Second, Measure: 28 * time.Second})
+	if r.Nodes < 1000 {
+		t.Fatalf("nodes = %d, want >= 1000", r.Nodes)
+	}
+	if r.GoodputMbps <= 10 {
+		t.Errorf("aggregate goodput = %.2f Mbps, want > 10", r.GoodputMbps)
+	}
+	if r.MChamQuality < 0.5 {
+		t.Errorf("MCham quality = %.3f, want >= 0.5", r.MChamQuality)
+	}
+	if r.InterferenceFreeFrac < 0.6 {
+		t.Errorf("interference-free fraction = %.3f, want >= 0.6", r.InterferenceFreeFrac)
+	}
+	t.Logf("30 s city run: %d nodes over %.1f km², %.1f Mbps, quality %.3f, ifree %.3f, %.2f switches/BSS, wall %v",
+		r.Nodes, r.AreaKm2, r.GoodputMbps, r.MChamQuality, r.InterferenceFreeFrac, r.SwitchesPerBSS, r.WallClock)
+}

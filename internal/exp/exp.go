@@ -1,12 +1,3 @@
-// Package exp contains the experiment runners that regenerate every
-// table and figure of the paper's evaluation (Section 5) plus the
-// measurement results of Section 2 that motivate the design. Each
-// runner returns a rendered table of the same rows/series the paper
-// reports; bench_test.go and cmd/whitefi-bench are thin wrappers.
-//
-// Absolute numbers differ from the paper's testbed, but the shapes —
-// who wins, by roughly what factor, where crossovers fall — are the
-// reproduction targets; EXPERIMENTS.md records both.
 package exp
 
 import (

@@ -1,20 +1,3 @@
-// Package incumbent models the primary users of the UHF band that
-// WhiteFi must not interfere with — TV stations (static occupancy) and
-// wireless microphones (unpredictable temporal occupancy) — together
-// with the spatial datasets the paper measures:
-//
-//   - the campus measurement of Section 2.1 (9 buildings, median
-//     pairwise Hamming distance of about 7 channels),
-//   - the TV Fool-derived post-DTV locale dataset of Figure 2 (urban /
-//     suburban / rural fragment-width distributions), and
-//   - the per-client random-flip spatial variation model of Section 5.4
-//     (Figure 12).
-//
-// The TV Fool dataset is proprietary, so the locale generator is a
-// synthetic equivalent calibrated to the published fragment-width
-// histograms: every setting contains at least one locale with a fragment
-// of 4 or more contiguous channels, urban locales skew narrow, and rural
-// locales reach fragments of up to 16 channels.
 package incumbent
 
 import (

@@ -1,0 +1,18 @@
+// Package iq renders the symbolic transmission record of the air medium
+// into raw time-domain amplitude sample streams, standing in for the
+// USRP software-defined radio scanner of the KNOWS prototype.
+//
+// The USRP samples a 1 MHz band at 1 MSample/s; each sample represents
+// 1.024 us of RF signal as an (I, Q) pair and the scanner computes the
+// amplitude sqrt(I^2+Q^2). SIFT operates purely on those amplitudes, so
+// this package renders amplitude directly: for every transmission
+// overlapping the scan window in time and frequency it adds a signal
+// envelope (with OFDM-like per-sample fading and the low-amplitude
+// leading ramp that 5 MHz packets exhibit on the real hardware, Figure
+// 5), plus Gaussian receiver noise. The rendered stream exercises the
+// identical SIFT code path as real captures, including its failure modes
+// at low SNR (Figure 7).
+//
+// In the system inventory (DESIGN.md) this package stands in for the
+// USRP software-defined-radio scanner front-end.
+package iq

@@ -1,15 +1,3 @@
-// Package mac implements the shared UHF air medium and the CSMA/CA
-// (802.11 DCF style) medium access control that WhiteFi reuses from
-// Wi-Fi. Together with the sim engine it replaces the QualNet simulator
-// used in the paper, implementing exactly the modifications Section 5.4
-// describes:
-//
-//   - variable channel widths with per-width OFDM symbol and MAC timing,
-//   - receivers explicitly drop frames sent at a different channel width
-//     or center frequency,
-//   - a node spanning multiple UHF channels transmits only when no
-//     carrier is sensed on any of those channels, and
-//   - fragmented spectrum comes from per-node spectrum maps.
 package mac
 
 import (
@@ -100,6 +88,18 @@ type Air struct {
 	// pruned automatically. Scan windows must not reach further back
 	// than Retention. Zero (the default) keeps the full history.
 	Retention time.Duration
+	// NoCull selects the legacy brute-force medium paths: every launch
+	// and delivery fan-out visits every attached node and the
+	// interference check scans the whole recent log, exactly as the
+	// pre-index medium did. The culled medium is event-identical to it
+	// (the equivalence the cull tests pin), so the switch exists for
+	// validation and for benchmarking the two paths against each other,
+	// not for correctness.
+	NoCull bool
+	// GridCellM overrides the spatial index cell edge in meters. Zero
+	// (the default) derives it from the propagation model's
+	// carrier-sense range; see autoGridCell.
+	GridCellM float64
 
 	log    []Transmission // completed and active, in start order
 	active []activeTx
@@ -110,6 +110,12 @@ type Air struct {
 	// maxDur is the longest on-air duration in the log: the look-behind
 	// bound for binary-search window queries.
 	maxDur time.Duration
+	// reach[c] is the widest span reach (in UHF channels to either side
+	// of the center) of any transmission recorded in partition c. A
+	// partition whose reach cannot touch a query channel is skipped
+	// wholesale — on narrow-channel-dominated media this prunes most of
+	// the ±maxHalfSpan partition walk of cleanAt and forEachContaining.
+	reach [spectrum.NumUHF]spectrum.UHF
 	// pruneAt is the log length at which the next automatic prune runs.
 	pruneAt int
 
@@ -141,9 +147,24 @@ type Air struct {
 	// transmissions.
 	sensedPool [][]int32
 
+	// grid is the uniform spatial index over attached nodes that the
+	// culled fan-outs query (see grid.go). Built lazily on the first
+	// culled query, then maintained incrementally by attach, detach and
+	// SetPosition; nil until a finite-range model makes culling possible.
+	grid *nodeGrid
+
+	// noiseRange and csRange are one-slot caches of the squared
+	// interference radius per transmit power (against the noise floor
+	// and the carrier-sense threshold respectively): the cheap distance
+	// rejection the interference scan and observer-relative accounting
+	// apply before evaluating a link budget.
+	noiseRange rangeCache
+	csRange    rangeCache
+
 	// scratch buffers reused by window queries (Air is single-threaded).
-	scratchIdx []int32
-	scratchIvs []busyInterval
+	scratchIdx  []int32
+	scratchIvs  []busyInterval
+	scratchNear []*airNode
 }
 
 // activeTx is one in-flight transmission plus the pinned set of node ids
@@ -212,6 +233,11 @@ func (a *Air) SetPosition(id int, p Position) {
 	}
 	a.pos[id] = p
 	a.posGen++
+	if a.grid != nil {
+		if n := a.node(id); n != nil {
+			a.grid.move(n, p)
+		}
+	}
 }
 
 // PositionOf returns id's position (the origin when never placed).
@@ -289,11 +315,18 @@ func (a *Air) attach(id int, ch spectrum.Channel, isAP bool, senser carrierSense
 	n := &airNode{id: id, channel: ch, span: ch.Span(), senser: senser, deliver: deliver, isAP: isAP}
 	i := a.nodeIndex(id)
 	if i < len(a.nodes) && a.nodes[i].id == id {
+		old := a.nodes[i]
 		a.nodes[i] = n
+		if a.grid != nil {
+			a.grid.replace(old, n)
+		}
 	} else {
 		a.nodes = append(a.nodes, nil)
 		copy(a.nodes[i+1:], a.nodes[i:])
 		a.nodes[i] = n
+		if a.grid != nil {
+			a.grid.insert(n, a.pos[id])
+		}
 	}
 	a.syncActive(n)
 	return n
@@ -303,7 +336,11 @@ func (a *Air) attach(id int, ch spectrum.Channel, isAP bool, senser carrierSense
 // of every in-flight transmission (its busy counts leave with it).
 func (a *Air) detach(id int) {
 	if i := a.nodeIndex(id); i < len(a.nodes) && a.nodes[i].id == id {
+		o := a.nodes[i]
 		a.nodes = append(a.nodes[:i], a.nodes[i+1:]...)
+		if a.grid != nil {
+			a.grid.remove(o)
+		}
 	}
 	for i := range a.active {
 		e := &a.active[i]
@@ -323,8 +360,12 @@ func (a *Air) eachNode(f func(*airNode)) {
 // retune changes the channel a node listens and senses on. The node's
 // busy state is re-derived against currently active transmissions.
 func (a *Air) retune(n *airNode, ch spectrum.Channel) {
+	oldSpan := n.span
 	n.channel = ch
 	n.span = ch.Span()
+	if a.grid != nil {
+		a.grid.retune(n, oldSpan)
+	}
 	was := n.sensedCnt > 0
 	a.syncActive(n)
 	now := n.sensedCnt > 0
@@ -420,8 +461,11 @@ func (a *Air) Transmit(id int, ch spectrum.Channel, f phy.Frame, powerDBm float6
 		n.txUntil = tx.End
 	}
 	// Raise busy at every node that hears this transmission, pinning the
-	// raised set (eachNode visits in ascending id order, so it is sorted).
-	a.eachNode(func(n *airNode) {
+	// raised set. Only nodes within the model's carrier-sense range of
+	// the launch position can hear (hears needs rx at or above the CS
+	// threshold), so the walk is culled to the interference neighborhood;
+	// visits stay in ascending id order, so the pinned set stays sorted.
+	a.eachNodeOverlappingWithin(tx.SrcPos, a.cullRange(powerDBm, DefaultCSThresholdDBm), ch, func(n *airNode) {
 		if n.id == tx.Src || !a.hears(n, tx) {
 			return
 		}
@@ -461,22 +505,51 @@ func (a *Air) finish(tx *Transmission) {
 	a.releaseSensed(sensed)
 	// Delivery: only receivers tuned to exactly the transmission's
 	// channel (same center frequency and width) can decode, per the
-	// variable-width decoding limitation.
-	a.eachNode(func(n *airNode) {
+	// variable-width decoding limitation. A unicast frame has exactly
+	// one candidate receiver — look it up directly instead of walking
+	// the node set; broadcasts walk the decode neighborhood (cleanAt
+	// rejects anything below the decode floor, so nodes beyond that
+	// radius can be skipped without changing any outcome).
+	if a.NoCull {
+		// Legacy fan-out, kept verbatim as the brute-force reference the
+		// cull tests and BenchmarkDenseCity compare against: walk every
+		// attached node for every finish.
+		a.eachNode(func(n *airNode) {
+			if n.id == tx.Src || n.deliver == nil {
+				return
+			}
+			if n.channel != tx.Channel {
+				return
+			}
+			if f := tx.Frame; f.Dst != phy.Broadcast && f.Dst != n.id {
+				return
+			}
+			if !a.cleanAtLegacy(n, tx) {
+				return
+			}
+			n.deliver(tx.Frame, tx)
+		})
+		return
+	}
+	deliverAt := func(n *airNode) {
 		if n.id == tx.Src || n.deliver == nil {
 			return
 		}
 		if n.channel != tx.Channel {
 			return
 		}
-		if f := tx.Frame; f.Dst != phy.Broadcast && f.Dst != n.id {
-			return
-		}
 		if !a.cleanAt(n, tx) {
 			return
 		}
 		n.deliver(tx.Frame, tx)
-	})
+	}
+	if dst := tx.Frame.Dst; dst != phy.Broadcast {
+		if n := a.node(dst); n != nil {
+			deliverAt(n)
+		}
+		return
+	}
+	a.eachNodeOverlappingWithin(tx.SrcPos, a.cullRange(tx.PowerDB, NoiseFloorDBm+decodeSNRdB), tx.Channel, deliverAt)
 }
 
 // cleanAt reports whether receiver n could decode tx: received power
@@ -492,12 +565,84 @@ func (a *Air) cleanAt(n *airNode, tx *Transmission) bool {
 	if n.txUntil > tx.Start {
 		return false
 	}
-	// The log is start-ordered; nothing starting more than maxFrameAir
-	// before tx.Start can still overlap it, so a backwards scan with an
-	// early break keeps this O(recent) rather than O(history).
+	// Interferer scan. Any transmission overlapping the receiver's span
+	// is centered within maxHalfSpan of it, so only those partitions
+	// (plus the out-of-range catch-all) can hold interferers; each is
+	// binary-searched to the frames overlapping tx's airtime. In a dense
+	// world this is O(frames concurrent with tx on nearby centers)
+	// instead of O(all recent frames on all channels).
+	lo, hi := n.channel.Bounds()
+	for c := lo - maxHalfSpan; c <= hi+maxHalfSpan; c++ {
+		if !a.partitionReaches(c, lo, hi) {
+			continue
+		}
+		if a.interferedIn(a.partition(c), n, tx) {
+			return false
+		}
+	}
+	return !a.interferedIn(a.other, n, tx)
+}
+
+// partitionReaches reports whether partition c could hold a
+// transmission whose span touches the UHF range [lo, hi], given the
+// widest reach actually recorded in it. Narrow-channel partitions two
+// centers away hold only transmissions that cannot overlap, and are
+// skipped without a walk.
+func (a *Air) partitionReaches(c, lo, hi spectrum.UHF) bool {
+	if !c.Valid() {
+		return false
+	}
+	r := a.reach[c]
+	return c+r >= lo && c-r <= hi
+}
+
+// rangeCache memoizes one squared cull radius per (propagation model,
+// transmit power); transmit powers are uniform across a scenario, so a
+// single slot hits almost always.
+type rangeCache struct {
+	prop Propagation
+	pow  float64
+	r2   float64
+	ok   bool
+}
+
+// beyondRange reports whether a receiver at squared distance d2 from a
+// transmitter at powerDBm is provably below floorDBm under the current
+// model — the cheap geometric rejection applied before a full link
+// budget. It never rejects when the medium cannot cull.
+func (a *Air) beyondRange(c *rangeCache, powerDBm, floorDBm, d2 float64) bool {
+	if a.Loss != nil || a.Prop == nil {
+		return false
+	}
+	if !c.ok || c.pow != powerDBm || c.prop != a.Prop {
+		r := a.Prop.MaxRangeFor(powerDBm, floorDBm)
+		*c = rangeCache{prop: a.Prop, pow: powerDBm, r2: r * r, ok: true}
+	}
+	return d2 > c.r2
+}
+
+// dist2 is the squared distance between two positions.
+func dist2(p, q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// cleanAtLegacy is the pre-index interference scan: a backward walk of
+// the whole recent log, all channels, bounded only by the generous
+// legacyFrameAir look-behind. It computes exactly what cleanAt does and
+// exists only as the NoCull reference implementation — the equivalence
+// tests pin the two against each other.
+func (a *Air) cleanAtLegacy(n *airNode, tx *Transmission) bool {
+	rx := a.RxPowerOf(tx, n.id)
+	if rx-NoiseFloorDBm < decodeSNRdB {
+		return false
+	}
+	if n.txUntil > tx.Start {
+		return false
+	}
 	for i := len(a.log) - 1; i >= 0; i-- {
 		o := &a.log[i]
-		if o.Start < tx.Start-maxFrameAir {
+		if o.Start < tx.Start-legacyFrameAir {
 			break
 		}
 		if o.UID == tx.UID || o.Src == n.id {
@@ -516,9 +661,40 @@ func (a *Air) cleanAt(n *airNode, tx *Transmission) bool {
 	return true
 }
 
-// maxFrameAir generously bounds the longest possible frame on air (an
-// MTU-sized frame at 5 MHz is about 9 ms).
-const maxFrameAir = 50 * time.Millisecond
+// legacyFrameAir generously bounds the longest possible frame on air
+// (an MTU-sized frame at 5 MHz is about 9 ms) for cleanAtLegacy.
+const legacyFrameAir = 50 * time.Millisecond
+
+// interferedIn reports whether partition idx holds a transmission other
+// than tx that overlaps it in time, overlaps receiver n's channel, and
+// arrives at n above the noise floor.
+func (a *Air) interferedIn(idx []int32, n *airNode, tx *Transmission) bool {
+	rxPos := a.pos[n.id]
+	for i := a.searchStartIdx(idx, tx.Start-a.maxDur); i < len(idx); i++ {
+		o := &a.log[idx[i]]
+		if o.Start >= tx.End {
+			break
+		}
+		if o.UID == tx.UID || o.Src == n.id {
+			continue
+		}
+		if !o.overlapsTime(tx.Start, tx.End) {
+			continue
+		}
+		if !n.channel.Overlaps(o.Channel) {
+			continue
+		}
+		// Geometric rejection first: an interferer provably below the
+		// noise floor at this distance needs no link-budget evaluation.
+		if a.beyondRange(&a.noiseRange, o.PowerDB, NoiseFloorDBm, dist2(o.SrcPos, rxPos)) {
+			continue
+		}
+		if a.RxPowerOf(o, n.id) >= NoiseFloorDBm {
+			return true
+		}
+	}
+	return false
+}
 
 // grabSensed returns an empty pinned-set buffer, recycling one released
 // by an earlier finish when possible.
@@ -549,6 +725,9 @@ func (a *Air) record(tx Transmission) {
 	a.log = append(a.log, tx)
 	if c := tx.Channel.Center; c.Valid() {
 		a.byCenter[c] = append(a.byCenter[c], i)
+		if r := channelReach(tx.Channel); r > a.reach[c] {
+			a.reach[c] = r
+		}
 	} else {
 		a.other = append(a.other, i)
 	}
@@ -563,6 +742,17 @@ func (a *Air) record(tx Transmission) {
 
 // minPruneWatermark keeps automatic pruning from running on tiny logs.
 const minPruneWatermark = 1024
+
+// channelReach returns how many UHF channels ch extends to either side
+// of its center, the per-partition pruning radius tracked by record.
+func channelReach(ch spectrum.Channel) spectrum.UHF {
+	lo, hi := ch.Bounds()
+	r := ch.Center - lo
+	if hi-ch.Center > r {
+		r = hi - ch.Center
+	}
+	return r
+}
 
 // History returns all recorded transmissions, in start order. The
 // returned slice is owned by the medium; callers must not modify it.
@@ -585,9 +775,13 @@ func (a *Air) Prune(before time.Duration) {
 	}
 	a.other = a.other[:0]
 	a.maxDur = 0
+	a.reach = [spectrum.NumUHF]spectrum.UHF{}
 	for i, tx := range a.log {
 		if c := tx.Channel.Center; c.Valid() {
 			a.byCenter[c] = append(a.byCenter[c], int32(i))
+			if r := channelReach(tx.Channel); r > a.reach[c] {
+				a.reach[c] = r
+			}
 		} else {
 			a.other = append(a.other, int32(i))
 		}
@@ -666,13 +860,19 @@ func (a *Air) forEachIdxOverlapping(idx []int32, from, to time.Duration, visit f
 // channel span includes UHF channel u and that overlaps [from, to). Only
 // the partitions of centers within the widest half-span of u are
 // consulted.
+// maxHalfSpan is the widest channel's reach in UHF channels to each
+// side of its center: a 20 MHz channel spans two. Any transmission
+// whose span touches UHF channel u is therefore centered within
+// maxHalfSpan of u — the partition-pruning bound of forEachContaining
+// and cleanAt.
+const maxHalfSpan = 2
+
 func (a *Air) forEachContaining(u spectrum.UHF, from, to time.Duration, visit func(*Transmission)) {
-	// The widest channel (20 MHz) spans two UHF channels to each side of
-	// its center, so any transmission containing u is centered within
-	// maxHalfSpan of it.
-	const maxHalfSpan = 2
 	a.scratchIdx = a.scratchIdx[:0]
 	for c := u - maxHalfSpan; c <= u+maxHalfSpan; c++ {
+		if !a.partitionReaches(c, u, u) {
+			continue
+		}
 		idx := a.partition(c)
 		for i := a.searchStartIdx(idx, from-a.maxDur); i < len(idx); i++ {
 			tx := &a.log[idx[i]]
@@ -740,6 +940,9 @@ func (a *Air) audibleAt(observer int, tx *Transmission) bool {
 	if observer == IdealObserver {
 		return true
 	}
+	if a.beyondRange(&a.csRange, tx.PowerDB, DefaultCSThresholdDBm, dist2(tx.SrcPos, a.pos[observer])) {
+		return false
+	}
 	return a.RxPowerOf(tx, observer) >= DefaultCSThresholdDBm
 }
 
@@ -787,6 +990,82 @@ func (a *Air) BusyFractionAt(observer int, u spectrum.UHF, from, to time.Duratio
 
 // busyInterval is one clipped on-air span inside a query window.
 type busyInterval struct{ s, e time.Duration }
+
+// ObservationAt computes the full per-UHF-channel observation — busy
+// airtime fraction and active-AP count, as heard at node observer, with
+// the given source nodes excluded — in a single sweep of the indexed
+// log. It returns exactly what 30 BusyFractionAt plus 30 ActiveAPsAt
+// calls would, but visits every window-overlapping transmission once
+// instead of once per (channel, partition) pair: the observation is the
+// per-node assignment hot path in dense worlds, where a full-band view
+// per AP per round would otherwise rescan the same log stretch ~60
+// times.
+func (a *Air) ObservationAt(observer int, from, to time.Duration, exclude map[int]bool) (airtime [spectrum.NumUHF]float64, aps [spectrum.NumUHF]int) {
+	if to <= from {
+		return
+	}
+	var ivs [spectrum.NumUHF][]busyInterval
+	var seen [spectrum.NumUHF]map[int]bool
+	visit := func(tx *Transmission) {
+		if exclude[tx.Src] || !a.audibleAt(observer, tx) {
+			return
+		}
+		s, e := tx.Start, tx.End
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		countAP := false
+		if n := a.node(tx.Src); n != nil {
+			countAP = n.isAP
+		} else {
+			// Transmissions from nodes that have since detached still
+			// count if they look like AP traffic (beacons).
+			countAP = tx.Frame.Kind == phy.KindBeacon
+		}
+		lo, hi := tx.Channel.Bounds()
+		for u := lo; u <= hi; u++ {
+			if !u.Valid() {
+				continue
+			}
+			ivs[u] = append(ivs[u], busyInterval{s, e})
+			if countAP {
+				if seen[u] == nil {
+					seen[u] = map[int]bool{}
+				}
+				seen[u][tx.Src] = true
+			}
+		}
+	}
+	for c := range a.byCenter {
+		a.forEachIdxOverlapping(a.byCenter[c], from, to, visit)
+	}
+	a.forEachIdxOverlapping(a.other, from, to, visit)
+	for u := range ivs {
+		// A channel's intervals arrive ordered within each partition but
+		// interleaved across the up-to-five partitions feeding it; sort
+		// before the union sweep (the union is order-independent, so the
+		// result matches the per-channel query exactly).
+		iv := ivs[u]
+		sort.Slice(iv, func(i, j int) bool { return iv[i].s < iv[j].s })
+		var busy, end time.Duration
+		end = -1
+		for _, v := range iv {
+			if v.s > end {
+				busy += v.e - v.s
+				end = v.e
+			} else if v.e > end {
+				busy += v.e - end
+				end = v.e
+			}
+		}
+		airtime[u] = float64(busy) / float64(to-from)
+		aps[u] = len(seen[u])
+	}
+	return airtime, aps
+}
 
 // ActiveAPs returns the number of distinct AP nodes that transmitted on a
 // channel spanning u during [from, to), excluding node exclude. This is

@@ -25,7 +25,9 @@ func scatterTransmissions(air *Air, eng *sim.Engine, n int, horizon time.Duratio
 				phy.DataFrame(1, 2, 100+rng.Intn(1400)), DefaultTxPowerDBm, true)
 		})
 	}
-	eng.RunUntil(horizon + maxFrameAir)
+	// Run past the horizon far enough that every scattered frame has
+	// finished its airtime.
+	eng.RunUntil(horizon + 50*time.Millisecond)
 }
 
 // bruteOverlapping is the seed implementation: a full-history scan.

@@ -1,0 +1,17 @@
+// Package mac implements the shared UHF air medium and the CSMA/CA
+// (802.11 DCF style) medium access control that WhiteFi reuses from
+// Wi-Fi. Together with the sim engine it replaces the QualNet simulator
+// used in the paper, implementing exactly the modifications Section 5.4
+// describes:
+//
+//   - variable channel widths with per-width OFDM symbol and MAC timing,
+//   - receivers explicitly drop frames sent at a different channel width
+//     or center frequency,
+//   - a node spanning multiple UHF channels transmits only when no
+//     carrier is sensed on any of those channels, and
+//   - fragmented spectrum comes from per-node spectrum maps.
+//
+// In the system inventory (DESIGN.md) this package stands in for the
+// QualNet 802.11 DCF module with the Section 5.4 modifications, grown
+// into a spatial, neighbor-culled medium.
+package mac

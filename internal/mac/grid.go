@@ -1,0 +1,286 @@
+package mac
+
+import (
+	"math"
+	"slices"
+
+	"whitefi/internal/spectrum"
+)
+
+// Spatial interference culling.
+//
+// The medium's two per-transmission fan-outs — raising carrier sense at
+// launch and resolving delivery at finish — historically visited every
+// attached node, making a dense world O(nodes × transmissions). Under a
+// finite-range propagation model most of those visits are provably
+// irrelevant twice over: nodes beyond the model's MaxRangeFor radius
+// cannot receive the transmission above the relevant floor (the
+// carrier-sense threshold at launch, the decode floor at finish), and
+// nodes whose tuned span shares no UHF channel with the transmission
+// cannot sense or decode it at any distance.
+//
+// nodeGrid culls on both axes at once: a uniform-cell spatial index
+// over the attached nodes, bucketed per (cell, spanned UHF channel), so
+// a query returns only the nodes that are both inside the interference
+// neighborhood and tuned to an overlapping channel. It is built lazily
+// on the first culled query and then maintained incrementally: attach,
+// detach and retune touch one node's buckets, and a position update
+// re-buckets only the moved node, so a dynamics epoch that moves k
+// nodes costs O(k) index work. Queries visit the cells overlapping the
+// query disk in deterministic order and sort the deduplicated
+// candidates by id, so culled fan-outs observe the same ascending-id
+// visit order as the brute-force walk — the medium stays deterministic
+// and, because MaxRangeFor is an upper bound and span bucketing is
+// exact, event-identical to the unculled medium.
+//
+// Models without a finite bound (FlatPropagation, a nil Prop, or a
+// legacy id-keyed Loss override) report an infinite range; the grid is
+// then never built and the legacy fan-out runs unchanged.
+
+// gridKey addresses one (cell, UHF channel) bucket of the index.
+type gridKey struct {
+	x, y int32
+	u    spectrum.UHF
+}
+
+// nodeGrid buckets attached nodes by position cell and tuned span.
+// Buckets hold the live *airNode (attach refreshes the pointer on a
+// same-id re-attach) in arbitrary order — queries sort. A node appears
+// in one bucket per UHF channel of its span.
+type nodeGrid struct {
+	cell  float64 // cell edge length in meters
+	cells map[gridKey][]*airNode
+	// where records each attached node's current cell coordinates; the
+	// node's span supplies the u part of its bucket keys.
+	where map[int]gridKey
+}
+
+// cellOf maps a position to its cell coordinates (u left zero).
+func (g *nodeGrid) cellOf(p Position) gridKey {
+	return gridKey{x: int32(math.Floor(p.X / g.cell)), y: int32(math.Floor(p.Y / g.cell))}
+}
+
+// insert adds node n at position p under every channel of its span.
+func (g *nodeGrid) insert(n *airNode, p Position) {
+	c := g.cellOf(p)
+	g.where[n.id] = c
+	g.insertBuckets(n, c)
+}
+
+func (g *nodeGrid) insertBuckets(n *airNode, c gridKey) {
+	for _, u := range n.span {
+		k := gridKey{x: c.x, y: c.y, u: u}
+		g.cells[k] = append(g.cells[k], n)
+	}
+}
+
+// removeBuckets drops node n from cell c's buckets, using n's current
+// span.
+func (g *nodeGrid) removeBuckets(n *airNode, c gridKey) {
+	g.removeSpanBuckets(n, c, n.span)
+}
+
+// removeSpanBuckets drops node n from cell c's buckets under the given
+// span — retune passes the span the node was bucketed under before the
+// channel changed.
+func (g *nodeGrid) removeSpanBuckets(n *airNode, c gridKey, span []spectrum.UHF) {
+	for _, u := range span {
+		k := gridKey{x: c.x, y: c.y, u: u}
+		b := g.cells[k]
+		for i, v := range b {
+			if v.id == n.id {
+				b[i] = b[len(b)-1]
+				g.cells[k] = b[:len(b)-1]
+				break
+			}
+		}
+	}
+}
+
+// remove drops node n from the index entirely.
+func (g *nodeGrid) remove(n *airNode) {
+	c, ok := g.where[n.id]
+	if !ok {
+		return
+	}
+	delete(g.where, n.id)
+	g.removeBuckets(n, c)
+}
+
+// replace swaps the bucket entries of old (same id, possibly different
+// span) for the re-attached node n.
+func (g *nodeGrid) replace(old, n *airNode) {
+	c, ok := g.where[n.id]
+	if !ok {
+		return
+	}
+	g.removeBuckets(old, c)
+	g.insertBuckets(n, c)
+}
+
+// move re-buckets node n to position p; a move within one cell is free.
+func (g *nodeGrid) move(n *airNode, p Position) {
+	old, ok := g.where[n.id]
+	if !ok {
+		return
+	}
+	c := g.cellOf(p)
+	if c == old {
+		return
+	}
+	g.removeBuckets(n, old)
+	g.insertBuckets(n, c)
+	g.where[n.id] = c
+}
+
+// retune re-buckets node n from oldSpan to its current span in place.
+func (g *nodeGrid) retune(n *airNode, oldSpan []spectrum.UHF) {
+	c, ok := g.where[n.id]
+	if !ok {
+		return
+	}
+	g.removeSpanBuckets(n, c, oldSpan)
+	g.insertBuckets(n, c)
+}
+
+// minGridCellM and maxGridCellM clamp the auto-sized cell edge: below
+// the minimum a query rectangle spans too many cells, above the maximum
+// a cell degenerates into the whole world.
+const (
+	minGridCellM = 50.0
+	maxGridCellM = 5000.0
+)
+
+// autoGridCell derives the index cell size from the propagation model:
+// the carrier-sense range of a default-power transmitter, the radius of
+// the most common query. One cell per radius keeps a query at about
+// 3×3 cells.
+func (a *Air) autoGridCell() float64 {
+	r := a.Prop.MaxRangeFor(DefaultTxPowerDBm, DefaultCSThresholdDBm)
+	if math.IsInf(r, 1) || r != r {
+		return 0
+	}
+	return math.Min(math.Max(r, minGridCellM), maxGridCellM)
+}
+
+// ensureGrid builds the index over the currently attached nodes if it
+// does not exist yet. Returns nil when no finite cell size is available.
+func (a *Air) ensureGrid() *nodeGrid {
+	if a.grid != nil {
+		return a.grid
+	}
+	cell := a.GridCellM
+	if cell <= 0 {
+		cell = a.autoGridCell()
+	}
+	if cell <= 0 {
+		return nil
+	}
+	g := &nodeGrid{
+		cell:  cell,
+		cells: make(map[gridKey][]*airNode),
+		where: make(map[int]gridKey, len(a.nodes)),
+	}
+	for _, n := range a.nodes {
+		g.insert(n, a.pos[n.id])
+	}
+	a.grid = g
+	return g
+}
+
+// cullRange returns the radius within which a transmission at powerDBm
+// can still be received at or above floorDBm, or +Inf when the medium
+// cannot cull (no spatial model, a legacy id-keyed Loss override, or
+// the brute-force reference paths selected by NoCull).
+func (a *Air) cullRange(powerDBm, floorDBm float64) float64 {
+	if a.NoCull || a.Loss != nil || a.Prop == nil {
+		return math.Inf(1)
+	}
+	return a.Prop.MaxRangeFor(powerDBm, floorDBm)
+}
+
+// eachNodeOverlappingWithin visits, in ascending id order, every
+// attached node whose tuned span overlaps ch and whose current position
+// lies in a cell overlapping the disk of radius r around p — a superset
+// of the overlapping nodes within r. An infinite radius (or an
+// unavailable grid) falls back to visiting every node; visitors keep
+// their own channel checks either way.
+func (a *Air) eachNodeOverlappingWithin(p Position, r float64, ch spectrum.Channel, f func(*airNode)) {
+	g := a.gridFor(r)
+	if g == nil {
+		a.eachNode(f)
+		return
+	}
+	lo, hi := ch.Bounds()
+	a.visitBuckets(g, p, r, lo, hi, f)
+}
+
+// eachNodeWithin is eachNodeOverlappingWithin without the channel cull:
+// candidates on any UHF channel. NodesNear and span-agnostic queries
+// use it.
+func (a *Air) eachNodeWithin(p Position, r float64, f func(*airNode)) {
+	g := a.gridFor(r)
+	if g == nil {
+		a.eachNode(f)
+		return
+	}
+	a.visitBuckets(g, p, r, 0, spectrum.NumUHF-1, f)
+}
+
+// gridFor returns the grid to use for a query of radius r, or nil when
+// the query must fall back to the full node walk.
+func (a *Air) gridFor(r float64) *nodeGrid {
+	if math.IsInf(r, 1) {
+		return nil
+	}
+	return a.ensureGrid()
+}
+
+// visitBuckets collects the nodes bucketed under UHF channels [lo, hi]
+// in the cells overlapping the disk of radius r around p, deduplicates
+// (a node appears once per spanned channel), sorts by id, and visits.
+func (a *Air) visitBuckets(g *nodeGrid, p Position, r float64, lo, hi spectrum.UHF, f func(*airNode)) {
+	x0 := int32(math.Floor((p.X - r) / g.cell))
+	x1 := int32(math.Floor((p.X + r) / g.cell))
+	y0 := int32(math.Floor((p.Y - r) / g.cell))
+	y1 := int32(math.Floor((p.Y + r) / g.cell))
+	near := a.scratchNear[:0]
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			for u := lo; u <= hi; u++ {
+				near = append(near, g.cells[gridKey{x: x, y: y, u: u}]...)
+			}
+		}
+	}
+	// Visit order must match the brute-force walk: ascending id, each
+	// node once. The scratch buffer is detached for the duration of the
+	// visits: a visitor that synchronously transmits (e.g. an OnReceive
+	// hook replying with SendImmediate) re-enters this query, and a
+	// nested query must allocate its own buffer rather than truncate
+	// the one being iterated.
+	slices.SortFunc(near, func(a, b *airNode) int { return a.id - b.id })
+	a.scratchNear = nil
+	var prev *airNode
+	for _, n := range near {
+		if n == prev {
+			continue
+		}
+		prev = n
+		f(n)
+	}
+	if cap(near) > cap(a.scratchNear) {
+		a.scratchNear = near[:0]
+	}
+}
+
+// NodesNear returns the ids of attached nodes whose grid cells overlap
+// the disk of radius r around p, in ascending order — a superset of the
+// nodes within r, the exact candidate set a culled fan-out from p would
+// visit before channel filtering. It is a diagnostics hook for tests
+// and scenario tooling; with no finite-range model it returns every
+// attached node.
+func (a *Air) NodesNear(p Position, r float64) []int {
+	var out []int
+	a.eachNodeWithin(p, r, func(n *airNode) { out = append(out, n.id) })
+	return out
+}

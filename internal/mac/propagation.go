@@ -23,11 +23,24 @@ func (p Position) DistanceTo(q Position) float64 {
 // positions always yields the same loss, in any call order and from any
 // goroutine (experiment worlds run concurrently and may share one model
 // value). Randomized effects such as shadowing therefore derive from a
-// seeded hash of the link, not from mutable RNG state.
+// seeded hash of the link, not from mutable RNG state. Model values
+// must also be comparable (no slice, map or func fields): the medium
+// memoizes range bounds per model value and compares with ==.
 type Propagation interface {
 	// LossDB returns the attenuation in dB from a transmitter at a to a
 	// receiver at b. Links are symmetric: LossDB(a, b) == LossDB(b, a).
 	LossDB(a, b Position) float64
+
+	// MaxRangeFor returns a distance in meters beyond which a
+	// transmission at txPowerDBm can never be received at or above
+	// floorDBm: for every pair of positions farther apart than the
+	// returned range, txPowerDBm - LossDB(a, b) < floorDBm must hold.
+	// The bound is what makes interference culling safe — it may be
+	// loose (a generous range only costs extra candidate checks) but it
+	// must never be tight enough to exclude an audible receiver.
+	// Models with unbounded reach return math.Inf(1), which disables
+	// culling entirely.
+	MaxRangeFor(txPowerDBm, floorDBm float64) float64
 }
 
 // FlatPropagation is the legacy medium: zero loss between any two
@@ -39,6 +52,11 @@ type FlatPropagation struct{}
 
 // LossDB implements Propagation with zero loss everywhere.
 func (FlatPropagation) LossDB(a, b Position) float64 { return 0 }
+
+// MaxRangeFor implements Propagation: a zero-loss medium reaches every
+// receiver at any distance, so the range is infinite and the medium
+// never culls — preserving the legacy all-in-range fan-out exactly.
+func (FlatPropagation) MaxRangeFor(txPowerDBm, floorDBm float64) float64 { return math.Inf(1) }
 
 // Log-distance model defaults, calibrated for the UHF band.
 const (
@@ -111,6 +129,43 @@ func (l LogDistance) LossDB(a, b Position) float64 {
 	}
 	return loss
 }
+
+// MaxRangeFor implements Propagation by inverting the log-distance
+// curve: the largest d with RefLossDB + 10·Exponent·log10(d/RefDistance)
+// still within the txPowerDBm-floorDBm link budget. Shadowing widens the
+// budget by the worst negative deviate linkDeviate can emit
+// (maxShadowDeviate·sigma, a hard bound of the Box-Muller construction,
+// not a confidence interval), so the returned range is a true upper
+// bound: no link beyond it can ever be received above the floor.
+func (l LogDistance) MaxRangeFor(txPowerDBm, floorDBm float64) float64 {
+	ref := l.RefDistance
+	if ref <= 0 {
+		ref = DefaultRefDistanceM
+	}
+	refLoss := l.RefLossDB
+	if refLoss == 0 {
+		refLoss = DefaultRefLossDB
+	}
+	exp := l.Exponent
+	if exp <= 0 {
+		exp = DefaultPathLossExponent
+	}
+	budget := txPowerDBm - floorDBm
+	if l.ShadowSigmaDB > 0 {
+		budget += l.ShadowSigmaDB * maxShadowDeviate
+	}
+	if budget <= refLoss {
+		// Only the clamped sub-reference region can be in budget (or
+		// nothing is); the reference distance covers it either way.
+		return ref
+	}
+	return ref * math.Pow(10, (budget-refLoss)/(10*exp))
+}
+
+// maxShadowDeviate bounds |linkDeviate|: Box-Muller with u1 clamped to
+// at least 0.5/2^32 can emit at most sqrt(-2·ln(0.5/2^32)) ≈ 6.8
+// standard deviations.
+var maxShadowDeviate = math.Sqrt(-2 * math.Log(0.5/(1<<32)))
 
 // linkDeviate returns a standard normal deviate that is a pure function
 // of (seed, {a, b}): the endpoints are ordered canonically so the link

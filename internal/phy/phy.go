@@ -1,15 +1,3 @@
-// Package phy models the WhiteFi physical layer timing: OFDM frame
-// durations, inter-frame spacings, and data rates as a function of the
-// channel width.
-//
-// The KNOWS prototype transmits a 2.4 GHz Wi-Fi (802.11a OFDM) signal
-// down-converted into the UHF band, with the PLL clock slowed to produce
-// 5, 10 or 20 MHz wide signals (Chandra et al., "A Case for Adapting
-// Channel Width in Wireless Networks", SIGCOMM 2008). Slowing the clock
-// by a factor k stretches every PHY-level time by k: symbol time, preamble,
-// SIFS and slot all double when the width halves, and the effective data
-// rate halves. This package encodes exactly that scaling, anchored at the
-// standard 802.11a timing for 20 MHz.
 package phy
 
 import (

@@ -1,0 +1,18 @@
+// Package radio models the two radios of a KNOWS-style WhiteFi device:
+//
+//   - the transceiver: a Wi-Fi card behind a UHF translator, tuned to one
+//     WhiteFi channel (implemented by mac.Node); and
+//   - the scanner: a USRP SDR sampling an 8 MHz span, whose raw samples
+//     feed SIFT (Sections 3 and 4.2.1). The Scanner here combines the iq
+//     renderer with the SIFT detector and produces the per-UHF-channel
+//     observations (airtime, AP count, incumbent occupancy) that the
+//     spectrum-assignment algorithm consumes.
+//
+// It also provides the packet-sniffer capture model used as SIFT's
+// comparison point in the attenuation experiment (Figure 7): hardware
+// packet decoding degrades smoothly with SNR, while SIFT's fixed
+// amplitude threshold produces a sharp detection cliff.
+//
+// In the system inventory (DESIGN.md) this package stands in for the
+// KNOWS two-radio device: the tuned transceiver and the scanning SDR.
+package radio

@@ -1,17 +1,3 @@
-// Package radio models the two radios of a KNOWS-style WhiteFi device:
-//
-//   - the transceiver: a Wi-Fi card behind a UHF translator, tuned to one
-//     WhiteFi channel (implemented by mac.Node); and
-//   - the scanner: a USRP SDR sampling an 8 MHz span, whose raw samples
-//     feed SIFT (Sections 3 and 4.2.1). The Scanner here combines the iq
-//     renderer with the SIFT detector and produces the per-UHF-channel
-//     observations (airtime, AP count, incumbent occupancy) that the
-//     spectrum-assignment algorithm consumes.
-//
-// It also provides the packet-sniffer capture model used as SIFT's
-// comparison point in the attenuation experiment (Figure 7): hardware
-// packet decoding degrades smoothly with SNR, while SIFT's fixed
-// amplitude threshold produces a sharp detection cliff.
 package radio
 
 import (
@@ -239,7 +225,11 @@ func (t *TrueAirtime) observer() int {
 	return t.Observer
 }
 
-// Measure implements AirtimeSource from medium accounting.
+// Measure implements AirtimeSource from medium accounting. The whole
+// band is computed in one indexed-log sweep (mac.Air.ObservationAt)
+// rather than one query per channel — the difference between O(window)
+// and O(window × channels) per observation, which dense worlds issue
+// once per AP per assignment round.
 func (t *TrueAirtime) Measure(from, to time.Duration, exclude int) (airtime [spectrum.NumUHF]float64, aps [spectrum.NumUHF]int) {
 	ex := t.Exclude
 	if exclude >= 0 {
@@ -249,12 +239,7 @@ func (t *TrueAirtime) Measure(from, to time.Duration, exclude int) (airtime [spe
 		}
 		ex[exclude] = true
 	}
-	obs := t.observer()
-	for u := spectrum.UHF(0); u < spectrum.NumUHF; u++ {
-		airtime[u] = t.Air.BusyFractionAt(obs, u, from, to, ex)
-		aps[u] = t.Air.ActiveAPsAt(obs, u, from, to, ex)
-	}
-	return airtime, aps
+	return t.Air.ObservationAt(t.observer(), from, to, ex)
 }
 
 // Observe builds a full assign.Observation from an airtime source and

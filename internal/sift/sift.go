@@ -1,24 +1,3 @@
-// Package sift implements SIFT — Signal Interpretation before Fourier
-// Transform — the time-domain signal analysis at the heart of WhiteFi
-// (Section 4.2.1).
-//
-// SIFT consumes raw amplitude samples (sqrt(I^2+Q^2), one per 1.024 us)
-// from an 8 MHz scan and, without decoding or FFT:
-//
-//  1. finds packet transmissions by thresholding a moving average of the
-//     amplitude (the sliding window is 5 samples, below the minimum SIFS
-//     of 10 us so that the DATA->ACK gap is never smoothed away);
-//  2. infers the channel width of a unicast transmission by matching the
-//     gap between a data pulse and the following short pulse against the
-//     per-width SIFS, and the short pulse's duration against the
-//     per-width ACK airtime (both are inversely proportional to width);
-//  3. recognises AP beacons the same way: WhiteFi APs send a CTS-to-self
-//     one SIFS after every beacon, producing a beacon-length pulse, a
-//     SIFS gap, and a CTS-length pulse;
-//  4. estimates per-channel airtime utilization from the summed pulse
-//     durations; and
-//  5. decodes chirps, whose packet length encodes a small payload in the
-//     time domain (a low-bitrate OOK channel, Section 4.3).
 package sift
 
 import (
@@ -143,6 +122,7 @@ const (
 	BeaconCTS
 )
 
+// String names the detection kind for traces and logs.
 func (k DetectionKind) String() string {
 	if k == BeaconCTS {
 		return "beacon+cts"

@@ -1,13 +1,3 @@
-// Package sim provides the discrete-event simulation engine underlying
-// the WhiteFi reproduction. It replaces both the QualNet simulator and
-// the wall-clock behaviour of the KNOWS hardware prototype with a
-// deterministic virtual clock: every experiment is exactly reproducible
-// given a seed.
-//
-// Time is virtual and starts at zero. Events scheduled for the same
-// instant fire in scheduling order (a monotonic tiebreaker), so runs are
-// deterministic regardless of map iteration or goroutine scheduling —
-// the engine is strictly single-threaded.
 package sim
 
 import (

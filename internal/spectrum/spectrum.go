@@ -1,15 +1,3 @@
-// Package spectrum models the UHF white-space spectrum that WhiteFi
-// operates in: the thirty 6 MHz UHF TV channels between channel 21
-// (512 MHz) and channel 51 (698 MHz), excluding channel 37, and the
-// variable-width WhiteFi channels (5, 10, or 20 MHz) that are laid on
-// top of them.
-//
-// Terminology follows Section 4 of the paper: a "UHF channel" is one of
-// the 30 fixed 6 MHz segments, while a "channel" (Channel here) is the
-// tuple (F, W) of a center frequency and a width that a WhiteFi AP or
-// client communicates on. WhiteFi channels are always centered at a UHF
-// channel's center frequency; a 5 MHz channel fits within one UHF
-// channel, a 10 MHz channel spans 3, and a 20 MHz channel spans 5.
 package spectrum
 
 import (

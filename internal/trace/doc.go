@@ -1,0 +1,9 @@
+// Package trace provides the measurement and reporting helpers the
+// benchmark harness uses: time series, summary statistics, histograms,
+// fixed-width table rendering matching the rows the paper reports, and
+// a JSON-lines emitter for machine-readable run traces.
+//
+// In the system inventory (DESIGN.md) this package stands in for no
+// external system: it is the measurement and reporting toolkit the
+// harness renders results with.
+package trace

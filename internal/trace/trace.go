@@ -1,7 +1,3 @@
-// Package trace provides the measurement and reporting helpers the
-// benchmark harness uses: time series, summary statistics, histograms,
-// fixed-width table rendering matching the rows the paper reports, and
-// a JSON-lines emitter for machine-readable run traces.
 package trace
 
 import (

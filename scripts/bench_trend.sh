@@ -1,16 +1,26 @@
 #!/usr/bin/env bash
 # bench_trend.sh — warn-only comparison of a freshly generated
-# BENCH_<sha>.json against the most recently *committed* baseline.
+# BENCH_<sha>.json against the most recently *committed* baselines.
 #
 # Usage:
 #   scripts/bench_trend.sh <new-bench.json>
 #
-# Finds the committed BENCH_*.json with the newest commit date, joins it
-# with the new file by benchmark name, and prints a WARN line for every
-# benchmark whose ns_per_op regressed by more than the threshold (and an
-# INFO line for large improvements). Always exits 0: the trend step is a
-# tripwire for humans reading CI logs, not a gate — absolute timings on
-# shared runners are too noisy to fail a build on.
+# Joins the new file with the TWO most recently committed BENCH_*.json
+# by benchmark name and prints a WARN line only for benchmarks whose
+# ns_per_op regressed past the threshold against *both* baselines: a
+# deviation must persist across two consecutive committed runs before
+# it flags, so a single noisy run (shared CI machines easily wobble a
+# whole run by 1x-level factors) stays quiet. With only one committed
+# baseline it falls back to the single comparison. INFO lines mark
+# equally persistent large improvements. Always exits 0: the trend step
+# is a tripwire for humans reading CI logs, not a gate.
+#
+# Baseline workflow: BENCH_*.json is gitignored (every bench.sh run
+# drops one), so committing a new per-PR baseline requires a force-add:
+#
+#   scripts/bench.sh . 1x
+#   git add -f "BENCH_$(git rev-parse --short HEAD).json"
+#   git commit -m "Commit bench baseline BENCH_<sha>.json"
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,16 +28,23 @@ cd "$(dirname "$0")/.."
 new=${1:?usage: scripts/bench_trend.sh <new-bench.json>}
 threshold=${BENCH_TREND_THRESHOLD:-30}   # percent slower that triggers a warning
 
-# Most recently committed baseline (by commit time), excluding the new
-# file itself if it happens to be tracked.
+# The two most recently committed baselines (by commit time), excluding
+# the new file itself if it happens to be tracked.
 baseline=""
+prior=""
 best=0
+second=0
 for f in $(git ls-files 'BENCH_*.json'); do
     [ "$f" = "$(basename "$new")" ] && continue
     ct=$(git log -1 --format=%ct -- "$f" 2>/dev/null || echo 0)
     if [ "$ct" -gt "$best" ]; then
+        second=$best
+        prior=$baseline
         best=$ct
         baseline=$f
+    elif [ "$ct" -gt "$second" ]; then
+        second=$ct
+        prior=$f
     fi
 done
 
@@ -36,9 +53,13 @@ if [ -z "$baseline" ]; then
     exit 0
 fi
 
-echo "bench-trend: comparing $new against committed baseline $baseline (warn at +${threshold}%)"
+if [ -n "$prior" ]; then
+    echo "bench-trend: comparing $new against $baseline and $prior (warn at +${threshold}% vs both)"
+else
+    echo "bench-trend: comparing $new against committed baseline $baseline (warn at +${threshold}%)"
+fi
 
-awk -v thr="$threshold" '
+awk -v thr="$threshold" -v nbase="$([ -n "$prior" ] && echo 2 || echo 1)" '
 function sval(line, key,    m) {
     m = ""
     if (match(line, "\"" key "\":\"[^\"]*\"")) {
@@ -59,9 +80,15 @@ function nval(line, key,    m) {
     }
     return m
 }
-FNR == NR {
+FNR == 1 { fileno++ }
+fileno == 1 {
     name = sval($0, "name"); ns = nval($0, "ns_per_op")
     if (name != "" && ns != "") base[name] = ns
+    next
+}
+fileno == 2 && nbase == 2 {
+    name = sval($0, "name"); ns = nval($0, "ns_per_op")
+    if (name != "" && ns != "") prior[name] = ns
     next
 }
 {
@@ -69,9 +96,18 @@ FNR == NR {
     if (name == "" || ns == "") next
     if (!(name in base)) { printf "NEW   %-45s %12.0f ns/op (no baseline)\n", name, ns; next }
     delta = (ns - base[name]) / base[name] * 100
+    # A deviation counts only when it persists against the prior
+    # baseline too (when one exists and also covers this benchmark).
+    confirmed = 1
+    if (name in prior) {
+        pdelta = (ns - prior[name]) / prior[name] * 100
+        if (delta > thr && pdelta <= thr)   confirmed = 0
+        if (delta < -thr && pdelta >= -thr) confirmed = 0
+    }
+    if (!confirmed) next
     if (delta > thr)       printf "WARN  %-45s %+7.1f%%  (%.0f -> %.0f ns/op)\n", name, delta, base[name], ns
     else if (delta < -thr) printf "INFO  %-45s %+7.1f%%  (%.0f -> %.0f ns/op)\n", name, delta, base[name], ns
 }
-' <(tr -d '\r' < "$baseline") <(tr -d '\r' < "$new") || true
+' <(tr -d '\r' < "$baseline") <(tr -d '\r' < "${prior:-/dev/null}") <(tr -d '\r' < "$new") || true
 
 echo "bench-trend: done (warn-only)"

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# mdcheck.sh — markdown link check for the repository documents.
+#
+# Usage:
+#   scripts/mdcheck.sh [file.md ...]     # default: README DESIGN EXPERIMENTS
+#
+# For every [text](target) link it verifies:
+#   - relative file targets exist (fragment stripped), and
+#   - same-file #anchors match a heading (github-style slug: lowercase,
+#     spaces to dashes, punctuation dropped).
+# External http(s) targets are skipped — CI must not depend on the
+# network. Exits 1 when any link is broken.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md DESIGN.md EXPERIMENTS.md)
+fi
+
+bad=0
+for f in "${files[@]}"; do
+    if [ ! -f "$f" ]; then
+        echo "mdcheck: $f: missing document"
+        bad=1
+        continue
+    fi
+    # All heading slugs of the document, for #anchor validation.
+    slugs=$(grep -E '^#{1,6} ' "$f" \
+        | sed -E 's/^#+ //' \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed -E "s/[^a-z0-9 _-]//g; s/ /-/g" || true)
+    # Extract inline link targets, one per line (images look the same).
+    links=$(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' || true)
+    while read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+        http://*|https://*|mailto:*) continue ;;
+        '#'*)
+            anchor=${target#\#}
+            if ! printf '%s\n' "$slugs" | grep -qxF "$anchor"; then
+                echo "mdcheck: $f: broken anchor '#$anchor'"
+                bad=1
+            fi
+            ;;
+        *)
+            path=${target%%#*}
+            if [ -n "$path" ] && [ ! -e "$path" ]; then
+                echo "mdcheck: $f: broken link '$target'"
+                bad=1
+            fi
+            ;;
+        esac
+    done <<<"$links"
+done
+
+if [ "$bad" -ne 0 ]; then
+    echo "mdcheck: broken links found"
+    exit 1
+fi
+echo "mdcheck: all links ok"
