@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"whitefi/internal/exp"
+	"whitefi/internal/traffic"
 )
 
 func BenchmarkSec21SpatialVariation(b *testing.B) {
@@ -145,6 +146,25 @@ func BenchmarkDenseCityMediumCulled(b *testing.B) {
 func BenchmarkDenseCityMediumBrute(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		exp.DenseCityMediumLoad(500, 5, true)
+	}
+}
+
+func BenchmarkMixedTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.MixedTrafficTable(1).String())
+	}
+}
+
+// BenchmarkMixedTrafficDenseCity is the traffic engine's scale
+// benchmark: a 300-node city carrying all four flow models (30%
+// uplink) through bounded AP egress queues, with per-flow quantile
+// sketches streaming on every delivery.
+func BenchmarkMixedTrafficDenseCity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.DenseCityRun(exp.DenseCityConfig{
+			APs: 100, Seed: 5,
+			Traffic: traffic.Models(), UplinkFrac: 0.3, QueueLimit: 128,
+		})
 	}
 }
 

@@ -6,10 +6,23 @@
 // docs-lint step, a stand-in for revive's exported rule that needs
 // nothing outside the standard library.
 //
+// Two structural checks raise the bar further for library packages
+// (both skip main packages):
+//
+//   - -docfile requires each package to keep its package comment in a
+//     dedicated doc.go file, so godoc readers and new contributors
+//     always find the overview in the same place.
+//   - -examples requires each package to ship at least one testable
+//     Example function (run by go test, rendered by godoc), so
+//     pkg.go.dev shows runnable usage instead of prose only. Packages
+//     where an example is not feasible are exempted by name via
+//     -example-exempt (CI exempts exp, whose entry points are
+//     multi-second scenario sweeps exercised by cmd/whitefi-bench).
+//
 // Usage:
 //
 //	doclint ./internal/...   # the trailing /... is implied; args are root dirs
-//	doclint internal cmd
+//	doclint -docfile -examples -example-exempt=exp internal
 //
 // Exit status 1 when any finding is reported, with one "file:line:
 // symbol" line per finding.
@@ -27,11 +40,23 @@ import (
 	"strings"
 )
 
+var (
+	requireDocFile  = flag.Bool("docfile", false, "require a doc.go in every non-main package")
+	requireExamples = flag.Bool("examples", false, "require at least one Example function per non-main package")
+	exampleExempt   = flag.String("example-exempt", "", "comma-separated package dir names exempt from -examples")
+)
+
 func main() {
 	flag.Parse()
 	roots := flag.Args()
 	if len(roots) == 0 {
 		roots = []string{"internal"}
+	}
+	exempt := map[string]bool{}
+	for _, name := range strings.Split(*exampleExempt, ",") {
+		if name != "" {
+			exempt[name] = true
+		}
 	}
 	findings := 0
 	for _, root := range roots {
@@ -45,6 +70,7 @@ func main() {
 				return nil
 			}
 			findings += lintDir(path)
+			findings += lintStructure(path, exempt)
 			return nil
 		})
 		if err != nil {
@@ -53,9 +79,72 @@ func main() {
 		}
 	}
 	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported symbols\n", findings)
+		fmt.Fprintf(os.Stderr, "doclint: %d documentation findings\n", findings)
 		os.Exit(1)
 	}
+}
+
+// lintStructure runs the opt-in package-shape checks on one directory:
+// doc.go presence and Example coverage.
+func lintStructure(dir string, exempt map[string]bool) int {
+	if !*requireDocFile && !*requireExamples {
+		return 0
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.PackageClauseOnly)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	// Classify the directory: library packages only (skip main and
+	// directories holding no Go package at all).
+	hasLib, hasDocFile := false, false
+	for _, pkg := range pkgs {
+		if pkg.Name == "main" || strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		hasLib = true
+		for name := range pkg.Files {
+			if filepath.Base(name) == "doc.go" {
+				hasDocFile = true
+			}
+		}
+	}
+	if !hasLib {
+		return 0
+	}
+	findings := 0
+	if *requireDocFile && !hasDocFile {
+		fmt.Printf("%s: package has no doc.go\n", dir)
+		findings++
+	}
+	if *requireExamples && !exempt[filepath.Base(dir)] && !hasExample(fset, pkgs) {
+		fmt.Printf("%s: package has no Example function (add one or list it in -example-exempt)\n", dir)
+		findings++
+	}
+	return findings
+}
+
+// hasExample reports whether any test file in the parsed packages
+// (internal or external test package) declares an Example function.
+func hasExample(fset *token.FileSet, pkgs map[string]*ast.Package) bool {
+	for _, pkg := range pkgs {
+		for name := range pkg.Files {
+			if !strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, name, nil, 0)
+			if err != nil {
+				continue
+			}
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && strings.HasPrefix(fd.Name.Name, "Example") {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // lintDir parses one directory's non-test sources and reports findings.

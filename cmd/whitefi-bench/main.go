@@ -9,7 +9,9 @@
 // sec2.3, fig5, table1, fig6, fig7, fig8, fig9, sec5.3, fig10, fig11,
 // fig12, fig13, fig14, the ablations ablation-window, ablation-mcham,
 // ablation-jsift, ablation-hysteresis, ablation-weight, and the
-// beyond-the-paper scenarios driveby, roaming, mic-churn, densecity.
+// beyond-the-paper scenarios driveby, roaming, mic-churn, densecity,
+// mixedtraffic (per-flow telemetry under generated flow mixes) and
+// densecity-traffic (the city sweep crossed with traffic mixes).
 package main
 
 import (
@@ -59,10 +61,12 @@ func main() {
 			return exp.AblationAPWeight(100)
 		},
 
-		"driveby":   exp.DriveByTable,
-		"roaming":   exp.RoamingTable,
-		"mic-churn": exp.MicChurnTable,
-		"densecity": exp.DenseCityTable,
+		"driveby":           exp.DriveByTable,
+		"roaming":           exp.RoamingTable,
+		"mic-churn":         exp.MicChurnTable,
+		"densecity":         exp.DenseCityTable,
+		"mixedtraffic":      exp.MixedTrafficTable,
+		"densecity-traffic": exp.DenseCityTrafficTable,
 	}
 	order := []string{
 		"sec2.1", "fig2", "sec2.3", "fig5", "table1", "fig6", "fig7",
@@ -70,6 +74,7 @@ func main() {
 		"fig14", "ablation-window", "ablation-mcham", "ablation-jsift",
 		"ablation-hysteresis", "ablation-weight",
 		"driveby", "roaming", "mic-churn", "densecity",
+		"mixedtraffic", "densecity-traffic",
 	}
 
 	var ids []string

@@ -36,6 +36,16 @@
 // metrics (aggregate goodput, assignment quality, interference-free
 // fraction) are printed at the end, or emitted as one JSON record with
 // -json.
+//
+// The traffic flags select the generated load. The default, -traffic
+// backlog, keeps the legacy saturating downlink; cbr, poisson, burst
+// and web switch to the heterogeneous traffic engine (one generated
+// flow per client, see internal/traffic), and -uplink-frac reverses
+// that fraction of flows client -> AP. Engine runs report per-flow
+// telemetry — goodput, delay p50/p95/p99, jitter, queue drops — as a
+// table at the end, or as one "flow" JSON record per flow with -json.
+// -dense accepts the same two flags (backlog selects the dense
+// scenario's default CBR).
 package main
 
 import (
@@ -55,6 +65,7 @@ import (
 	"whitefi/internal/sim"
 	"whitefi/internal/spectrum"
 	"whitefi/internal/trace"
+	"whitefi/internal/traffic"
 )
 
 // stepRecord is one -json periodic trace line.
@@ -109,14 +120,20 @@ type denseRecord struct {
 	MChamQuality float64 `json:"mcham_quality"`
 	IFreeFrac    float64 `json:"interference_free_frac"`
 	SwitchPerBSS float64 `json:"switches_per_bss"`
+	FlowP50Ms    float64 `json:"flow_delay_p50_ms"`
+	FlowP95Ms    float64 `json:"flow_delay_p95_ms"`
+	FlowDropRate float64 `json:"flow_drop_rate"`
 	WallSec      float64 `json:"wall_s"`
 }
 
 // runDenseCity executes the exp.DenseCity scenario once with the CLI's
 // duration split into the default settle plus the remaining measurement
 // window, and prints (or emits as JSON) the summary metrics.
-func runDenseCity(aps int, duration time.Duration, seed int64, micDuty float64, jsonOut bool) {
-	cfg := exp.DenseCityConfig{APs: aps, Seed: seed, MicDuty: micDuty}
+func runDenseCity(aps int, duration time.Duration, seed int64, micDuty float64, models []traffic.Model, uplinkFrac float64, jsonOut bool) {
+	cfg := exp.DenseCityConfig{APs: aps, Seed: seed, MicDuty: micDuty, Traffic: models, UplinkFrac: uplinkFrac}
+	if len(models) > 0 {
+		cfg.QueueLimit = 128 // engine runs bound the AP egress queue so drops are measured
+	}
 	if duration > 0 {
 		settle := 2 * time.Second
 		if duration < 2*settle {
@@ -133,7 +150,9 @@ func runDenseCity(aps int, duration time.Duration, seed int64, micDuty float64, 
 			Event: "dense", APs: r.APs, Nodes: r.Nodes, AreaKm2: r.AreaKm2,
 			GoodputMbps: r.GoodputMbps, MChamQuality: r.MChamQuality,
 			IFreeFrac: r.InterferenceFreeFrac, SwitchPerBSS: r.SwitchesPerBSS,
-			WallSec: r.WallClock.Seconds(),
+			FlowP50Ms: r.FlowDelayP50Ms, FlowP95Ms: r.FlowDelayP95Ms,
+			FlowDropRate: r.FlowDropRate,
+			WallSec:      r.WallClock.Seconds(),
 		})
 		if err := em.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "json trace: %v\n", err)
@@ -146,6 +165,8 @@ func runDenseCity(aps int, duration time.Duration, seed int64, micDuty float64, 
 	fmt.Printf("  mcham quality      %8.3f (1.0 = every AP locally optimal)\n", r.MChamQuality)
 	fmt.Printf("  interference-free  %8.3f of BSS-time\n", r.InterferenceFreeFrac)
 	fmt.Printf("  switches           %8.2f per BSS\n", r.SwitchesPerBSS)
+	fmt.Printf("  flow delay         %8.1f ms p50, %.1f ms p95 across flows\n", r.FlowDelayP50Ms, r.FlowDelayP95Ms)
+	fmt.Printf("  flow drop rate     %8.4f of generated packets\n", r.FlowDropRate)
 	fmt.Printf("  wall clock         %8.1fs\n", r.WallClock.Seconds())
 }
 
@@ -186,12 +207,32 @@ func main() {
 	mobility := flag.String("mobility", "none", "client mobility: none | rwp (seeded random waypoint) | roam (first client roams out and back); non-none implies the spatial medium")
 	speed := flag.Float64("speed", 15, "mobility speed in m/s")
 	micDuty := flag.Float64("mic-duty", 0, "Markov mic duty cycle: one stochastic mic per free channel, busy this fraction of a 20 s mean cycle (0 = only the scripted -mic-at mic)")
-	denseAPs := flag.Int("dense", 0, "run the city-scale dense-deployment scenario with this many APs (2 clients each) instead of the single-BSS scenario; -duration, -seed and -mic-duty apply")
+	denseAPs := flag.Int("dense", 0, "run the city-scale dense-deployment scenario with this many APs (2 clients each) instead of the single-BSS scenario; -duration, -seed, -mic-duty, -traffic and -uplink-frac apply")
+	trafficModel := flag.String("traffic", "backlog", "per-client flow model: backlog (legacy saturating downlink) | cbr | poisson | burst | web | mixed (cycle all four)")
+	uplinkFrac := flag.Float64("uplink-frac", 0, "fraction of generated flows reversed client -> AP (traffic engine models only)")
 	jsonOut := flag.Bool("json", false, "emit the periodic trace as JSON lines instead of text")
 	flag.Parse()
 
+	var models []traffic.Model
+	switch *trafficModel {
+	case "backlog":
+	case "mixed":
+		models = traffic.Models()
+	default:
+		m, ok := traffic.ParseModel(*trafficModel)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown traffic model %q\n", *trafficModel)
+			os.Exit(2)
+		}
+		models = []traffic.Model{m}
+	}
+	if *uplinkFrac > 0 && len(models) == 0 {
+		fmt.Fprintf(os.Stderr, "-uplink-frac needs a traffic engine model: -traffic cbr|poisson|burst|web|mixed\n")
+		os.Exit(2)
+	}
+
 	if *denseAPs > 0 {
-		runDenseCity(*denseAPs, *duration, *seed, *micDuty, *jsonOut)
+		runDenseCity(*denseAPs, *duration, *seed, *micDuty, models, *uplinkFrac, *jsonOut)
 		return
 	}
 
@@ -253,7 +294,12 @@ func main() {
 		sensors[i] = &radio.IncumbentSensor{Base: base, Mics: mics, Pos: pos[i], Prop: prop}
 	}
 	net := core.NewNetwork(eng, air, core.Config{ProbePeriod: 2 * time.Second}, sensors)
-	net.StartDownlink(1000)
+	if len(models) > 0 {
+		mix := traffic.Mix{Models: models, UplinkFrac: *uplinkFrac, Seed: *seed}
+		net.StartTraffic(mix.Specs(*clients), 128)
+	} else {
+		net.StartDownlink(1000)
+	}
 
 	// Observe every mic transition (after the AP and clients hooked
 	// their own watchers, so the chain stays intact).
@@ -394,6 +440,9 @@ func main() {
 				Reason: s.Reason.String(), Metric: s.Metric,
 			})
 		}
+		for _, f := range net.Flows {
+			em.Emit(f.Record(*duration))
+		}
 		if err := em.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "json trace: %v\n", err)
 			os.Exit(1)
@@ -403,5 +452,24 @@ func main() {
 	fmt.Println("\nswitch log:")
 	for _, s := range net.AP.Switches {
 		fmt.Printf("  %8s  %-14v -> %-14v  %s (metric %.2f)\n", s.At, s.From, s.To, s.Reason, s.Metric)
+	}
+	if len(net.Flows) > 0 {
+		t := &trace.Table{
+			Title:   "per-flow telemetry:",
+			Headers: []string{"flow", "model", "dir", "goodput(Mbps)", "p50(ms)", "p95(ms)", "p99(ms)", "jitter(ms)", "delivered", "dropped"},
+		}
+		for _, f := range net.Flows {
+			r := f.Record(*duration)
+			t.AddRow(fmt.Sprintf("%d", r.ID), r.Model, r.Direction,
+				fmt.Sprintf("%.3f", r.GoodputMbps),
+				fmt.Sprintf("%.1f", r.DelayP50Ms),
+				fmt.Sprintf("%.1f", r.DelayP95Ms),
+				fmt.Sprintf("%.1f", r.DelayP99Ms),
+				fmt.Sprintf("%.2f", r.JitterMs),
+				fmt.Sprintf("%d", r.Delivered),
+				fmt.Sprintf("%d", r.QueueDropped))
+		}
+		fmt.Println()
+		t.Render(os.Stdout)
 	}
 }

@@ -1,0 +1,38 @@
+package assign_test
+
+import (
+	"fmt"
+
+	"whitefi/internal/assign"
+	"whitefi/internal/spectrum"
+)
+
+// MCham multiplies each spanned channel's expected share: a wide
+// channel wins on clean spectrum, but one busy spanned channel drags
+// the whole candidate down — the paper's width-vs-interference
+// trade-off in one number.
+func ExampleMCham() {
+	obs := assign.Observation{Map: spectrum.MapFromBits(0)}
+	obs.Airtime[6] = 0.8 // one UHF channel busy...
+	obs.APs[6] = 2       // ...shared by two other APs
+	clean5 := assign.MCham(obs, spectrum.Chan(3, spectrum.W5))
+	wide20 := assign.MCham(obs, spectrum.Chan(2, spectrum.W20))
+	spanningBusy := assign.MCham(obs, spectrum.Chan(5, spectrum.W20))
+	fmt.Printf("clean 5 MHz:       %.2f\n", clean5)
+	fmt.Printf("clean 20 MHz:      %.2f\n", wide20)
+	fmt.Printf("20 MHz over busy:  %.2f\n", spanningBusy)
+	// Output:
+	// clean 5 MHz:       1.00
+	// clean 20 MHz:      4.00
+	// 20 MHz over busy:  1.33
+}
+
+// Rho is one channel's expected share: the free airtime residual,
+// floored by the fair 1/(B+1) split among the APs sharing it.
+func ExampleRho() {
+	fmt.Printf("residual-limited: %.2f\n", assign.Rho(0.2, 3))
+	fmt.Printf("fair-share floor: %.2f\n", assign.Rho(0.9, 1))
+	// Output:
+	// residual-limited: 0.80
+	// fair-share floor: 0.50
+}

@@ -1,0 +1,22 @@
+package audio_test
+
+import (
+	"fmt"
+	"time"
+
+	"whitefi/internal/audio"
+	"whitefi/internal/spectrum"
+)
+
+// The microphone-audibility model maps an interferer's duty cycle and
+// received power to a MOS drop: a sparse flow heard faintly stays
+// under the audibility threshold, a saturating nearby flow does not.
+func ExampleMOSDrop() {
+	light := audio.MOSDrop(200, 100*time.Millisecond, spectrum.W20, -70)
+	heavy := audio.MOSDrop(1500, 2*time.Millisecond, spectrum.W5, 16)
+	fmt.Println("light flow audible:", audio.Audible(light))
+	fmt.Println("heavy flow audible:", audio.Audible(heavy))
+	// Output:
+	// light flow audible: false
+	// heavy flow audible: true
+}

@@ -1,0 +1,24 @@
+package chirp_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"whitefi/internal/chirp"
+	"whitefi/internal/spectrum"
+)
+
+// ChooseBackup picks a free 5 MHz backup channel away from the
+// operating channel — where a disconnected client goes to chirp.
+func ExampleChooseBackup() {
+	m := spectrum.MapFromBits(0)
+	main := spectrum.Chan(7, spectrum.W20)
+	backup, ok := chirp.ChooseBackup(m, main, rand.New(rand.NewSource(3)))
+	fmt.Println("found:", ok)
+	fmt.Println("5 MHz wide:", backup.Width == spectrum.W5)
+	fmt.Println("clear of the operating channel:", !backup.Overlaps(main))
+	// Output:
+	// found: true
+	// 5 MHz wide: true
+	// clear of the operating channel: true
+}

@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"whitefi/internal/core"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/radio"
+	"whitefi/internal/sim"
+	"whitefi/internal/traffic"
+)
+
+// A complete WhiteFi BSS: the AP picks a channel, clients associate,
+// and a generated flow per client moves traffic with per-flow
+// telemetry — the quickstart in ~20 lines.
+func ExampleNewNetwork() {
+	eng := sim.New(1)
+	air := mac.NewAir(eng)
+	base := incumbent.SimulationBaseMap()
+	sensors := []*radio.IncumbentSensor{{Base: base}, {Base: base}, {Base: base}}
+	net := core.NewNetwork(eng, air, core.Config{}, sensors)
+
+	eng.RunUntil(2 * time.Second)
+	mix := traffic.Mix{Models: []traffic.Model{traffic.Poisson}, Seed: 1}
+	net.StartTraffic(mix.Specs(len(net.Clients)), 128)
+	eng.RunUntil(10 * time.Second)
+
+	assoc := 0
+	for _, c := range net.Clients {
+		if c.Associated() {
+			assoc++
+		}
+	}
+	fmt.Println("clients associated:", assoc)
+	for _, f := range net.Flows {
+		fmt.Printf("flow %d delivered all: %v\n", f.ID, f.Tel.Delivered == f.Tel.Generated)
+	}
+	// Output:
+	// clients associated: 2
+	// flow 0 delivered all: true
+	// flow 1 delivered all: true
+}

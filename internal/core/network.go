@@ -7,6 +7,7 @@ import (
 	"whitefi/internal/radio"
 	"whitefi/internal/sim"
 	"whitefi/internal/spectrum"
+	"whitefi/internal/traffic"
 )
 
 // Network wires a complete WhiteFi BSS — one AP and its clients — plus
@@ -16,6 +17,10 @@ type Network struct {
 	Air     *mac.Air
 	AP      *AP
 	Clients []*Client
+
+	// Flows holds the generated traffic flows attached by StartTraffic
+	// (nil when StartDownlink's saturating legacy flows are used).
+	Flows []*traffic.Flow
 
 	flows []*mac.Backlogged
 }
@@ -45,9 +50,36 @@ func (n *Network) StartDownlink(payloadBytes int) {
 	}
 }
 
+// StartTraffic attaches one generated flow per client: spec i drives
+// client i (specs cycle when there are more clients). Downlink flows
+// run AP -> client, uplink flows client -> AP, and Web flows serve
+// pages from the AP to the requesting client regardless of Uplink.
+// queueLimit, when positive, bounds the AP's egress queue so overload
+// surfaces as counted per-flow drops instead of unbounded queueing.
+// The flows (with their telemetry) are returned and retained in Flows.
+func (n *Network) StartTraffic(specs []traffic.Spec, queueLimit int) []*traffic.Flow {
+	if len(specs) == 0 {
+		return nil
+	}
+	if queueLimit > 0 {
+		n.AP.Node.SetQueueLimit(queueLimit)
+	}
+	for i, c := range n.Clients {
+		spec := specs[i%len(specs)]
+		sender, receiver := traffic.Orient(spec, n.AP.Node, c.Node)
+		f := traffic.NewFlow(n.Eng, i, spec, sender, receiver)
+		f.Start()
+		n.Flows = append(n.Flows, f)
+	}
+	return n.Flows
+}
+
 // StopTraffic halts all attached flows.
 func (n *Network) StopTraffic() {
 	for _, f := range n.flows {
+		f.Stop()
+	}
+	for _, f := range n.Flows {
 		f.Stop()
 	}
 }

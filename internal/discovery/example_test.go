@@ -1,0 +1,21 @@
+package discovery_test
+
+import (
+	"fmt"
+
+	"whitefi/internal/discovery"
+)
+
+// ChirpValue hashes an SSID into the value a disconnected client
+// encodes into its chirp durations; the AP matches decoded values
+// against its own SSID's code.
+func ExampleChirpValue() {
+	a := discovery.ChirpValue("whitefi-lab")
+	b := discovery.ChirpValue("whitefi-lab")
+	c := discovery.ChirpValue("other-net")
+	fmt.Println("stable:", a == b)
+	fmt.Println("distinguishes networks:", a != c)
+	// Output:
+	// stable: true
+	// distinguishes networks: true
+}

@@ -1,0 +1,23 @@
+package dynamics_test
+
+import (
+	"fmt"
+	"time"
+
+	"whitefi/internal/dynamics"
+	"whitefi/internal/mac"
+)
+
+// Trajectories are pure functions of time: PathThrough visits its
+// waypoints at the given speed, holding the final position afterwards.
+func ExamplePathThrough() {
+	w := dynamics.PathThrough(0, 10, // start immediately, 10 m/s
+		mac.Position{X: 0}, mac.Position{X: 100})
+	for _, t := range []time.Duration{0, 5 * time.Second, 99 * time.Second} {
+		fmt.Printf("at %3v: x=%.0f\n", t, w.PositionAt(t).X)
+	}
+	// Output:
+	// at  0s: x=0
+	// at  5s: x=50
+	// at 1m39s: x=100
+}

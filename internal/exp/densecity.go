@@ -14,6 +14,7 @@ import (
 	"whitefi/internal/radio"
 	"whitefi/internal/spectrum"
 	"whitefi/internal/trace"
+	"whitefi/internal/traffic"
 )
 
 // DenseCity is the city-scale dense-deployment scenario: hundreds of
@@ -46,9 +47,18 @@ type DenseCityConfig struct {
 	// MicDuty is the Markov mic duty cycle on every free channel; 0
 	// selects 0.08. Negative disables mics.
 	MicDuty float64
-	// TrafficInterval is the CBR inter-packet delay per client flow
+	// TrafficInterval is the (mean) inter-packet delay per client flow
 	// (1000-byte packets); 0 selects 25 ms.
 	TrafficInterval time.Duration
+	// Traffic lists the flow models cycled over client flows; empty
+	// selects pure CBR, which is schedule-identical to the
+	// pre-traffic-engine scenario.
+	Traffic []traffic.Model
+	// UplinkFrac is the probability a flow is reversed client -> AP
+	// (drawn from its own seeded RNG, so 0 leaves placement untouched).
+	UplinkFrac float64
+	// QueueLimit bounds each AP's egress queue; 0 keeps the MAC default.
+	QueueLimit int
 	// AssignPeriod is how often each AP re-evaluates its channel with
 	// the hysteresis selector; 0 selects 4 s.
 	AssignPeriod time.Duration
@@ -106,6 +116,14 @@ type DenseCityResult struct {
 	// SwitchesPerBSS is the mean number of channel switches per BSS
 	// over the measurement window (initial assignment excluded).
 	SwitchesPerBSS float64
+	// FlowDelayP50Ms / FlowDelayP95Ms are medians across all client
+	// flows of each flow's own p50 / p95 delivery delay (ms), over the
+	// whole run (settle included — flows start at t=0).
+	FlowDelayP50Ms float64
+	FlowDelayP95Ms float64
+	// FlowDropRate is total egress-queue drops over total generated
+	// packets across all flows.
+	FlowDropRate float64
 	// WallClock is the host time the run took — the scaling headline.
 	WallClock time.Duration
 }
@@ -117,11 +135,33 @@ const denseCityIDBase = 10000
 type denseBSS struct {
 	ap       *mac.Node
 	clients  []*mac.Node
-	flows    []*mac.CBR
+	flows    []*traffic.Flow
 	ids      map[int]bool // all member ids, for observation exclusion
 	sel      assign.Selector
 	switches int
-	lastRx   int64
+	// lastRx snapshots acknowledged payload per member node (AP first,
+	// then clients) so goodput covers uplink senders too; for the
+	// default downlink-only traffic only the AP entry ever moves.
+	lastRx []int64
+}
+
+// snapshotRx records every member's acknowledged-payload counter.
+func (b *denseBSS) snapshotRx() {
+	b.lastRx = b.lastRx[:0]
+	b.lastRx = append(b.lastRx, b.ap.Stats.PayloadRxOK)
+	for _, cl := range b.clients {
+		b.lastRx = append(b.lastRx, cl.Stats.PayloadRxOK)
+	}
+}
+
+// deliveredSince sums members' acknowledged payload since snapshotRx.
+func (b *denseBSS) deliveredSince() int64 {
+	var d int64
+	d += b.ap.Stats.PayloadRxOK - b.lastRx[0]
+	for i, cl := range b.clients {
+		d += cl.Stats.PayloadRxOK - b.lastRx[1+i]
+	}
+	return d
 }
 
 // retune moves the whole BSS to ch.
@@ -185,7 +225,17 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 		return m
 	}
 
-	// Placement and initial channels.
+	// Placement and initial channels. Flow specs come from traffic.Mix
+	// (its own RNG stream), so the default (pure CBR downlink) leaves
+	// the placement stream — and therefore the whole run — identical to
+	// the pre-traffic-engine scenario.
+	specs := traffic.Mix{
+		Models:     cfg.Traffic,
+		UplinkFrac: cfg.UplinkFrac,
+		Seed:       cfg.Seed,
+		Base:       traffic.Spec{Bytes: 1000, Interval: cfg.TrafficInterval},
+	}.Specs(cfg.APs * cfg.ClientsPerAP)
+	flowID := 0
 	bss := make([]*denseBSS, cfg.APs)
 	for i := range bss {
 		apID := denseCityIDBase + i*(cfg.ClientsPerAP+1)
@@ -194,6 +244,9 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 		b := &denseBSS{ids: map[int]bool{apID: true}}
 		b.ap = mac.NewNode(w.eng, w.air, apID, ch, true)
 		b.ap.SetPosition(apPos)
+		if cfg.QueueLimit > 0 {
+			b.ap.SetQueueLimit(cfg.QueueLimit)
+		}
 		for c := 0; c < cfg.ClientsPerAP; c++ {
 			id := apID + 1 + c
 			cl := mac.NewNode(w.eng, w.air, id, ch, false)
@@ -202,9 +255,11 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 			cl.SetPosition(mac.Position{X: apPos.X + d*math.Cos(ang), Y: apPos.Y + d*math.Sin(ang)})
 			b.clients = append(b.clients, cl)
 			b.ids[id] = true
-			f := mac.NewCBR(w.eng, b.ap, id, 1000, cfg.TrafficInterval)
+			sender, receiver := traffic.Orient(specs[flowID], b.ap, cl)
+			f := traffic.NewFlow(w.eng, flowID, specs[flowID], sender, receiver)
 			f.Start()
 			b.flows = append(b.flows, f)
+			flowID++
 		}
 		bss[i] = b
 	}
@@ -254,7 +309,7 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 		evaluate(b, false)
 	}
 	for _, b := range bss {
-		b.lastRx = b.ap.Stats.PayloadRxOK
+		b.snapshotRx()
 	}
 	end := cfg.Settle + cfg.Measure
 	for i, b := range bss {
@@ -290,7 +345,7 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 	// Metrics.
 	var bits float64
 	for _, b := range bss {
-		bits += float64(b.ap.Stats.PayloadRxOK-b.lastRx) * 8
+		bits += float64(b.deliveredSince()) * 8
 	}
 	m := micMap()
 	var quality float64
@@ -320,6 +375,23 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 	if totalSamples > 0 {
 		ifree = float64(freeSamples) / float64(totalSamples)
 	}
+	// Per-flow telemetry: medians across flows of each flow's sketch
+	// estimates, and the city-wide drop rate.
+	var p50s, p95s []float64
+	var generated, dropped int
+	for _, b := range bss {
+		for _, f := range b.flows {
+			f.Stop()
+			p50s = append(p50s, f.Tel.DelayP50().Seconds()*1e3)
+			p95s = append(p95s, f.Tel.DelayP95().Seconds()*1e3)
+			generated += f.Tel.Generated
+			dropped += f.Tel.QueueDropped
+		}
+	}
+	dropRate := 0.0
+	if generated > 0 {
+		dropRate = float64(dropped) / float64(generated)
+	}
 	return DenseCityResult{
 		APs:                  cfg.APs,
 		Nodes:                cfg.APs * (1 + cfg.ClientsPerAP),
@@ -328,6 +400,9 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 		MChamQuality:         quality / float64(cfg.APs),
 		InterferenceFreeFrac: ifree,
 		SwitchesPerBSS:       float64(switches) / float64(cfg.APs),
+		FlowDelayP50Ms:       trace.Median(p50s),
+		FlowDelayP95Ms:       trace.Median(p95s),
+		FlowDropRate:         dropRate,
 		WallClock:            time.Since(start),
 	}
 }
@@ -437,6 +512,86 @@ func DenseCity(reps int) []DenseCityResult {
 		out[ni] = agg
 	}
 	return out
+}
+
+// denseCityTrafficMixes are the flow populations of the
+// traffic-parameterized city sweep: each pure model, then the
+// heterogeneous blend with 30% uplink flows.
+var denseCityTrafficMixes = []struct {
+	name   string
+	models []traffic.Model
+	uplink float64
+}{
+	{"cbr", []traffic.Model{traffic.CBR}, 0},
+	{"poisson", []traffic.Model{traffic.Poisson}, 0},
+	{"burst", []traffic.Model{traffic.Burst}, 0},
+	{"web", []traffic.Model{traffic.Web}, 0},
+	{"mixed", traffic.Models(), 0.3},
+}
+
+// DenseCityTraffic runs the traffic-parameterized city over every
+// (mix, AP count) pair, reps seeds each, on the parallel harness, and
+// returns per-pair aggregates in sweep order (mix-major).
+func DenseCityTraffic(reps int, apCounts []int) []DenseCityResult {
+	nc := len(apCounts)
+	cells := make([]DenseCityResult, len(denseCityTrafficMixes)*nc*reps)
+	runIndexed(len(cells), func(i int) {
+		mix := denseCityTrafficMixes[i/(nc*reps)]
+		aps := apCounts[i/reps%nc]
+		cells[i] = DenseCityRun(DenseCityConfig{
+			APs:        aps,
+			Seed:       int64(8191 + 257*(i%reps)),
+			Traffic:    mix.models,
+			UplinkFrac: mix.uplink,
+			QueueLimit: 128,
+		})
+	})
+	out := make([]DenseCityResult, len(denseCityTrafficMixes)*nc)
+	for p := range out {
+		agg := DenseCityResult{}
+		for r := 0; r < reps; r++ {
+			c := cells[p*reps+r]
+			agg.APs, agg.Nodes, agg.AreaKm2 = c.APs, c.Nodes, c.AreaKm2
+			agg.GoodputMbps += c.GoodputMbps
+			agg.InterferenceFreeFrac += c.InterferenceFreeFrac
+			agg.FlowDelayP50Ms += c.FlowDelayP50Ms
+			agg.FlowDelayP95Ms += c.FlowDelayP95Ms
+			agg.FlowDropRate += c.FlowDropRate
+		}
+		n := float64(reps)
+		agg.GoodputMbps /= n
+		agg.InterferenceFreeFrac /= n
+		agg.FlowDelayP50Ms /= n
+		agg.FlowDelayP95Ms /= n
+		agg.FlowDropRate /= n
+		out[p] = agg
+	}
+	return out
+}
+
+// DenseCityTrafficTable renders the traffic-parameterized city sweep:
+// per-flow delay percentiles and drop rate per mix and scale.
+func DenseCityTrafficTable(reps int) *trace.Table {
+	return denseCityTrafficTableFor(reps, denseCitySweepAPs)
+}
+
+func denseCityTrafficTableFor(reps int, apCounts []int) *trace.Table {
+	t := &trace.Table{
+		Title:   "DenseCity x traffic mixes: per-flow delay/drop telemetry at city scale",
+		Headers: []string{"mix", "aps", "nodes", "goodput(Mbps)", "p50(ms)", "p95(ms)", "drop-rate", "ifree-frac"},
+	}
+	rows := DenseCityTraffic(reps, apCounts)
+	for i, r := range rows {
+		t.AddRow(denseCityTrafficMixes[i/len(apCounts)].name,
+			fmt.Sprintf("%d", r.APs),
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%.1f", r.GoodputMbps),
+			fmt.Sprintf("%.1f", r.FlowDelayP50Ms),
+			fmt.Sprintf("%.1f", r.FlowDelayP95Ms),
+			fmt.Sprintf("%.3f", r.FlowDropRate),
+			fmt.Sprintf("%.3f", r.InterferenceFreeFrac))
+	}
+	return t
 }
 
 // DenseCityTable renders the dense-deployment sweep.

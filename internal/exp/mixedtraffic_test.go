@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"whitefi/internal/traffic"
+)
+
+// TestMixedTrafficShape: every mix delivers traffic and reports
+// internally consistent per-flow telemetry (p95 >= p50 > 0).
+func TestMixedTrafficShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second heterogeneous-load runs")
+	}
+	for _, mx := range mixedTrafficMixes {
+		mx := mx
+		t.Run(mx.name, func(t *testing.T) {
+			r := MixedTrafficRun(MixedTrafficConfig{Mix: mx.mix, Seed: 5, Measure: 10 * time.Second})
+			if r.Flows == 0 || r.GoodputMbps <= 0 {
+				t.Fatalf("mix %s moved no traffic: %+v", mx.name, r)
+			}
+			if r.DelayP50Ms <= 0 || r.DelayP95Ms < r.DelayP50Ms {
+				t.Errorf("mix %s inconsistent percentiles: p50 %.2f p95 %.2f", mx.name, r.DelayP50Ms, r.DelayP95Ms)
+			}
+			for _, rec := range r.Records {
+				if rec.Delivered == 0 {
+					t.Errorf("mix %s flow %d (%s %s) delivered nothing", mx.name, rec.ID, rec.Model, rec.Direction)
+				}
+			}
+		})
+	}
+}
+
+// TestMixedTrafficUplink: the mixed row must actually reverse some
+// flows — the uplink axis is a headline feature, not a latent flag.
+func TestMixedTrafficUplink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second heterogeneous-load run")
+	}
+	r := MixedTrafficRun(MixedTrafficConfig{
+		Clients: 8,
+		Mix:     traffic.Mix{Models: []traffic.Model{traffic.Poisson}, UplinkFrac: 0.5},
+		Seed:    7, Measure: 8 * time.Second,
+	})
+	if r.UplinkFlows == 0 || r.UplinkFlows == r.Flows {
+		t.Errorf("uplink flows = %d of %d, want a genuine mix", r.UplinkFlows, r.Flows)
+	}
+}
+
+// TestTrafficParallelDeterminism extends the parallel-determinism
+// contract to the traffic engine's tables: identical at any worker
+// count, per the acceptance criteria of the traffic PR.
+func TestTrafficParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweeps")
+	}
+	cases := []struct {
+		name string
+		run  func() string
+	}{
+		{"mixedtraffic", func() string { return MixedTrafficTable(2).String() }},
+		{"densecity-traffic", func() string { return denseCityTrafficTableFor(2, []int{12}).String() }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var serial, parallel string
+			withWorkers(1, func() { serial = c.run() })
+			withWorkers(8, func() { parallel = c.run() })
+			if serial != parallel {
+				t.Errorf("output differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestDenseCityMixedTraffic1000Nodes is the scale acceptance of the
+// traffic engine: a 1000+-node mixed-traffic city (all four models,
+// 30% uplink) completes and reports per-flow delay percentiles.
+func TestDenseCityMixedTraffic1000Nodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("city-scale mixed-traffic run")
+	}
+	r := DenseCityRun(DenseCityConfig{
+		APs:        334,
+		Seed:       3,
+		Traffic:    traffic.Models(),
+		UplinkFrac: 0.3,
+		QueueLimit: 128,
+		Measure:    8 * time.Second,
+	})
+	if r.Nodes < 1000 {
+		t.Fatalf("nodes = %d, want >= 1000", r.Nodes)
+	}
+	if r.GoodputMbps <= 1 {
+		t.Errorf("aggregate goodput = %.2f Mbps, want > 1", r.GoodputMbps)
+	}
+	if r.FlowDelayP50Ms <= 0 || r.FlowDelayP95Ms < r.FlowDelayP50Ms {
+		t.Errorf("per-flow percentiles missing or inconsistent: p50 %.2f ms p95 %.2f ms",
+			r.FlowDelayP50Ms, r.FlowDelayP95Ms)
+	}
+	t.Logf("1000-node mixed traffic: %.1f Mbps, flow p50 %.1f ms, p95 %.1f ms, drop %.4f",
+		r.GoodputMbps, r.FlowDelayP50Ms, r.FlowDelayP95Ms, r.FlowDropRate)
+}
+
+// TestDenseCityTrafficDefaultUnchanged pins the byte-identity of the
+// default (pure CBR downlink) DenseCity scenario across the traffic
+// engine refactor: the legacy headline metrics at a fixed config must
+// match the values the pre-engine code produced (captured at the PR
+// boundary).
+func TestDenseCityTrafficDefaultUnchanged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second dense-deployment run")
+	}
+	r := DenseCityRun(DenseCityConfig{APs: 20, Seed: 3, Measure: 4 * time.Second})
+	if got := r.GoodputMbps; got != 4.886 {
+		t.Errorf("default DenseCity goodput drifted: %.6f, want 4.886000 (pre-engine value)", got)
+	}
+}

@@ -1,0 +1,20 @@
+package iq_test
+
+import (
+	"fmt"
+
+	"whitefi/internal/iq"
+)
+
+// Amplitudes are deterministic functions of received power; the SIFT
+// default threshold sits between the noise ceiling and the amplitude
+// of a signal at the detection cliff (~-81 dBm).
+func ExampleAmplitudeAt() {
+	strong := iq.AmplitudeAt(-40)
+	weak := iq.AmplitudeAt(-90)
+	fmt.Println("strong > weak:", strong > weak)
+	fmt.Println("noise ceiling below weak signal:", iq.MaxNoiseAmplitude() < iq.AmplitudeAt(-81))
+	// Output:
+	// strong > weak: true
+	// noise ceiling below weak signal: true
+}

@@ -140,6 +140,21 @@ func (n *Node) Retune(ch spectrum.Channel) {
 // QueueLen returns the number of frames waiting for transmission.
 func (n *Node) QueueLen() int { return len(n.queue) }
 
+// QueueLimit returns the egress queue bound.
+func (n *Node) QueueLimit() int { return n.maxQueue }
+
+// SetQueueLimit bounds the egress queue at limit frames; Send rejects
+// (and Stats.QueueDropped counts) frames that arrive while the queue is
+// full. Frames already queued beyond a lowered limit still drain. The
+// default is 512; the traffic engine tightens it per AP so bursty load
+// surfaces as measured drops instead of unbounded queueing delay.
+func (n *Node) SetQueueLimit(limit int) {
+	if limit < 1 {
+		limit = 1
+	}
+	n.maxQueue = limit
+}
+
 // ClearQueue drops all queued frames (used on disconnection).
 func (n *Node) ClearQueue() { n.queue = n.queue[:0] }
 

@@ -1,0 +1,21 @@
+package phy_test
+
+import (
+	"fmt"
+
+	"whitefi/internal/phy"
+	"whitefi/internal/spectrum"
+)
+
+// Halving the channel width doubles every OFDM timing, so the same
+// frame takes twice as long on air — the physical root of WhiteFi's
+// width trade-off.
+func ExampleAirtime() {
+	for _, w := range []spectrum.Width{spectrum.W20, spectrum.W10, spectrum.W5} {
+		fmt.Printf("1000 B at %2.0f MHz: %v\n", w.MHz(), phy.Airtime(w, 1000))
+	}
+	// Output:
+	// 1000 B at 20 MHz: 1.36ms
+	// 1000 B at 10 MHz: 2.72ms
+	// 1000 B at  5 MHz: 5.44ms
+}

@@ -1,0 +1,27 @@
+package radio_test
+
+import (
+	"fmt"
+
+	"whitefi/internal/incumbent"
+	"whitefi/internal/radio"
+	"whitefi/internal/sim"
+)
+
+// An IncumbentSensor fuses a node's static base map with the live
+// microphones it can hear: when a mic keys up, the fused map marks its
+// channel occupied.
+func ExampleIncumbentSensor() {
+	eng := sim.New(1)
+	base := incumbent.SimulationBaseMap()
+	u := base.FreeChannels()[0]
+	mic := incumbent.NewMic(eng, u)
+	sensor := &radio.IncumbentSensor{Base: base, Mics: []*incumbent.Mic{mic}}
+
+	fmt.Println("free before:", sensor.CurrentMap().Free(u))
+	mic.TurnOn()
+	fmt.Println("free while keyed:", sensor.CurrentMap().Free(u))
+	// Output:
+	// free before: true
+	// free while keyed: false
+}

@@ -1,0 +1,36 @@
+package sift_test
+
+import (
+	"fmt"
+
+	"whitefi/internal/sift"
+)
+
+// SIFT's edge detector turns an amplitude sample stream into pulses:
+// runs where the moving average sits above the threshold. Here a
+// 100-sample burst of amplitude 10 over a quiet floor yields one pulse
+// with its edges recovered exactly.
+func ExampleDetectPulses() {
+	samples := make([]float64, 300)
+	for i := 100; i < 200; i++ {
+		samples[i] = 10
+	}
+	pulses := sift.DetectPulses(samples, sift.Config{})
+	fmt.Println("pulses:", len(pulses))
+	fmt.Println("duration:", pulses[0].Duration())
+	// Output:
+	// pulses: 1
+	// duration: 100.352µs
+}
+
+// MatchExchanges pairs pulses separated by a SIFS into DATA->ACK
+// exchanges — the time-domain fingerprint SIFT uses to infer a
+// transmitter's channel width without decoding a bit.
+func ExampleConfig_Effective() {
+	w, thr := sift.Config{}.Effective()
+	fmt.Println("window:", w, "samples")
+	fmt.Println("threshold:", thr)
+	// Output:
+	// window: 5 samples
+	// threshold: 2.8
+}

@@ -1,0 +1,38 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"whitefi/internal/sim"
+)
+
+// The engine fires callbacks in virtual-time order; equal times run in
+// scheduling order, which is what makes whole simulations replayable
+// from a seed.
+func ExampleEngine() {
+	eng := sim.New(1)
+	eng.After(20*time.Millisecond, func() { fmt.Println("second at", eng.Now()) })
+	eng.After(10*time.Millisecond, func() { fmt.Println("first at", eng.Now()) })
+	eng.Run()
+	// Output:
+	// first at 10ms
+	// second at 20ms
+}
+
+// Every is the repeating form; Stop ends the series.
+func ExampleEngine_Every() {
+	eng := sim.New(1)
+	n := 0
+	var tick *sim.Ticker
+	tick = eng.Every(5*time.Millisecond, func() {
+		n++
+		if n == 3 {
+			tick.Stop()
+		}
+	})
+	eng.Run()
+	fmt.Println(n, "ticks, stopped at", eng.Now())
+	// Output:
+	// 3 ticks, stopped at 15ms
+}

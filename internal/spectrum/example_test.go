@@ -1,0 +1,52 @@
+package spectrum_test
+
+import (
+	"fmt"
+
+	"whitefi/internal/spectrum"
+)
+
+// A WhiteFi channel is a center UHF channel plus a width; wider
+// channels span neighboring 6 MHz TV channels symmetrically.
+func ExampleChan() {
+	ch := spectrum.Chan(7, spectrum.W20)
+	fmt.Println(ch)
+	fmt.Println("span:", ch.Span())
+	fmt.Println("contains uhf23:", ch.Contains(2))
+	// Output:
+	// (uhf28, 20MHz)
+	// span: [uhf26 uhf27 uhf28 uhf29 uhf30]
+	// contains uhf23: false
+}
+
+// UHF indices skip TV channel 37 (reserved for radio astronomy), so TV
+// channel numbers and indices diverge above it.
+func ExampleUHFFromTV() {
+	u, ok := spectrum.UHFFromTV(44)
+	fmt.Println(u, ok)
+	_, ok = spectrum.UHFFromTV(37)
+	fmt.Println("channel 37 usable:", ok)
+	// Output:
+	// uhf44 true
+	// channel 37 usable: false
+}
+
+// A Map marks incumbent-occupied channels; fragments are the maximal
+// free runs variable-width channels must fit inside. Note the split at
+// reserved TV channel 37 — contiguity is in frequency, not index.
+func ExampleMap_Fragments() {
+	m := spectrum.MapFromBits(0) // all free
+	for _, u := range []spectrum.UHF{3, 9} {
+		m = m.SetOccupied(u)
+	}
+	for _, f := range m.Fragments() {
+		fmt.Printf("free run of %2d starting at %v\n", f.Channels(), f.Lo)
+	}
+	fmt.Println("20 MHz at uhf26 fits:", m.ChannelFree(spectrum.Chan(5, spectrum.W20)))
+	// Output:
+	// free run of  3 starting at uhf21
+	// free run of  5 starting at uhf25
+	// free run of  6 starting at uhf31
+	// free run of 14 starting at uhf38
+	// 20 MHz at uhf26 fits: false
+}

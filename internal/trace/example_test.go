@@ -1,0 +1,40 @@
+package trace_test
+
+import (
+	"os"
+
+	"whitefi/internal/trace"
+)
+
+// Table renders experiment rows in the style of the paper's tables.
+func ExampleTable() {
+	t := &trace.Table{
+		Title:   "goodput by width",
+		Headers: []string{"width", "Mbps"},
+	}
+	t.AddRow("5MHz", "2.41")
+	t.AddRow("20MHz", "8.97")
+	t.Render(os.Stdout)
+	// Output:
+	// goodput by width
+	//   width  Mbps
+	//   -----  ----
+	//   5MHz   2.41
+	//   20MHz  8.97
+}
+
+// Quantile estimates a percentile in O(1) memory — the per-flow delay
+// sketch of the traffic engine. The estimate tracks the exact value
+// closely without retaining the observations.
+func ExampleQuantile() {
+	q := trace.NewQuantile(0.5)
+	for i := 1; i <= 1001; i++ {
+		q.Add(float64(i))
+	}
+	os.Stdout.WriteString("median of 1..1001: ")
+	if v := q.Value(); v > 495 && v < 507 {
+		os.Stdout.WriteString("~501\n")
+	}
+	// Output:
+	// median of 1..1001: ~501
+}

@@ -1,0 +1,24 @@
+package trace
+
+// FlowRecord is the per-flow JSON summary a traffic-engine run emits —
+// one line per flow at the end of a simulation (event "flow"), the
+// machine-readable face of the per-flow telemetry. All delay fields are
+// milliseconds; GoodputMbps is delivered payload over the flow's
+// measurement window.
+type FlowRecord struct {
+	Event        string  `json:"event"`
+	ID           int     `json:"flow"`
+	Model        string  `json:"model"`
+	Direction    string  `json:"direction"` // "down" (AP->client) or "up"
+	Src          int     `json:"src"`
+	Dst          int     `json:"dst"`
+	Generated    int     `json:"generated"`
+	Delivered    int     `json:"delivered"`
+	QueueDropped int     `json:"queue_dropped"`
+	GoodputMbps  float64 `json:"goodput_mbps"`
+	DelayP50Ms   float64 `json:"delay_p50_ms"`
+	DelayP95Ms   float64 `json:"delay_p95_ms"`
+	DelayP99Ms   float64 `json:"delay_p99_ms"`
+	DelayMaxMs   float64 `json:"delay_max_ms"`
+	JitterMs     float64 `json:"jitter_ms"`
+}

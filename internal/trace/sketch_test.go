@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestQuantileExactSmall: below five observations the estimator must be
+// exact.
+func TestQuantileExactSmall(t *testing.T) {
+	s := NewQuantile(0.5)
+	if s.Value() != 0 {
+		t.Fatalf("empty Value = %v, want 0", s.Value())
+	}
+	for _, x := range []float64{5, 1, 3} {
+		s.Add(x)
+	}
+	if got := s.Value(); got != 3 {
+		t.Errorf("median of {5,1,3} = %v, want 3", got)
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+}
+
+// TestQuantileAccuracy compares the P² estimate against the exact
+// percentile on seeded distributions; a few percent of the spread is
+// plenty for per-flow delay reporting.
+func TestQuantileAccuracy(t *testing.T) {
+	dists := []struct {
+		name string
+		draw func(r *rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() * 100 }},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() * 10 }},
+		{"normal", func(r *rand.Rand) float64 { return 50 + 12*r.NormFloat64() }},
+	}
+	for _, d := range dists {
+		for _, p := range []float64{0.5, 0.95, 0.99} {
+			r := rand.New(rand.NewSource(42))
+			s := NewQuantile(p)
+			xs := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				x := d.draw(r)
+				xs = append(xs, x)
+				s.Add(x)
+			}
+			exact := Percentile(xs, p*100)
+			spread := Max(xs) - Min(xs)
+			if diff := s.Value() - exact; diff > 0.03*spread || diff < -0.03*spread {
+				t.Errorf("%s p%.0f: estimate %.3f vs exact %.3f (spread %.1f)", d.name, p*100, s.Value(), exact, spread)
+			}
+		}
+	}
+}
+
+// TestQuantileDeterministic: identical observation sequences produce
+// identical estimates (the estimator has no hidden randomness).
+func TestQuantileDeterministic(t *testing.T) {
+	run := func() float64 {
+		r := rand.New(rand.NewSource(7))
+		s := NewQuantile(0.95)
+		for i := 0; i < 5000; i++ {
+			s.Add(r.ExpFloat64())
+		}
+		return s.Value()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("estimates diverged: %v vs %v", a, b)
+	}
+}
+
+// TestQuantileMonotoneMarkers: marker heights must stay sorted, or the
+// estimate can escape the observed range.
+func TestQuantileMonotoneMarkers(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	s := NewQuantile(0.5)
+	lo, hi := 1e18, -1e18
+	for i := 0; i < 10000; i++ {
+		x := r.NormFloat64()
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+		s.Add(x)
+		if v := s.Value(); v < lo || v > hi {
+			t.Fatalf("after %d adds estimate %v left observed range [%v, %v]", i+1, v, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package traffic is the heterogeneous traffic engine: pluggable,
+// seeded, deterministic per-flow packet generators driving the MAC
+// layer, with streaming per-flow telemetry.
+//
+// Every scenario before this package drove the stack with a single
+// hard-coded pattern (saturating or constant-bit-rate downlink). The
+// engine replaces that assumption with four flow models — CBR, Poisson
+// arrivals, two-state ON/OFF bursty (the Markov holding-time idiom of
+// package dynamics), and a closed-loop request/response web model —
+// each direction-aware (uplink or downlink) and a pure function of its
+// Spec and Seed, so runs stay deterministic at any worker count.
+//
+// Telemetry is streaming: per-flow goodput, queue-drop accounting
+// against the MAC's bounded egress queue, and delay/jitter percentiles
+// via the fixed-size P² quantile sketch (trace.Quantile) — no
+// per-packet retention, so city-scale runs with thousands of flows pay
+// O(1) memory per flow. Flows summarize as trace.FlowRecord JSON lines.
+//
+// In the WhiteFi reproduction this is the evaluation axis the mmWave
+// WLAN literature judges designs on: per-flow rate and delay
+// distributions under mixed traffic, not aggregate goodput alone.
+package traffic

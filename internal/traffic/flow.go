@@ -1,0 +1,378 @@
+package traffic
+
+import (
+	"math/rand"
+	"time"
+
+	"whitefi/internal/mac"
+	"whitefi/internal/phy"
+	"whitefi/internal/sim"
+	"whitefi/internal/trace"
+)
+
+// webTimeout re-issues a web request whose page has not completed —
+// replies can be queue-dropped or lost to a mid-switch ClearQueue, and
+// a closed loop must not stall forever.
+const webTimeout = 2 * time.Second
+
+// tag rides phy.Frame.Meta on every packet the engine generates: it
+// routes deliveries back to their flow and carries the enqueue
+// timestamp the delay measurement is taken against. The MAC never
+// inspects Meta, so tagged frames behave byte-identically on air.
+type tag struct {
+	flow   *Flow
+	sentAt time.Duration
+	req    bool // web request (client -> server)
+	last   bool // final packet of a web page
+}
+
+// Flow is one unidirectional traffic flow between two MAC nodes, with
+// its generator and streaming telemetry. Sender is the data source (the
+// AP for downlink flows); for Web, Sender is the server and Receiver
+// the requesting client.
+type Flow struct {
+	ID       int
+	Spec     Spec
+	Sender   *mac.Node
+	Receiver *mac.Node
+	// Tel accumulates the flow's telemetry from Start on.
+	Tel Telemetry
+
+	eng     *sim.Engine
+	rng     *rand.Rand
+	running bool
+	ev      *sim.Event
+	startAt time.Duration
+
+	onLeft time.Duration // Burst: remaining ON holding time
+
+	// Per-direction duplicate filters: MAC retries re-deliver a frame
+	// when its ACK was lost, and a node's sequence numbers are strictly
+	// increasing, so anything at or below the watermark is a replay.
+	lastDataSeq int64
+	lastReqSeq  int64
+
+	timeoutEv *sim.Event // Web: outstanding-page watchdog
+}
+
+// Orient maps a spec onto an AP/client pair as (sender, receiver) in
+// the data direction: AP -> client unless Spec.Uplink reverses it, and
+// Web always serves pages from the AP (requests are uplink by
+// construction). Every scenario routes through this so the direction
+// rule cannot drift between call sites.
+func Orient(spec Spec, ap, client *mac.Node) (sender, receiver *mac.Node) {
+	if spec.Uplink && spec.Model != Web {
+		return client, ap
+	}
+	return ap, client
+}
+
+// NewFlow binds a flow between sender and receiver (data direction
+// sender -> receiver; the caller orients the pair by Spec.Uplink). The
+// flow is stopped; Start begins generation and installs the delivery
+// taps.
+func NewFlow(eng *sim.Engine, id int, spec Spec, sender, receiver *mac.Node) *Flow {
+	f := &Flow{
+		ID:          id,
+		Spec:        spec.WithDefaults(),
+		Sender:      sender,
+		Receiver:    receiver,
+		eng:         eng,
+		rng:         rand.New(rand.NewSource(spec.Seed*2654435761 + 97)),
+		lastDataSeq: -1,
+		lastReqSeq:  -1,
+	}
+	f.Tel.init()
+	return f
+}
+
+// Start begins the flow: open-loop models send their first packet
+// immediately (the mac.CBR schedule); Web issues its first request.
+func (f *Flow) Start() {
+	if f.running {
+		return
+	}
+	f.running = true
+	f.startAt = f.eng.Now()
+	f.hook(f.Receiver)
+	if f.Spec.Model == Web {
+		f.hook(f.Sender)
+		f.sendRequest()
+		return
+	}
+	f.step()
+}
+
+// Stop halts generation; queued frames still drain, and deliveries of
+// already-queued packets keep counting so tail latency is not lost.
+func (f *Flow) Stop() {
+	f.running = false
+	if f.ev != nil {
+		f.eng.Cancel(f.ev)
+		f.ev = nil
+	}
+	if f.timeoutEv != nil {
+		f.eng.Cancel(f.timeoutEv)
+		f.timeoutEv = nil
+	}
+}
+
+// Running reports whether the flow is generating.
+func (f *Flow) Running() bool { return f.running }
+
+// Uplink reports the data direction: true when the sender is not an AP.
+func (f *Flow) Uplink() bool { return !f.Sender.IsAP }
+
+// step sends one open-loop packet and schedules the next.
+func (f *Flow) step() {
+	if !f.running {
+		return
+	}
+	f.sendData(false)
+	f.ev = f.eng.After(f.nextWait(), f.step)
+}
+
+// nextWait draws the gap before the next open-loop packet.
+func (f *Flow) nextWait() time.Duration {
+	switch f.Spec.Model {
+	case Poisson:
+		return expDur(f.rng, f.Spec.Interval)
+	case Burst:
+		w := f.Spec.Interval
+		if f.onLeft >= w {
+			f.onLeft -= w
+			return w
+		}
+		// ON period exhausted mid-gap: idle an OFF holding time, then
+		// open a fresh ON period with an immediate packet.
+		w = f.onLeft + expDur(f.rng, f.Spec.MeanOff)
+		f.onLeft = expDur(f.rng, f.Spec.MeanOn)
+		return w
+	default: // CBR draws nothing: schedule-identical to mac.CBR.
+		return f.Spec.Interval
+	}
+}
+
+// sendData enqueues one tagged data packet at the sender.
+func (f *Flow) sendData(last bool) {
+	fr := phy.DataFrame(f.Sender.ID, f.Receiver.ID, f.Spec.Bytes)
+	fr.Meta = &tag{flow: f, sentAt: f.eng.Now(), last: last}
+	f.Tel.Generated++
+	if !f.Sender.Send(fr) {
+		f.Tel.QueueDropped++
+	}
+}
+
+// sendRequest issues one web request and arms the page watchdog. Any
+// pending think timer is cancelled first so the watchdog path cannot
+// fork a second request loop alongside a think already scheduled by a
+// straggler page.
+func (f *Flow) sendRequest() {
+	if !f.running {
+		return
+	}
+	if f.ev != nil {
+		f.eng.Cancel(f.ev)
+		f.ev = nil
+	}
+	fr := phy.DataFrame(f.Receiver.ID, f.Sender.ID, f.Spec.RequestBytes)
+	fr.Meta = &tag{flow: f, sentAt: f.eng.Now(), req: true}
+	f.Tel.Requests++
+	if !f.Receiver.Send(fr) {
+		f.Tel.RequestDropped++
+	}
+	f.timeoutEv = f.eng.After(webTimeout, f.sendRequest)
+}
+
+// servePage answers a delivered request with a page of data packets.
+func (f *Flow) servePage() {
+	for i := 0; i < f.Spec.ReplyPackets; i++ {
+		f.sendData(i == f.Spec.ReplyPackets-1)
+	}
+}
+
+// pageDone closes the request cycle: disarm the watchdog, think, ask
+// again. A straggler page completing after a watchdog re-request only
+// resets the single pending timer (cancelled before rescheduling) — at
+// most one request loop ever runs, however congested delivery gets.
+func (f *Flow) pageDone() {
+	if f.timeoutEv != nil {
+		f.eng.Cancel(f.timeoutEv)
+		f.timeoutEv = nil
+	}
+	if !f.running {
+		return
+	}
+	if f.ev != nil {
+		f.eng.Cancel(f.ev)
+	}
+	f.ev = f.eng.After(expDur(f.rng, f.Spec.Think), f.sendRequest)
+}
+
+// hook chains the flow's delivery tap onto n's receive path, ahead of
+// whatever handler the node logic installed (core clients, bare nodes).
+func (f *Flow) hook(n *mac.Node) {
+	prev := n.OnReceive
+	n.OnReceive = func(fr phy.Frame, tx *mac.Transmission) {
+		f.intercept(fr)
+		if prev != nil {
+			prev(fr, tx)
+		}
+	}
+}
+
+// intercept inspects one clean reception for this flow's tag.
+func (f *Flow) intercept(fr phy.Frame) {
+	t, ok := fr.Meta.(*tag)
+	if !ok || t.flow != f || fr.Kind != phy.KindData {
+		return
+	}
+	now := f.eng.Now()
+	if t.req {
+		if int64(fr.Seq) <= f.lastReqSeq {
+			return // duplicate request (lost ACK): page already served
+		}
+		f.lastReqSeq = int64(fr.Seq)
+		f.servePage()
+		return
+	}
+	if int64(fr.Seq) <= f.lastDataSeq {
+		return // duplicate delivery
+	}
+	f.lastDataSeq = int64(fr.Seq)
+	f.Tel.deliver(now-t.sentAt, fr.Bytes-phy.MACHeaderBytes, now)
+	if t.last {
+		f.pageDone()
+	}
+}
+
+// Record summarizes the flow as a trace.FlowRecord over a measurement
+// window of the given length (used for the goodput rate; counters and
+// percentiles cover the flow's whole lifetime).
+func (f *Flow) Record(window time.Duration) trace.FlowRecord {
+	dir := "down"
+	if f.Uplink() {
+		dir = "up"
+	}
+	return trace.FlowRecord{
+		Event:        "flow",
+		ID:           f.ID,
+		Model:        f.Spec.Model.String(),
+		Direction:    dir,
+		Src:          f.Sender.ID,
+		Dst:          f.Receiver.ID,
+		Generated:    f.Tel.Generated,
+		Delivered:    f.Tel.Delivered,
+		QueueDropped: f.Tel.QueueDropped,
+		GoodputMbps:  f.Tel.GoodputMbps(window),
+		DelayP50Ms:   f.Tel.DelayP50().Seconds() * 1e3,
+		DelayP95Ms:   f.Tel.DelayP95().Seconds() * 1e3,
+		DelayP99Ms:   f.Tel.DelayP99().Seconds() * 1e3,
+		DelayMaxMs:   f.Tel.DelayMax.Seconds() * 1e3,
+		JitterMs:     f.Tel.Jitter().Seconds() * 1e3,
+	}
+}
+
+// Telemetry is a flow's streaming statistics: counters, goodput, and
+// delay/jitter percentiles over a fixed-size quantile sketch. No
+// per-packet state is retained.
+type Telemetry struct {
+	// Generated counts data packets handed to the MAC (including ones
+	// the bounded egress queue rejected); Requests counts web requests.
+	Generated int
+	Requests  int
+	// QueueDropped counts data packets rejected by the full egress
+	// queue; RequestDropped counts rejected web requests (a separate
+	// population, so DropRate's numerator and denominator agree).
+	QueueDropped   int
+	RequestDropped int
+	// Delivered counts clean, deduplicated deliveries at the receiver.
+	Delivered int
+	// DeliveredBytes is the delivered payload volume.
+	DeliveredBytes int64
+	// DelayMax is the largest observed enqueue-to-delivery delay.
+	DelayMax time.Duration
+	// LastDeliveredAt is the virtual time of the latest delivery.
+	LastDeliveredAt time.Duration
+
+	p50, p95, p99 *trace.Quantile
+	delaySum      time.Duration
+	lastDelay     time.Duration
+	haveLast      bool
+	jitterSum     time.Duration
+	jitterN       int
+}
+
+func (t *Telemetry) init() {
+	t.p50 = trace.NewQuantile(0.50)
+	t.p95 = trace.NewQuantile(0.95)
+	t.p99 = trace.NewQuantile(0.99)
+}
+
+// deliver folds one delivery into the sketches.
+func (t *Telemetry) deliver(delay time.Duration, payloadBytes int, now time.Duration) {
+	t.Delivered++
+	t.DeliveredBytes += int64(payloadBytes)
+	t.LastDeliveredAt = now
+	t.delaySum += delay
+	if delay > t.DelayMax {
+		t.DelayMax = delay
+	}
+	d := float64(delay)
+	t.p50.Add(d)
+	t.p95.Add(d)
+	t.p99.Add(d)
+	if t.haveLast {
+		j := delay - t.lastDelay
+		if j < 0 {
+			j = -j
+		}
+		t.jitterSum += j
+		t.jitterN++
+	}
+	t.lastDelay = delay
+	t.haveLast = true
+}
+
+// DelayP50 returns the delay median estimate.
+func (t *Telemetry) DelayP50() time.Duration { return time.Duration(t.p50.Value()) }
+
+// DelayP95 returns the 95th-percentile delay estimate.
+func (t *Telemetry) DelayP95() time.Duration { return time.Duration(t.p95.Value()) }
+
+// DelayP99 returns the 99th-percentile delay estimate.
+func (t *Telemetry) DelayP99() time.Duration { return time.Duration(t.p99.Value()) }
+
+// MeanDelay returns the arithmetic mean delivery delay.
+func (t *Telemetry) MeanDelay() time.Duration {
+	if t.Delivered == 0 {
+		return 0
+	}
+	return t.delaySum / time.Duration(t.Delivered)
+}
+
+// Jitter returns the mean absolute delay difference between consecutive
+// deliveries (the RFC 3550 notion without the smoothing filter).
+func (t *Telemetry) Jitter() time.Duration {
+	if t.jitterN == 0 {
+		return 0
+	}
+	return t.jitterSum / time.Duration(t.jitterN)
+}
+
+// GoodputMbps is the delivered payload rate over a window.
+func (t *Telemetry) GoodputMbps(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(t.DeliveredBytes) * 8 / window.Seconds() / 1e6
+}
+
+// DropRate is the fraction of generated data packets the egress queue
+// rejected.
+func (t *Telemetry) DropRate() float64 {
+	if t.Generated == 0 {
+		return 0
+	}
+	return float64(t.QueueDropped) / float64(t.Generated)
+}

@@ -1,0 +1,255 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"whitefi/internal/mac"
+	"whitefi/internal/sim"
+	"whitefi/internal/spectrum"
+)
+
+// testWorld is the minimal two-node scaffold the flow tests run on: an
+// AP and a client colocated on one 5 MHz channel of the flat medium.
+type testWorld struct {
+	eng    *sim.Engine
+	air    *mac.Air
+	ap, cl *mac.Node
+}
+
+func newTestWorld(seed int64) *testWorld {
+	eng := sim.New(seed)
+	air := mac.NewAir(eng)
+	ch := spectrum.Chan(3, spectrum.W5)
+	return &testWorld{
+		eng: eng,
+		air: air,
+		ap:  mac.NewNode(eng, air, 1, ch, true),
+		cl:  mac.NewNode(eng, air, 2, ch, false),
+	}
+}
+
+// flowBetween builds a spec's flow with the conventional orientation
+// (downlink AP->client unless Spec.Uplink).
+func (w *testWorld) flowBetween(id int, spec Spec) *Flow {
+	if spec.Uplink {
+		return NewFlow(w.eng, id, spec, w.cl, w.ap)
+	}
+	return NewFlow(w.eng, id, spec, w.ap, w.cl)
+}
+
+// TestCBRMatchesMacCBR: the extracted CBR generator must produce the
+// same delivery count as the inlined mac.CBR it replaces — same
+// schedule, same MAC, same medium.
+func TestCBRMatchesMacCBR(t *testing.T) {
+	const run = 5 * time.Second
+	legacy := newTestWorld(1)
+	c := mac.NewCBR(legacy.eng, legacy.ap, legacy.cl.ID, 1000, 25*time.Millisecond)
+	c.Start()
+	legacy.eng.RunUntil(run)
+
+	engine := newTestWorld(1)
+	f := engine.flowBetween(0, Spec{Model: CBR, Bytes: 1000, Interval: 25 * time.Millisecond})
+	f.Start()
+	engine.eng.RunUntil(run)
+
+	if legacy.cl.Stats.RxData != engine.cl.Stats.RxData {
+		t.Errorf("delivered diverged: mac.CBR %d vs traffic CBR %d", legacy.cl.Stats.RxData, engine.cl.Stats.RxData)
+	}
+	if f.Tel.Delivered != engine.cl.Stats.RxData {
+		t.Errorf("telemetry Delivered %d != client RxData %d", f.Tel.Delivered, engine.cl.Stats.RxData)
+	}
+	if f.Tel.Generated != c.Sent {
+		t.Errorf("Generated %d != mac.CBR Sent %d", f.Tel.Generated, c.Sent)
+	}
+}
+
+// TestFlowDeterminism: every model's telemetry is a pure function of
+// (world seed, spec) — two identical runs agree exactly.
+func TestFlowDeterminism(t *testing.T) {
+	for _, m := range Models() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			run := func() Telemetry {
+				w := newTestWorld(7)
+				f := w.flowBetween(0, Spec{Model: m, Seed: 99})
+				f.Start()
+				w.eng.RunUntil(8 * time.Second)
+				return f.Tel
+			}
+			a, b := run(), run()
+			if a.Delivered != b.Delivered || a.Generated != b.Generated ||
+				a.DelayP95() != b.DelayP95() || a.Jitter() != b.Jitter() {
+				t.Errorf("telemetry diverged between identical runs: %+v vs %+v", a, b)
+			}
+			if a.Delivered == 0 {
+				t.Errorf("model %v delivered nothing", m)
+			}
+		})
+	}
+}
+
+// TestPoissonSeedMatters: a different generator seed must yield a
+// different realization (the RNG is per-flow, not global).
+func TestPoissonSeedMatters(t *testing.T) {
+	run := func(seed int64) int {
+		w := newTestWorld(7)
+		f := w.flowBetween(0, Spec{Model: Poisson, Seed: seed})
+		f.Start()
+		w.eng.RunUntil(8 * time.Second)
+		return f.Tel.Delivered
+	}
+	if run(1) == run(2) {
+		t.Errorf("different seeds produced identical Poisson deliveries")
+	}
+}
+
+// TestBurstDutyCycle: ON/OFF gating must throttle the flow to roughly
+// MeanOn/(MeanOn+MeanOff) of the equivalent CBR rate.
+func TestBurstDutyCycle(t *testing.T) {
+	const run = 30 * time.Second
+	cbr := newTestWorld(3)
+	fc := cbr.flowBetween(0, Spec{Model: CBR, Interval: 10 * time.Millisecond})
+	fc.Start()
+	cbr.eng.RunUntil(run)
+
+	burst := newTestWorld(3)
+	fb := burst.flowBetween(0, Spec{
+		Model: Burst, Interval: 10 * time.Millisecond,
+		MeanOn: 200 * time.Millisecond, MeanOff: 600 * time.Millisecond, Seed: 5,
+	})
+	fb.Start()
+	burst.eng.RunUntil(run)
+
+	frac := float64(fb.Tel.Delivered) / float64(fc.Tel.Delivered)
+	if frac < 0.10 || frac > 0.55 {
+		t.Errorf("burst delivered %.2f of CBR, want around the 0.25 duty cycle", frac)
+	}
+}
+
+// TestWebClosedLoop: requests elicit pages; every delivered page closes
+// the loop and schedules the next request.
+func TestWebClosedLoop(t *testing.T) {
+	w := newTestWorld(11)
+	f := w.flowBetween(0, Spec{Model: Web, Seed: 13})
+	f.Start()
+	w.eng.RunUntil(20 * time.Second)
+	if f.Tel.Requests < 5 {
+		t.Fatalf("only %d requests in 20 s; closed loop stalled", f.Tel.Requests)
+	}
+	if f.Tel.Delivered < (f.Tel.Requests-1)*f.Spec.ReplyPackets {
+		t.Errorf("delivered %d replies for %d requests (page size %d); pages incomplete",
+			f.Tel.Delivered, f.Tel.Requests, f.Spec.ReplyPackets)
+	}
+	if f.Tel.DelayP50() <= 0 || f.Tel.DelayP95() < f.Tel.DelayP50() {
+		t.Errorf("delay percentiles inconsistent: p50 %v p95 %v", f.Tel.DelayP50(), f.Tel.DelayP95())
+	}
+}
+
+// TestWebSingleLoopUnderDrops: when pages keep timing out (replies
+// dropped by a tiny AP queue), the watchdog re-requests — but straggler
+// pages completing after a re-request must not fork extra request
+// loops. Request counts therefore stay near the watchdog cadence.
+func TestWebSingleLoopUnderDrops(t *testing.T) {
+	const run = 60 * time.Second
+	w := newTestWorld(8)
+	w.ap.SetQueueLimit(2)
+	f := w.flowBetween(0, Spec{Model: Web, ReplyPackets: 16, Seed: 21})
+	f.Start()
+	w.eng.RunUntil(run)
+	if f.Tel.QueueDropped == 0 {
+		t.Fatalf("2-frame AP queue under 16-packet pages dropped nothing; scenario not stressing the watchdog")
+	}
+	// One closed loop bounds requests by run/webTimeout plus the pages
+	// that do complete; forked loops blow well past it.
+	maxRequests := int(run/webTimeout) + f.Tel.Delivered/f.Spec.ReplyPackets + 2
+	if f.Tel.Requests > maxRequests {
+		t.Errorf("requests = %d exceeds single-loop bound %d; request loop forked", f.Tel.Requests, maxRequests)
+	}
+}
+
+// TestQueueDropAccounting: a tightened egress queue under overload must
+// surface as counted drops, and the counters must reconcile.
+func TestQueueDropAccounting(t *testing.T) {
+	w := newTestWorld(5)
+	w.ap.SetQueueLimit(4)
+	f := w.flowBetween(0, Spec{Model: CBR, Interval: time.Millisecond})
+	f.Start()
+	w.eng.RunUntil(5 * time.Second)
+	if f.Tel.QueueDropped == 0 {
+		t.Fatalf("1 ms CBR through a 4-frame queue dropped nothing")
+	}
+	if f.Tel.QueueDropped != w.ap.Stats.QueueDropped {
+		t.Errorf("flow drop count %d != node drop count %d", f.Tel.QueueDropped, w.ap.Stats.QueueDropped)
+	}
+	if f.Tel.Delivered+f.Tel.QueueDropped > f.Tel.Generated {
+		t.Errorf("counters overdeliver: %d delivered + %d dropped > %d generated",
+			f.Tel.Delivered, f.Tel.QueueDropped, f.Tel.Generated)
+	}
+	if f.Tel.DropRate() <= 0 {
+		t.Errorf("DropRate = %v, want > 0", f.Tel.DropRate())
+	}
+}
+
+// TestUplinkOrientation: Uplink flows send client->AP and report the
+// "up" direction in their record.
+func TestUplinkOrientation(t *testing.T) {
+	w := newTestWorld(9)
+	f := w.flowBetween(0, Spec{Model: Poisson, Uplink: true, Seed: 3})
+	f.Start()
+	w.eng.RunUntil(5 * time.Second)
+	if !f.Uplink() {
+		t.Errorf("Uplink() = false for a client->AP flow")
+	}
+	rec := f.Record(5 * time.Second)
+	if rec.Direction != "up" || rec.Src != w.cl.ID || rec.Dst != w.ap.ID {
+		t.Errorf("record direction/endpoints wrong: %+v", rec)
+	}
+	if w.ap.Stats.RxData != f.Tel.Delivered {
+		t.Errorf("AP received %d, flow delivered %d", w.ap.Stats.RxData, f.Tel.Delivered)
+	}
+	if rec.GoodputMbps <= 0 {
+		t.Errorf("uplink goodput = %v, want > 0", rec.GoodputMbps)
+	}
+}
+
+// TestDelayPlausible: on an idle channel the per-packet delay must be
+// at least the frame airtime and well under the CBR interval.
+func TestDelayPlausible(t *testing.T) {
+	w := newTestWorld(2)
+	f := w.flowBetween(0, Spec{Model: CBR})
+	f.Start()
+	w.eng.RunUntil(10 * time.Second)
+	air := f.Spec.AirtimeOf(w.ap.Channel().Width)
+	if f.Tel.DelayP50() < air {
+		t.Errorf("p50 delay %v below one frame airtime %v", f.Tel.DelayP50(), air)
+	}
+	if f.Tel.DelayP95() > f.Spec.Interval {
+		t.Errorf("p95 delay %v exceeds the CBR interval on an idle channel", f.Tel.DelayP95())
+	}
+	if f.Tel.MeanDelay() <= 0 {
+		t.Errorf("mean delay = %v", f.Tel.MeanDelay())
+	}
+}
+
+// TestMixSpecs: the mix materializer is deterministic, cycles models,
+// and hits the requested uplink fraction on average.
+func TestMixSpecs(t *testing.T) {
+	m := Mix{Models: []Model{CBR, Web}, UplinkFrac: 0.5, Seed: 4}
+	a, b := m.Specs(40), m.Specs(40)
+	up := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spec %d diverged between identical calls", i)
+		}
+		if a[i].Model != []Model{CBR, Web}[i%2] {
+			t.Errorf("spec %d model = %v, want cycling", i, a[i].Model)
+		}
+		if a[i].Uplink {
+			up++
+		}
+	}
+	if up < 10 || up > 30 {
+		t.Errorf("uplink count %d/40 far from the 0.5 fraction", up)
+	}
+}

@@ -2,10 +2,11 @@
 # mdcheck.sh — markdown link check for the repository documents.
 #
 # Usage:
-#   scripts/mdcheck.sh [file.md ...]     # default: README DESIGN EXPERIMENTS
+#   scripts/mdcheck.sh [file.md ...]     # default: README DESIGN EXPERIMENTS TUTORIAL
 #
 # For every [text](target) link it verifies:
-#   - relative file targets exist (fragment stripped), and
+#   - relative file targets exist (fragment stripped, resolved against
+#     the document's own directory), and
 #   - same-file #anchors match a heading (github-style slug: lowercase,
 #     spaces to dashes, punctuation dropped).
 # External http(s) targets are skipped — CI must not depend on the
@@ -16,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 files=("$@")
 if [ ${#files[@]} -eq 0 ]; then
-    files=(README.md DESIGN.md EXPERIMENTS.md)
+    files=(README.md DESIGN.md EXPERIMENTS.md docs/TUTORIAL.md)
 fi
 
 bad=0
@@ -46,7 +47,7 @@ for f in "${files[@]}"; do
             ;;
         *)
             path=${target%%#*}
-            if [ -n "$path" ] && [ ! -e "$path" ]; then
+            if [ -n "$path" ] && [ ! -e "$(dirname "$f")/$path" ]; then
                 echo "mdcheck: $f: broken link '$target'"
                 bad=1
             fi
