@@ -168,6 +168,15 @@ func BenchmarkMixedTrafficDenseCity(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultStorm runs the fault-injection storm sweep: seeded AP
+// crash/restart cycles, scanner stalls, overload bursts and
+// Gilbert–Elliott loss vs goodput retained, MTTR and p95 outage.
+func BenchmarkFaultStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printish(i, exp.FaultStormTable(1).String())
+	}
+}
+
 func BenchmarkAblationSIFTWindow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		printish(i, exp.AblationSIFTWindow(3).String())

@@ -10,8 +10,10 @@
 // fig12, fig13, fig14, the ablations ablation-window, ablation-mcham,
 // ablation-jsift, ablation-hysteresis, ablation-weight, and the
 // beyond-the-paper scenarios driveby, roaming, mic-churn, densecity,
-// mixedtraffic (per-flow telemetry under generated flow mixes) and
-// densecity-traffic (the city sweep crossed with traffic mixes).
+// mixedtraffic (per-flow telemetry under generated flow mixes),
+// densecity-traffic (the city sweep crossed with traffic mixes) and
+// faultstorm (injected AP crashes, scanner stalls, overload and bursty
+// loss vs goodput retained and MTTR).
 package main
 
 import (
@@ -67,6 +69,7 @@ func main() {
 		"densecity":         exp.DenseCityTable,
 		"mixedtraffic":      exp.MixedTrafficTable,
 		"densecity-traffic": exp.DenseCityTrafficTable,
+		"faultstorm":        exp.FaultStormTable,
 	}
 	order := []string{
 		"sec2.1", "fig2", "sec2.3", "fig5", "table1", "fig6", "fig7",
@@ -74,7 +77,7 @@ func main() {
 		"fig14", "ablation-window", "ablation-mcham", "ablation-jsift",
 		"ablation-hysteresis", "ablation-weight",
 		"driveby", "roaming", "mic-churn", "densecity",
-		"mixedtraffic", "densecity-traffic",
+		"mixedtraffic", "densecity-traffic", "faultstorm",
 	}
 
 	var ids []string

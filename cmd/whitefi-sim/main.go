@@ -9,6 +9,7 @@
 //	whitefi-sim -topology star -range 200 -clients 4
 //	whitefi-sim -topology star -mobility rwp -speed 15 -mic-duty 0.2
 //	whitefi-sim -dense 334 -duration 30s
+//	whitefi-sim -faults -fault-rate 2 -duration 120s
 //	whitefi-sim -json | jq .goodput_mbps
 //
 // The default topology is "colocated": every node in perfect range on
@@ -46,6 +47,16 @@
 // table at the end, or as one "flow" JSON record per flow with -json.
 // -dense accepts the same two flags (backlog selects the dense
 // scenario's default CBR).
+//
+// -faults arms the deterministic fault injector (internal/fault)
+// against the AP: seeded crash/restart cycles, scanner stalls and
+// overload bursts, plus a Gilbert–Elliott bursty-loss overlay on the
+// medium. -fault-rate scales the schedule (1 = default, 2 = twice as
+// violent) and -fault-seed fixes the fault realisation independently of
+// -seed (0 derives it from -seed). Fault events and the per-client
+// outage episodes (cause, duration, rendezvous path) are printed after
+// the run — or emitted live as "fault" and "outage" JSON lines with
+// -json — together with MTTR and p95 outage aggregates.
 package main
 
 import (
@@ -59,6 +70,7 @@ import (
 	"whitefi/internal/core"
 	"whitefi/internal/dynamics"
 	"whitefi/internal/exp"
+	"whitefi/internal/fault"
 	"whitefi/internal/incumbent"
 	"whitefi/internal/mac"
 	"whitefi/internal/radio"
@@ -98,6 +110,15 @@ type micRecord struct {
 	T       float64 `json:"t_s"`
 	Channel string  `json:"channel"`
 	Active  bool    `json:"active"`
+}
+
+// faultRecord is one -json injected-fault line.
+type faultRecord struct {
+	Event  string  `json:"event"`
+	T      float64 `json:"t_s"`
+	Kind   string  `json:"kind"`
+	Target int     `json:"target"`
+	DurS   float64 `json:"dur_s"`
 }
 
 // switchRecord is one -json switch-log line.
@@ -210,6 +231,9 @@ func main() {
 	denseAPs := flag.Int("dense", 0, "run the city-scale dense-deployment scenario with this many APs (2 clients each) instead of the single-BSS scenario; -duration, -seed, -mic-duty, -traffic and -uplink-frac apply")
 	trafficModel := flag.String("traffic", "backlog", "per-client flow model: backlog (legacy saturating downlink) | cbr | poisson | burst | web | mixed (cycle all four)")
 	uplinkFrac := flag.Float64("uplink-frac", 0, "fraction of generated flows reversed client -> AP (traffic engine models only)")
+	faults := flag.Bool("faults", false, "inject seeded faults against the AP: crash/restart cycles, scanner stalls, overload bursts and bursty frame loss")
+	faultRate := flag.Float64("fault-rate", 1, "fault schedule scale: 1 = default means, 2 = twice as many faults")
+	faultSeed := flag.Int64("fault-seed", 0, "seed of the fault realisation (0 = derive from -seed)")
 	jsonOut := flag.Bool("json", false, "emit the periodic trace as JSON lines instead of text")
 	flag.Parse()
 
@@ -299,6 +323,28 @@ func main() {
 		net.StartTraffic(mix.Specs(*clients), 128)
 	} else {
 		net.StartDownlink(1000)
+	}
+
+	// Fault injection: seeded crash/stall/overload processes against the
+	// AP plus a Gilbert–Elliott loss overlay on the medium. Outage
+	// episodes stream out as JSON lines the moment they close; the fault
+	// events themselves are reported after the run from inj.Events.
+	var inj *fault.Injector
+	if *faults {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed*6151 + 11
+		}
+		inj = fault.NewInjector(eng, fault.Config{Seed: fseed, Rate: *faultRate})
+		inj.AddTarget(net.AP.ID, net.AP)
+		inj.Start()
+		ge := fault.NewGilbertElliott(eng, air, fault.GEConfig{LossBad: 0.35}, fseed*31+7)
+		ge.Start()
+		if em != nil {
+			for _, c := range net.Clients {
+				c.OnOutage = func(r trace.OutageRecord) { em.Emit(r) }
+			}
+		}
 	}
 
 	// Observe every mic transition (after the AP and clients hooked
@@ -443,6 +489,20 @@ func main() {
 		for _, f := range net.Flows {
 			em.Emit(f.Record(*duration))
 		}
+		if inj != nil {
+			for _, e := range inj.Events {
+				em.Emit(faultRecord{
+					Event: "fault", T: e.At.Seconds(),
+					Kind: e.Kind, Target: e.Target, DurS: e.Dur.Seconds(),
+				})
+			}
+			// Orphans: episodes still open when the run ended.
+			for _, c := range net.Clients {
+				if open, ok := c.OpenOutage(); ok {
+					em.Emit(open)
+				}
+			}
+		}
 		if err := em.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "json trace: %v\n", err)
 			os.Exit(1)
@@ -452,6 +512,27 @@ func main() {
 	fmt.Println("\nswitch log:")
 	for _, s := range net.AP.Switches {
 		fmt.Printf("  %8s  %-14v -> %-14v  %s (metric %.2f)\n", s.At, s.From, s.To, s.Reason, s.Metric)
+	}
+	if inj != nil {
+		fmt.Println("\nfault log:")
+		for _, e := range inj.Events {
+			fmt.Printf("  %s\n", e.Line())
+		}
+		var recs []trace.OutageRecord
+		open := 0
+		for _, c := range net.Clients {
+			recs = append(recs, c.Outages...)
+			if o, ok := c.OpenOutage(); ok {
+				recs = append(recs, o)
+				open++
+			}
+		}
+		fmt.Println("\noutage log:")
+		for _, r := range recs {
+			fmt.Printf("  %s\n", r.Line())
+		}
+		fmt.Printf("\noutages: %d closed, %d open   mttr=%.0f ms   p95=%.0f ms\n",
+			len(recs)-open, open, trace.MTTRMs(recs), trace.OutageP95Ms(recs))
 	}
 	if len(net.Flows) > 0 {
 		t := &trace.Table{

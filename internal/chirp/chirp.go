@@ -77,7 +77,17 @@ type Chirper struct {
 
 	eng     *sim.Engine
 	running bool
+	next    *sim.Event
 	Sent    int
+
+	// Exponential-backoff state (see EnableBackoff). unanswered counts
+	// chirps since the last ResetBackoff (or since Start).
+	backoffAfter int
+	backoffCap   time.Duration
+	jitterFrac   float64
+	rng          *rand.Rand
+	unanswered   int
+	steady       bool
 }
 
 // NewChirper creates a stopped chirper.
@@ -95,10 +105,77 @@ func (c *Chirper) Start() {
 }
 
 // Stop halts chirping.
-func (c *Chirper) Stop() { c.running = false }
+func (c *Chirper) Stop() {
+	c.running = false
+	c.eng.Cancel(c.next)
+	c.next = nil
+}
+
+// Poke answers evidence that the chirper's network is present on this
+// channel (e.g. the AP's own chirp was heard): it resets backoff and
+// chirps again immediately, replacing the pending backed-off tick so a
+// rendezvous completes within the AP's short collection window instead
+// of waiting out a multi-second backoff interval.
+func (c *Chirper) Poke() {
+	if !c.running {
+		return
+	}
+	c.unanswered = 0
+	c.eng.Cancel(c.next)
+	c.tick()
+}
 
 // Running reports whether the chirper is active.
 func (c *Chirper) Running() bool { return c.running }
+
+// EnableBackoff arms exponential backoff on the chirp period: once
+// after consecutive chirps have gone unanswered, the interval doubles
+// per further chirp up to cap, with a uniform seeded jitter of up to
+// jitterFrac of the interval added from rng. Backoff breaks the
+// livelock of several fixed-period chirpers colliding in lockstep
+// against a stalled AP scanner, while the first after chirps keep the
+// benign fast-recovery path exactly as without backoff. A nil rng
+// disables the jitter.
+func (c *Chirper) EnableBackoff(after int, capAt time.Duration, jitterFrac float64, rng *rand.Rand) {
+	c.backoffAfter = after
+	c.backoffCap = capAt
+	c.jitterFrac = jitterFrac
+	c.rng = rng
+}
+
+// ResetBackoff restarts the backoff schedule (e.g. after rotating to a
+// fresh channel, where fast initial chirps are worth trying again).
+func (c *Chirper) ResetBackoff() { c.unanswered = 0 }
+
+// SetSteady suspends (true) or resumes (false) the backoff schedule
+// without touching its parameters. Steady cadence is for a rendezvous
+// channel a listener is known to watch periodically: at the edge of
+// scanner range individual chirp pulses erode below the detection
+// threshold and each scan window is a low-probability trial, so
+// detectability there scales with chirp density — while a chirp is only
+// ~1% duty cycle at the base period, far too little airtime to be worth
+// conserving on an otherwise idle backup channel. Speculative channels
+// (nobody may ever listen) keep the backoff.
+func (c *Chirper) SetSteady(on bool) { c.steady = on }
+
+// nextPeriod returns the interval until the next chirp under the
+// current backoff state.
+func (c *Chirper) nextPeriod() time.Duration {
+	p := c.Period
+	if c.steady || c.backoffAfter <= 0 || c.unanswered < c.backoffAfter {
+		return p
+	}
+	for i := c.backoffAfter; i < c.unanswered && p < c.backoffCap; i++ {
+		p *= 2
+	}
+	if c.backoffCap > 0 && p > c.backoffCap {
+		p = c.backoffCap
+	}
+	if c.rng != nil && c.jitterFrac > 0 {
+		p += time.Duration(c.jitterFrac * c.rng.Float64() * float64(p))
+	}
+	return p
+}
 
 func (c *Chirper) tick() {
 	if !c.running {
@@ -106,5 +183,6 @@ func (c *Chirper) tick() {
 	}
 	c.Node.Send(Frame(c.Node.ID, c.SSID, c.MapFn(), c.Code))
 	c.Sent++
-	c.eng.After(c.Period, c.tick)
+	c.unanswered++
+	c.next = c.eng.After(c.nextPeriod(), c.tick)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"time"
 
 	"whitefi/internal/assign"
@@ -12,6 +13,29 @@ import (
 	"whitefi/internal/radio"
 	"whitefi/internal/sim"
 	"whitefi/internal/spectrum"
+	"whitefi/internal/trace"
+)
+
+// Chirp-recovery hardening parameters (see goToBackup and rotateBackup).
+const (
+	// chirpBackoffAfter is how many consecutive unanswered chirps the
+	// fixed DefaultPeriod cadence is kept before exponential backoff
+	// engages. Benign recoveries resolve well within this budget, so
+	// the fast path is timing-identical to the unhardened protocol.
+	chirpBackoffAfter = 6
+	// chirpBackoffCap bounds the backed-off chirp period. It stays
+	// under the AP's BackupScanPeriod so every scan window still
+	// contains at least one chirp.
+	chirpBackoffCap = 1600 * time.Millisecond
+	// chirpJitterFrac is the uniform jitter fraction added to a
+	// backed-off period, desynchronising chirpers that entered backoff
+	// in lockstep.
+	chirpJitterFrac = 0.25
+	// rotateDwell is how long a disconnected client chirps on one
+	// channel unanswered before rotating to the next rendezvous
+	// candidate. It exceeds the AP's BackupScanPeriod by a comfortable
+	// margin, so a live AP always gets a chance to find us first.
+	rotateDwell = 8 * time.Second
 )
 
 // Client is a WhiteFi client station.
@@ -36,11 +60,28 @@ type Client struct {
 
 	onBackup bool
 	chirper  *chirp.Chirper
+	// rng drives the client's own seeded choices (secondary-backup
+	// picks, rotation order, chirp jitter) so its recovery realisation
+	// is a pure function of (id, seed-independent construction), not of
+	// whatever else consumes the engine RNG.
+	rng *rand.Rand
+
+	// Outage episode state (see openOutage/closeOutage).
+	outOpen    bool
+	outStart   time.Duration
+	outCause   string
+	outPath    []string
+	episodeGen int // invalidates rotation timers of closed episodes
 
 	// Reconnections counts recoveries from disconnection.
 	Reconnections int
 	// Disconnects counts entries into the disconnected state.
 	Disconnects int
+	// Outages records every completed disconnection episode, in order.
+	Outages []trace.OutageRecord
+	// OnOutage, when non-nil, is invoked for each completed episode —
+	// the JSON-trace emission hook (event "outage").
+	OnOutage func(trace.OutageRecord)
 
 	running bool
 }
@@ -59,6 +100,7 @@ func NewClient(eng *sim.Engine, air *mac.Air, id int, cfg Config, sensor *radio.
 		Scanner: radio.NewScanner(air, id, rand.New(rand.NewSource(int64(id)*104729+3))),
 		Sensor:  sensor,
 		apID:    ap.ID,
+		rng:     rand.New(rand.NewSource(int64(id)*60013 + 17)),
 	}
 	c.ssidCode = discovery.ChirpValue(cfg.SSID)
 	c.apChannel = ap.Channel()
@@ -88,6 +130,22 @@ func (c *Client) Associated() bool { return c.associated && !c.onBackup }
 // Channel returns the client's current channel.
 func (c *Client) Channel() spectrum.Channel { return c.Node.Channel() }
 
+// OpenOutage returns the outage episode still in progress, if any: the
+// record of a client that never made it back — Cause and Path filled,
+// end fields zero. Scenario aggregates count these as orphans.
+func (c *Client) OpenOutage() (trace.OutageRecord, bool) {
+	if !c.outOpen {
+		return trace.OutageRecord{}, false
+	}
+	return trace.OutageRecord{
+		Event:   "outage",
+		Node:    c.ID,
+		Cause:   c.outCause,
+		StartMs: float64(c.outStart) / float64(time.Millisecond),
+		Path:    strings.Join(c.outPath, ">"),
+	}, true
+}
+
 func (c *Client) associate() {
 	c.Node.Send(phy.Frame{Kind: phy.KindAssocReq, Src: c.ID, Dst: c.apID,
 		Bytes: 60, Meta: AssocMeta{SSID: c.Cfg.SSID}})
@@ -100,6 +158,42 @@ func (c *Client) observe() assign.Observation {
 		from = 0
 	}
 	return radio.Observe(c.Airtime, c.Sensor.CurrentMap(), from, to, -1)
+}
+
+// openOutage starts an outage episode (idempotent while one is open).
+func (c *Client) openOutage(cause string) {
+	if c.outOpen {
+		return
+	}
+	c.outOpen = true
+	c.outStart = c.eng.Now()
+	c.outCause = cause
+	c.outPath = nil
+	c.Disconnects++
+}
+
+// closeOutage completes the open episode: service has resumed.
+func (c *Client) closeOutage() {
+	if !c.outOpen {
+		return
+	}
+	c.outOpen = false
+	c.episodeGen++
+	start := float64(c.outStart) / float64(time.Millisecond)
+	end := float64(c.eng.Now()) / float64(time.Millisecond)
+	rec := trace.OutageRecord{
+		Event:   "outage",
+		Node:    c.ID,
+		Cause:   c.outCause,
+		StartMs: start,
+		EndMs:   end,
+		DurMs:   end - start,
+		Path:    strings.Join(c.outPath, ">"),
+	}
+	c.Outages = append(c.Outages, rec)
+	if c.OnOutage != nil {
+		c.OnOutage(rec)
+	}
 }
 
 func (c *Client) receive(f phy.Frame, _ *mac.Transmission) {
@@ -126,6 +220,7 @@ func (c *Client) receive(f phy.Frame, _ *mac.Transmission) {
 		if !c.associated {
 			c.associate()
 		}
+		c.closeOutage()
 	case phy.KindAssocResp:
 		if m, ok := f.Meta.(AssocMeta); ok && m.SSID == c.Cfg.SSID {
 			c.associated = true
@@ -145,7 +240,7 @@ func (c *Client) receive(f phy.Frame, _ *mac.Transmission) {
 		if c.Sensor.MicActiveOn(m.Target) || !c.Sensor.CurrentMap().ChannelFree(m.Target) {
 			if !c.onBackup {
 				c.backup = m.Backup
-				c.goToBackup()
+				c.goToBackup("switch-blocked")
 			}
 			return
 		}
@@ -159,6 +254,19 @@ func (c *Client) receive(f phy.Frame, _ *mac.Transmission) {
 		c.lastBeacon = c.eng.Now()
 		if wasBackup {
 			c.Reconnections++
+		}
+		c.closeOutage()
+	case phy.KindChirp:
+		// The AP chirps while camped on a rendezvous channel. Hearing our
+		// own AP here means it is listening right now: answer immediately
+		// instead of waiting out a backed-off chirp interval, so the
+		// exchange completes inside the AP's bounded collection window.
+		m, ok := f.Meta.(chirp.Meta)
+		if !ok || m.SSID != c.Cfg.SSID || m.Node != c.apID || !c.onBackup {
+			return
+		}
+		if c.chirper != nil && c.chirper.Running() {
+			c.chirper.Poke()
 		}
 	}
 }
@@ -178,8 +286,9 @@ func (c *Client) controlTick() {
 
 // beaconWatchTick detects disconnection: no beacon (or switch) heard for
 // BeaconTimeout means the AP has moved (e.g. it sensed a mic we cannot
-// hear, or we missed the switch announcement). The client reverts to the
-// disconnection protocol: go to the backup channel and chirp.
+// hear, or we missed the switch announcement) or died. The client
+// reverts to the disconnection protocol: go to the backup channel and
+// chirp.
 func (c *Client) beaconWatchTick() {
 	if !c.running {
 		return
@@ -189,7 +298,7 @@ func (c *Client) beaconWatchTick() {
 		return
 	}
 	if c.eng.Now()-c.lastBeacon > c.Cfg.BeaconTimeout {
-		c.goToBackup()
+		c.goToBackup("beacon-timeout")
 	}
 }
 
@@ -207,40 +316,113 @@ func (c *Client) watchMics() {
 }
 
 func (c *Client) micChanged(u spectrum.UHF, active bool) {
-	if !c.running || !active || c.onBackup {
+	if !c.running || !active {
+		return
+	}
+	if c.onBackup {
+		// A mic landing on the very channel we are chirping on: no AP
+		// will ever rendezvous here. Rotate immediately instead of
+		// chirping under an incumbent until the dwell timer notices.
+		if c.Node.Channel().Contains(u) {
+			c.rotateBackup()
+		}
 		return
 	}
 	if c.Node.Channel().Contains(u) {
 		// Incumbent on the operating channel: vacate at once. No
 		// farewell frame is permitted — that is the whole point of the
 		// chirping protocol.
-		c.goToBackup()
+		c.goToBackup("mic")
 	}
 }
 
 // goToBackup moves to the (possibly secondary) backup channel and chirps
 // until the AP shows up and reassigns the network.
-func (c *Client) goToBackup() {
-	c.Disconnects++
+func (c *Client) goToBackup(cause string) {
+	c.openOutage(cause)
 	target := c.backup
 	m := c.Sensor.CurrentMap()
 	if target == (spectrum.Channel{}) || !m.ChannelFree(target) {
 		// The backup channel itself is occupied by an incumbent:
 		// choose an arbitrary free channel as a secondary backup; the
 		// AP's periodic all-channel scan will find us (Section 4.3).
-		if alt, ok := chirp.ChooseBackup(m, c.apChannel, c.eng.Rand()); ok {
+		if alt, ok := chirp.ChooseBackup(m, c.apChannel, c.rng); ok {
 			target = alt
 		} else {
-			return // nowhere to go; keep waiting
+			return // nowhere to go; the beacon watch keeps retrying
 		}
 	}
-	c.Node.ClearQueue()
-	c.Node.Retune(target)
-	c.onBackup = true
+	c.moveChirpTo(target)
 	c.chirper = chirp.NewChirper(c.eng, c.Node, c.Cfg.SSID, c.ssidCode, func() spectrum.Map {
 		return c.Sensor.CurrentMap()
 	})
+	c.chirper.EnableBackoff(chirpBackoffAfter, chirpBackoffCap, chirpJitterFrac, c.rng)
+	c.chirper.SetSteady(target == c.backup)
 	c.chirper.Start()
+}
+
+// moveChirpTo retunes the disconnected client to a rendezvous channel,
+// records it on the outage path, and (re)arms the rotation dwell timer.
+func (c *Client) moveChirpTo(target spectrum.Channel) {
+	c.Node.ClearQueue()
+	c.Node.Retune(target)
+	c.onBackup = true
+	c.outPath = append(c.outPath, target.String())
+	c.armRotateDwell(target)
+}
+
+// armRotateDwell schedules the next rendezvous re-evaluation for a
+// client camped on target. The episode generation guards against timers
+// surviving into a later disconnection episode.
+func (c *Client) armRotateDwell(target spectrum.Channel) {
+	gen := c.episodeGen
+	c.eng.After(rotateDwell, func() {
+		if c.running && c.onBackup && c.episodeGen == gen && c.Node.Channel() == target {
+			c.rotateBackup()
+		}
+	})
+}
+
+// rotateBackup re-evaluates the rendezvous channel after a full dwell
+// of unanswered chirping. On the advertised backup channel — which the
+// AP checks every BackupScanPeriod, making it the best bet while free —
+// the client camps: it stays put at the steady chirp cadence and only
+// re-checks that the channel is still incumbent-free. Anywhere else
+// (the advertised backup was mic-hit, or this is already a speculative
+// channel) the search escalates: return to the advertised backup if it
+// has come free again, otherwise hop to a seeded random free channel,
+// which the AP's full scan sweeps every FullScanPeriod. Chirp backoff
+// resets on each hop: a fresh channel deserves fast initial chirps.
+func (c *Client) rotateBackup() {
+	if !c.running || !c.onBackup {
+		return
+	}
+	m := c.Sensor.CurrentMap()
+	cur := c.Node.Channel()
+	if cur == c.backup && m.ChannelFree(cur) {
+		c.armRotateDwell(cur)
+		return
+	}
+	var target spectrum.Channel
+	if c.backup != (spectrum.Channel{}) && c.backup != cur && m.ChannelFree(c.backup) {
+		target = c.backup
+	} else {
+		var candidates []spectrum.Channel
+		for _, ch := range spectrum.ChannelsOfWidth(spectrum.W5) {
+			if ch != cur && m.ChannelFree(ch) {
+				candidates = append(candidates, ch)
+			}
+		}
+		if len(candidates) == 0 {
+			return // fully blocked spectrum; stay and keep chirping
+		}
+		target = candidates[c.rng.Intn(len(candidates))]
+	}
+	c.moveChirpTo(target)
+	if c.chirper != nil {
+		c.chirper.ResetBackoff()
+		c.chirper.SetSteady(target == c.backup)
+	}
 }
 
 func (c *Client) stopChirping() {

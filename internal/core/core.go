@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"whitefi/internal/assign"
@@ -38,6 +39,11 @@ type Config struct {
 	ChirpCollect     time.Duration // Tc: chirp collection before reassign
 	BeaconTimeout    time.Duration // client disconnect detection
 	Hysteresis       float64
+	// Shedding enables per-flow longest-queue-drop admission at the
+	// AP's egress queue (mac.Node.SetShedding) instead of the default
+	// indiscriminate tail drop — the graceful-degradation half of the
+	// overload fault model.
+	Shedding bool
 }
 
 func (c *Config) fill() {
@@ -103,6 +109,7 @@ const (
 	SwitchVoluntary
 	SwitchIncumbent
 	SwitchRevert
+	SwitchRestart
 )
 
 // String names the switch reason for traces and logs.
@@ -116,6 +123,8 @@ func (r SwitchReason) String() string {
 		return "incumbent"
 	case SwitchRevert:
 		return "revert"
+	case SwitchRestart:
+		return "restart"
 	}
 	return "unknown"
 }
@@ -165,10 +174,16 @@ type AP struct {
 	collectRetries    int
 	apSensedIncumbent bool
 	chirpMaps         []spectrum.Map
+	chirpSeen         map[int]bool // nodes whose chirp body this collection already holds
 	chirper           *chirp.Chirper
 	switchGen         int  // invalidates stale switch announcements
 	switchPending     bool // a switch is announced but not yet executed
 	lastSwitchDone    time.Duration
+
+	// Fault state (see Crash, Restart, StallScanner).
+	incarnation  int // invalidates events scheduled before a crash
+	crashed      bool
+	stalledUntil time.Duration
 
 	// Voluntary-switch revert bookkeeping.
 	lastGoodput   float64
@@ -181,6 +196,10 @@ type AP struct {
 	Switches []SwitchEvent
 	// Reconnections counts completed disconnection recoveries.
 	Reconnections int
+	// Crashes counts injected crashes (see Crash).
+	Crashes int
+	// Stalls counts injected scanner stalls (see StallScanner).
+	Stalls int
 
 	running bool
 }
@@ -225,17 +244,145 @@ func NewAP(eng *sim.Engine, air *mac.Air, id int, cfg Config, sensor *radio.Incu
 	ap.pickBackup()
 	ap.Switches = append(ap.Switches, SwitchEvent{At: eng.Now(), To: ch, Reason: SwitchInitial, Metric: sel.Metric})
 
+	if cfg.Shedding {
+		ap.Node.SetShedding(true)
+	}
 	ap.running = true
 	ap.WatchMics()
-	ap.beaconTick()
-	eng.After(cfg.ProbePeriod, ap.probeTick)
-	eng.After(cfg.BackupScanPeriod, ap.backupScanTick)
-	eng.After(cfg.FullScanPeriod, ap.fullScanTick)
+	ap.startTicks()
 	return ap
+}
+
+// startTicks seeds the protocol's periodic chains for the current
+// incarnation.
+func (a *AP) startTicks() {
+	a.beaconTick()
+	a.afterInc(a.Cfg.ProbePeriod, a.probeTick)
+	a.afterInc(a.Cfg.BackupScanPeriod, a.backupScanTick)
+	a.afterInc(a.Cfg.FullScanPeriod, a.fullScanTick)
+}
+
+// afterInc schedules fn gated on the AP's current incarnation: events
+// scheduled before a crash must not fire into the state of a restarted
+// AP (stale Tc collection windows, orphaned tick chains).
+func (a *AP) afterInc(d time.Duration, fn func()) {
+	inc := a.incarnation
+	a.eng.After(d, func() {
+		if a.incarnation == inc {
+			fn()
+		}
+	})
+}
+
+// scheduleCollect arms the Tc chirp-collection window for the current
+// incarnation.
+func (a *AP) scheduleCollect() {
+	a.afterInc(a.Cfg.ChirpCollect, a.finishCollect)
 }
 
 // Stop halts all AP activity.
 func (a *AP) Stop() { a.running = false }
+
+// Crash simulates a sudden AP failure: the radio goes dark (the egress
+// queue is dropped, in-flight frames are disowned, receptions —
+// including client data awaiting ACKs — are ignored), beacons stop, and
+// all volatile protocol state is lost: associations, client
+// observations, any chirp-collection in progress, pending switch
+// announcements. Events scheduled before the crash are invalidated by
+// an incarnation bump so a later Restart cannot inherit them. Crashing
+// a stopped or already-crashed AP is a no-op.
+func (a *AP) Crash() {
+	if !a.running || a.crashed {
+		return
+	}
+	a.running = false
+	a.crashed = true
+	a.incarnation++
+	a.switchGen++
+	a.switchPending = false
+	a.onBackup = false
+	a.collecting = false
+	a.collectRetries = 0
+	a.apSensedIncumbent = false
+	a.chirpMaps = nil
+	a.chirpSeen = nil
+	a.pendingRevert = false
+	if a.chirper != nil {
+		a.chirper.Stop()
+		a.chirper = nil
+	}
+	a.clients = map[int]*clientState{}
+	a.Crashes++
+	a.Node.SetDown(true)
+}
+
+// Restart reboots a crashed AP: power the radio back on, rerun the
+// initial spectrum assignment from the AP's own observation (all
+// association and observation state died with the crash), and restart
+// the protocol tick chains. The advertised backup channel is retained
+// when still usable — it is the rendezvous point surviving clients
+// remember — so chirping clients are re-adopted through the ordinary
+// scan -> collect -> reassign path, each counted exactly once (the
+// collection window dedups chirp bodies by node). Mic subscriptions
+// installed at construction stay in place; they are not re-wrapped.
+// Restarting a running (or merely Stopped) AP is a no-op.
+func (a *AP) Restart() {
+	if a.running || !a.crashed {
+		return
+	}
+	a.crashed = false
+	a.incarnation++
+	a.running = true
+	a.selector = assign.Selector{Hysteresis: a.Cfg.Hysteresis}
+	a.Node.SetDown(false)
+	a.Node.SetHoldData(false)
+	obs := a.observe()
+	sel, _ := a.selector.Evaluate(obs, nil)
+	ch := sel.Channel
+	if !sel.OK {
+		ch = spectrum.Chan(0, spectrum.W5)
+	}
+	a.Node.Retune(ch)
+	a.lastSwitchDone = a.eng.Now() // chirps from before the reboot are stale
+	a.pickBackup()
+	a.Switches = append(a.Switches, SwitchEvent{At: a.eng.Now(), To: ch, Reason: SwitchRestart, Metric: sel.Metric})
+	a.startTicks()
+}
+
+// StallScanner silently disables the secondary-radio chirp scanner
+// until d from now: scans report nothing while stalled and, once
+// recovered, cannot retroactively decode chirps sent during the stall —
+// clients chirp into the void, the livelock the chirp backoff breaks.
+// Overlapping stalls extend to the furthest deadline.
+func (a *AP) StallScanner(d time.Duration) {
+	if until := a.eng.Now() + d; until > a.stalledUntil {
+		a.stalledUntil = until
+		a.Stalls++
+	}
+}
+
+// InjectLoad enqueues n data frames of the given payload size on the
+// AP's egress queue, round-robin over the associated clients in id
+// order — the overload-pressure fault: a burst of offered load arriving
+// faster than the medium drains it. The queue's overflow policy (tail
+// drop, or per-flow shedding when Config.Shedding is set) decides who
+// pays. Returns how many frames the queue accepted.
+func (a *AP) InjectLoad(n, bytes int) int {
+	if !a.running || a.onBackup {
+		return 0
+	}
+	ids := a.Clients()
+	if len(ids) == 0 {
+		return 0
+	}
+	accepted := 0
+	for i := 0; i < n; i++ {
+		if a.Node.Send(phy.DataFrame(a.ID, ids[i%len(ids)], bytes)) {
+			accepted++
+		}
+	}
+	return accepted
+}
 
 // Channel returns the AP's current operating channel.
 func (a *AP) Channel() spectrum.Channel { return a.Node.Channel() }
@@ -254,6 +401,7 @@ func (a *AP) Clients() []int {
 	for id := range a.clients {
 		out = append(out, id)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -273,8 +421,11 @@ func (a *AP) observe() assign.Observation {
 }
 
 func (a *AP) clientObs() []assign.Observation {
+	// Iterate in id order: observation aggregation must not depend on
+	// map iteration order, or per-seed runs stop being byte-identical.
 	var out []assign.Observation
-	for _, c := range a.clients {
+	for _, id := range a.Clients() {
+		c := a.clients[id]
 		if c.hasObs {
 			out = append(out, c.obs)
 		} else {
@@ -311,7 +462,7 @@ func (a *AP) beaconTick() {
 			Backup:  a.backup,
 		}))
 	}
-	a.eng.After(a.Cfg.BeaconInterval, a.beaconTick)
+	a.afterInc(a.Cfg.BeaconInterval, a.beaconTick)
 }
 
 // sent chains the CTS-to-self one SIFS after each beacon (the SIFT
@@ -354,10 +505,20 @@ func (a *AP) receive(f phy.Frame, _ *mac.Transmission) {
 			return
 		}
 		if m, ok := f.Meta.(chirp.Meta); ok && m.SSID == a.Cfg.SSID {
+			// One chirp body per node per collection: a node re-chirping
+			// inside the window (or re-adopted after an AP reboot) must
+			// not cast a double vote in the reassignment.
+			if a.chirpSeen[m.Node] {
+				return
+			}
+			if a.chirpSeen == nil {
+				a.chirpSeen = map[int]bool{}
+			}
+			a.chirpSeen[m.Node] = true
 			a.chirpMaps = append(a.chirpMaps, m.Map)
 			if !a.collecting {
 				a.collecting = true
-				a.eng.After(a.Cfg.ChirpCollect, a.finishCollect)
+				a.scheduleCollect()
 			}
 		}
 	}
@@ -371,7 +532,7 @@ func (a *AP) probeTick() {
 	if !a.running {
 		return
 	}
-	defer a.eng.After(a.Cfg.ProbePeriod, a.probeTick)
+	defer a.afterInc(a.Cfg.ProbePeriod, a.probeTick)
 	if a.onBackup {
 		return
 	}
@@ -441,6 +602,7 @@ func (a *AP) switchTo(target spectrum.Channel, reason SwitchReason, metric float
 			return
 		}
 		a.Node.ClearQueue()
+		a.Node.SetHoldData(false)
 		a.Node.Retune(target)
 		a.onBackup = false
 		a.switchPending = false
@@ -490,6 +652,7 @@ func (a *AP) vacateToBackup() {
 		a.pickBackup()
 	}
 	a.Node.ClearQueue()
+	a.Node.SetHoldData(true)
 	a.Node.Retune(a.backup)
 	a.onBackup = true
 	a.apSensedIncumbent = true
@@ -505,7 +668,7 @@ func (a *AP) vacateToBackup() {
 	}
 	if !a.collecting {
 		a.collecting = true
-		a.eng.After(a.Cfg.ChirpCollect, a.finishCollect)
+		a.scheduleCollect()
 	}
 }
 
@@ -526,7 +689,7 @@ func (a *AP) finishCollect() {
 	if !a.apSensedIncumbent && len(a.chirpMaps) == 0 && a.collectRetries < 4 {
 		a.collectRetries++
 		a.collecting = true
-		a.eng.After(a.Cfg.ChirpCollect, a.finishCollect)
+		a.scheduleCollect()
 		return
 	}
 	a.collectRetries = 0
@@ -548,12 +711,13 @@ func (a *AP) finishCollect() {
 		})
 	}
 	a.chirpMaps = nil
+	a.chirpSeen = nil
 	a.selector.Invalidate()
 	sel, _ := a.selector.Evaluate(obs, clientObs)
 	if !sel.OK {
 		// Nothing usable; retry after another collection window.
 		a.collecting = true
-		a.eng.After(a.Cfg.ChirpCollect, a.finishCollect)
+		a.scheduleCollect()
 		return
 	}
 	a.Reconnections++
@@ -566,7 +730,7 @@ func (a *AP) backupScanTick() {
 	if !a.running {
 		return
 	}
-	defer a.eng.After(a.Cfg.BackupScanPeriod, a.backupScanTick)
+	defer a.afterInc(a.Cfg.BackupScanPeriod, a.backupScanTick)
 	if a.onBackup || a.backup == (spectrum.Channel{}) {
 		return
 	}
@@ -582,13 +746,25 @@ func (a *AP) backupScanTick() {
 // joinBackup moves the main radio to a backup channel to collect chirps.
 func (a *AP) joinBackup(b spectrum.Channel) {
 	a.Node.ClearQueue()
+	a.Node.SetHoldData(true)
 	a.Node.Retune(b)
 	a.backup = b
 	a.onBackup = true
 	a.selector.Invalidate()
+	// Chirp here too: a lost client whose chirp cadence has backed off
+	// to multi-second intervals answers the AP's chirp immediately, so
+	// the rendezvous fits inside the Tc window instead of racing a
+	// backed-off timer against the AP's bounded stay.
+	if a.chirper == nil || !a.chirper.Running() {
+		a.chirper = chirp.NewChirper(a.eng, a.Node, a.Cfg.SSID, a.ssidCode, func() spectrum.Map {
+			return a.Sensor.CurrentMap()
+		})
+		a.chirper.Period = 150 * time.Millisecond
+		a.chirper.Start()
+	}
 	if !a.collecting {
 		a.collecting = true
-		a.eng.After(a.Cfg.ChirpCollect, a.finishCollect)
+		a.scheduleCollect()
 	}
 }
 
@@ -598,7 +774,7 @@ func (a *AP) fullScanTick() {
 	if !a.running {
 		return
 	}
-	defer a.eng.After(a.Cfg.FullScanPeriod, a.fullScanTick)
+	defer a.afterInc(a.Cfg.FullScanPeriod, a.fullScanTick)
 	if a.onBackup {
 		return
 	}
@@ -637,9 +813,17 @@ func chirpMatches(v, code int) bool {
 // that has already been resolved — and are excluded from the window.
 func (a *AP) scanForChirps(u spectrum.UHF) bool {
 	to := a.eng.Now()
+	if to < a.stalledUntil {
+		return false // secondary radio stalled (see StallScanner)
+	}
 	from := to - a.Cfg.BackupScanPeriod
 	if from < a.lastSwitchDone {
 		from = a.lastSwitchDone
+	}
+	// A recovered radio cannot retroactively see chirps sent while it
+	// was stalled.
+	if from < a.stalledUntil {
+		from = a.stalledUntil
 	}
 	if from < 0 {
 		from = 0

@@ -83,18 +83,26 @@ func (a *Activity) Stop() {
 	}
 }
 
-// holding draws an exponential holding time with the given mean,
-// clamped to at least a millisecond so degenerate means cannot wedge
-// the event loop.
-func (a *Activity) holding(mean time.Duration) time.Duration {
+// ExpHolding draws an exponential holding time with the given mean from
+// rng, clamped to at least a millisecond so degenerate means cannot
+// wedge the event loop. It is the Markov holding-time primitive shared
+// by Activity and the fault-injection processes: every such process
+// owns its RNG, so each realisation is a pure function of (seed, mean)
+// — the determinism contract of the parallel experiment harness.
+func ExpHolding(rng *rand.Rand, mean time.Duration) time.Duration {
 	if mean <= 0 {
 		return time.Millisecond
 	}
-	d := time.Duration(a.rng.ExpFloat64() * float64(mean))
+	d := time.Duration(rng.ExpFloat64() * float64(mean))
 	if d < time.Millisecond {
 		d = time.Millisecond
 	}
 	return d
+}
+
+// holding draws from the activity's own RNG.
+func (a *Activity) holding(mean time.Duration) time.Duration {
+	return ExpHolding(a.rng, mean)
 }
 
 func (a *Activity) flip() {

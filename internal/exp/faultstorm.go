@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"whitefi/internal/core"
+	"whitefi/internal/fault"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/trace"
+)
+
+// FaultStorm subjects a full WhiteFi BSS to a seeded storm of injected
+// faults — AP crash/restart cycles, scanner stalls, overload bursts and
+// a Gilbert–Elliott loss overlay — and measures what the hardened
+// recovery protocol retains. The sweep variable is the fault rate: 0 is
+// the fault-free baseline, 1 the default schedule, 2 twice as violent.
+// Each cell reports the crash count, goodput (absolute and as a
+// fraction of the fault-free baseline), the client-observed outage
+// distribution (MTTR and p95), and permanent orphans — clients still
+// disconnected after the storm ends and the network has had a full
+// drain window to recover. Under the default schedule the orphan count
+// must be zero: every crash ends in re-association.
+
+// faultStormRates is the fault-rate sweep of the storm scenario.
+var faultStormRates = []float64{0, 0.5, 1, 2}
+
+const (
+	// faultStormRun is the full virtual length of one storm cell.
+	faultStormRun = 150 * time.Second
+	// faultStormQuiesce is when injection stops; the remainder of the
+	// run is the drain window in which every outstanding outage must
+	// close. It is sized for the worst compounding case, not the mean:
+	// a beacon timeout can open an episode seconds *after* quiesce
+	// (the last crash's restart does not reset clients already starved),
+	// and a client that rotated its rendezvous channel mid-storm needs
+	// several rotateDwell periods plus a full scan to be found again —
+	// ~40 s end to end, observed at rate 2.
+	faultStormQuiesce = 95 * time.Second
+	// faultStormClients is the number of clients in the stormed BSS.
+	faultStormClients = 2
+	// faultStormQueue tightens the AP egress queue so overload bursts
+	// overflow it and exercise per-flow shedding.
+	faultStormQueue = 64
+	// faultStormLossBad is the Gilbert–Elliott bad-state loss rate.
+	faultStormLossBad = 0.35
+)
+
+// FaultStormPoint aggregates one fault-rate level of the storm.
+type FaultStormPoint struct {
+	Rate        float64
+	Crashes     float64 // mean AP crashes per run
+	Stalls      float64 // mean scanner stalls per run
+	GoodputMbps float64
+	Retained    float64 // goodput / fault-free goodput at rate 0
+	Outages     float64 // mean completed client outage episodes
+	MTTRMs      float64 // mean time-to-repair over closed outages
+	P95Ms       float64 // 95th-percentile closed-outage duration
+	ShedDrops   float64 // mean frames shed by per-flow admission
+	Orphans     float64 // clients still disconnected at end (must be 0)
+}
+
+// faultStormCell is one hermetic run's raw outcome.
+type faultStormCell struct {
+	crashes   int
+	stalls    int
+	goodput   float64
+	outages   []trace.OutageRecord
+	shedDrops int
+	orphans   int
+	trace     string
+}
+
+// faultStormRun runs one seeded storm cell. The returned trace is the
+// byte-stable fault + outage log: every injector event in engine order,
+// then every client outage episode in engine (closing) order, then any
+// episodes still open at the end — the artifact the parallel-determinism
+// test pins byte-identical across worker counts.
+func faultStormRunCell(seed int64, rate float64) faultStormCell {
+	w := newWorld(seed)
+	base := incumbent.SimulationBaseMap()
+	sensors := sensorsFor(base, faultStormClients, 0, nil, nil)
+	net := core.NewNetwork(w.eng, w.air, core.Config{Shedding: true}, sensors)
+	net.AP.Node.SetQueueLimit(faultStormQueue)
+	net.StartDownlink(1000)
+
+	var lines []string
+	for _, c := range net.Clients {
+		c.OnOutage = func(r trace.OutageRecord) { lines = append(lines, r.Line()) }
+	}
+
+	inj := fault.NewInjector(w.eng, fault.Config{Seed: seed, Rate: rate})
+	inj.AddTarget(net.AP.ID, net.AP)
+	inj.Start()
+	var ge *fault.GilbertElliott
+	if rate > 0 {
+		ge = fault.NewGilbertElliott(w.eng, w.air, fault.GEConfig{LossBad: faultStormLossBad}, seed*31+7)
+		ge.Start()
+	}
+
+	w.eng.RunUntil(faultStormQuiesce)
+	inj.Quiesce()
+	if ge != nil {
+		ge.Stop()
+	}
+	w.eng.RunUntil(faultStormRun)
+
+	cell := faultStormCell{
+		crashes: net.AP.Crashes,
+		stalls:  net.AP.Stalls,
+		goodput: float64(net.GoodputBytes()) * 8 / faultStormRun.Seconds(),
+	}
+	var sb strings.Builder
+	for _, e := range inj.Events {
+		sb.WriteString(e.Line())
+		sb.WriteByte('\n')
+	}
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	for _, c := range net.Clients {
+		cell.outages = append(cell.outages, c.Outages...)
+		if open, ok := c.OpenOutage(); ok {
+			cell.orphans++
+			sb.WriteString(open.Line())
+			sb.WriteByte('\n')
+		}
+	}
+	cell.shedDrops = net.AP.Node.Stats.ShedDropped
+	cell.trace = sb.String()
+	net.Stop()
+	return cell
+}
+
+// FaultStorm sweeps the fault rate over reps seeds per level on the
+// parallel harness. It returns the aggregated points and the combined
+// per-cell trace (cells concatenated in sweep order) — identical bytes
+// at any worker count.
+func FaultStorm(reps int) ([]FaultStormPoint, string) {
+	cells := make([]faultStormCell, len(faultStormRates)*reps)
+	runIndexed(len(cells), func(i int) {
+		rate := faultStormRates[i/reps]
+		cells[i] = faultStormRunCell(int64(8191+53*(i%reps)), rate)
+	})
+	out := make([]FaultStormPoint, len(faultStormRates))
+	var sb strings.Builder
+	for ri, rate := range faultStormRates {
+		agg := FaultStormPoint{Rate: rate}
+		var recs []trace.OutageRecord
+		for r := 0; r < reps; r++ {
+			c := cells[ri*reps+r]
+			agg.Crashes += float64(c.crashes)
+			agg.Stalls += float64(c.stalls)
+			agg.GoodputMbps += c.goodput / 1e6
+			agg.Outages += float64(len(c.outages))
+			agg.ShedDrops += float64(c.shedDrops)
+			agg.Orphans += float64(c.orphans)
+			recs = append(recs, c.outages...)
+			sb.WriteString(fmt.Sprintf("== cell rate=%.1f rep=%d ==\n", rate, r))
+			sb.WriteString(c.trace)
+		}
+		n := float64(reps)
+		agg.Crashes /= n
+		agg.Stalls /= n
+		agg.GoodputMbps /= n
+		agg.Outages /= n
+		agg.ShedDrops /= n
+		agg.Orphans /= n
+		agg.MTTRMs = trace.MTTRMs(recs)
+		agg.P95Ms = trace.OutageP95Ms(recs)
+		out[ri] = agg
+	}
+	if out[0].GoodputMbps > 0 {
+		for i := range out {
+			out[i].Retained = out[i].GoodputMbps / out[0].GoodputMbps
+		}
+	}
+	return out, sb.String()
+}
+
+// FaultStormTable renders the fault-rate sweep.
+func FaultStormTable(reps int) *trace.Table {
+	t := &trace.Table{
+		Title:   "FaultStorm: injected AP crashes, scanner stalls, overload and burst loss vs recovery",
+		Headers: []string{"rate", "crashes", "stalls", "goodput(Mbps)", "retained", "outages", "mttr(ms)", "p95(ms)", "shed", "orphans"},
+	}
+	pts, _ := FaultStorm(reps)
+	for _, p := range pts {
+		t.AddRow(fmt.Sprintf("%.1f", p.Rate),
+			fmt.Sprintf("%.1f", p.Crashes),
+			fmt.Sprintf("%.1f", p.Stalls),
+			fmt.Sprintf("%.2f", p.GoodputMbps),
+			fmt.Sprintf("%.3f", p.Retained),
+			fmt.Sprintf("%.1f", p.Outages),
+			fmt.Sprintf("%.0f", p.MTTRMs),
+			fmt.Sprintf("%.0f", p.P95Ms),
+			fmt.Sprintf("%.1f", p.ShedDrops),
+			fmt.Sprintf("%.1f", p.Orphans))
+	}
+	return t
+}

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFaultStormRecovers is the storm acceptance test: under the
+// default fault schedule every injected AP crash must end in successful
+// client re-association — no permanent orphans — and the outage
+// telemetry must be populated.
+func TestFaultStormRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault storm is a long scenario")
+	}
+	pts, tr := FaultStorm(1)
+	if len(pts) != len(faultStormRates) {
+		t.Fatalf("expected %d sweep points, got %d", len(faultStormRates), len(pts))
+	}
+	base := pts[0]
+	if base.Crashes != 0 || base.Outages != 0 {
+		t.Fatalf("rate-0 baseline saw faults: %+v", base)
+	}
+	if base.GoodputMbps <= 0 {
+		t.Fatal("fault-free baseline moved no traffic")
+	}
+	for _, p := range pts {
+		if p.Orphans != 0 {
+			t.Errorf("rate %.1f left %.1f permanent orphans", p.Rate, p.Orphans)
+		}
+	}
+	for _, p := range pts[1:] {
+		if p.Retained <= 0 || p.Retained > 1.5 {
+			t.Errorf("rate %.1f retained fraction out of range: %.3f", p.Rate, p.Retained)
+		}
+		// A sub-1 rate can legitimately draw no crash within the storm
+		// window; only the default schedule and above must misbehave.
+		if p.Rate < 1 {
+			continue
+		}
+		if p.Crashes == 0 {
+			t.Errorf("rate %.1f injected no crashes", p.Rate)
+		}
+		if p.Outages == 0 {
+			t.Errorf("rate %.1f produced no outage records", p.Rate)
+		}
+		if p.MTTRMs <= 0 {
+			t.Errorf("rate %.1f reported no MTTR", p.Rate)
+		}
+		if p.P95Ms < p.MTTRMs {
+			t.Errorf("rate %.1f p95 (%.0f ms) below MTTR (%.0f ms)", p.Rate, p.P95Ms, p.MTTRMs)
+		}
+	}
+	if !strings.Contains(tr, "kind=crash") || !strings.Contains(tr, "cause=") {
+		t.Fatal("combined trace is missing fault events or outage records")
+	}
+	if strings.Contains(tr, "end=open") {
+		t.Error("combined trace contains an unclosed outage after the drain window")
+	}
+}
+
+// TestFaultParallelDeterminism pins the determinism contract of the
+// fault subsystem end to end: the same seeds produce a byte-identical
+// combined fault + outage trace (and aggregate table) at any worker
+// count.
+func TestFaultParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault storm is a long scenario")
+	}
+	run := func() (string, string) {
+		pts, tr := FaultStorm(1)
+		return fmt.Sprintf("%+v", pts), tr
+	}
+	var tables, traces [3]string
+	for i, w := range []int{1, 4, 8} {
+		withWorkers(w, func() { tables[i], traces[i] = run() })
+	}
+	for i := 1; i < 3; i++ {
+		if traces[0] != traces[i] {
+			t.Errorf("outage trace differs between 1 and %d workers", []int{1, 4, 8}[i])
+		}
+		if tables[0] != tables[i] {
+			t.Errorf("table differs between 1 and %d workers:\n--- 1 ---\n%s\n--- n ---\n%s",
+				[]int{1, 4, 8}[i], tables[0], tables[i])
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package fault is the deterministic fault-injection subsystem: seeded
+// stochastic processes, driven by the sim.Engine clock, that break the
+// network on purpose so the recovery protocol can be measured instead
+// of trusted.
+//
+// Three pieces:
+//
+//   - Injector schedules per-target fault processes — AP crash/restart
+//     cycles, secondary-radio scanner stalls, and overload bursts —
+//     each as an independent Markov renewal process with exponential
+//     holding times (the dynamics.Activity idiom, via
+//     dynamics.ExpHolding). Every (target, fault-kind) stream owns its
+//     RNG, so each realisation is a pure function of (Config.Seed,
+//     target id, kind) no matter what else the simulation does.
+//   - GilbertElliott imposes bursty frame loss on a mac.Air medium
+//     through its DropFilter hook: a two-state (good/bad) Markov
+//     channel with per-state loss probabilities, the classic burst-loss
+//     model layered on top of the interference physics.
+//   - Event is the injector's trace: every fault it fired, in engine
+//     order, for byte-identical determinism checks and JSON emission.
+//
+// The injected faults exercise the hardened recovery path end to end:
+// chirp backoff against stalled scanners, rendezvous rotation past
+// blocked backup channels, idempotent AP restart re-adoption, and
+// per-flow load shedding under overload (see internal/core and
+// exp.FaultStorm).
+package fault

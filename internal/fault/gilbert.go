@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+
+	"whitefi/internal/dynamics"
+	"whitefi/internal/mac"
+	"whitefi/internal/phy"
+	"whitefi/internal/sim"
+)
+
+// Default Gilbert–Elliott parameters (see GEConfig).
+const (
+	DefaultGEMeanGood = 5 * time.Second
+	DefaultGEMeanBad  = 300 * time.Millisecond
+)
+
+// GEConfig parameterises a Gilbert–Elliott loss overlay: a two-state
+// Markov channel with exponential mean sojourn times and a per-state
+// frame-loss probability. The defaults model a mostly-clean channel
+// with sub-second fade bursts dropping about a third of the frames.
+// Zero durations select defaults; loss probabilities are taken as
+// given (the zero value means lossless in that state).
+type GEConfig struct {
+	MeanGood time.Duration // mean sojourn in the good state
+	MeanBad  time.Duration // mean sojourn in the bad state
+	LossGood float64       // per-delivery drop probability while good
+	LossBad  float64       // per-delivery drop probability while bad
+}
+
+func (c *GEConfig) fill() {
+	if c.MeanGood == 0 {
+		c.MeanGood = DefaultGEMeanGood
+	}
+	if c.MeanBad == 0 {
+		c.MeanBad = DefaultGEMeanBad
+	}
+}
+
+// GilbertElliott is a bursty-loss overlay on a mac.Air medium: while
+// started, it owns the medium's DropFilter and suppresses candidate
+// deliveries with the current state's loss probability. State flips are
+// engine events with exponential holding times; both the flips and the
+// per-delivery draws come from the overlay's own seeded RNG, consumed
+// in deterministic engine order, so the loss realisation is a pure
+// function of (seed, config). Carrier sense is unaffected — a dropped
+// frame still occupied the air.
+type GilbertElliott struct {
+	Cfg GEConfig
+	// Drops counts suppressed deliveries; Deliveries counts the ones
+	// let through.
+	Drops      int
+	Deliveries int
+
+	eng     *sim.Engine
+	air     *mac.Air
+	rng     *rand.Rand
+	bad     bool
+	running bool
+	ev      *sim.Event
+}
+
+// NewGilbertElliott creates a stopped overlay for air.
+func NewGilbertElliott(eng *sim.Engine, air *mac.Air, cfg GEConfig, seed int64) *GilbertElliott {
+	cfg.fill()
+	return &GilbertElliott{Cfg: cfg, eng: eng, air: air, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Bad reports whether the channel is currently in the bad state.
+func (g *GilbertElliott) Bad() bool { return g.bad }
+
+// Start installs the overlay (replacing any previous DropFilter on the
+// medium) and begins state flips from the good state.
+func (g *GilbertElliott) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.bad = false
+	g.air.DropFilter = g.filter
+	g.ev = g.eng.After(dynamics.ExpHolding(g.rng, g.Cfg.MeanGood), g.flip)
+}
+
+// Stop uninstalls the overlay and halts state flips.
+func (g *GilbertElliott) Stop() {
+	if !g.running {
+		return
+	}
+	g.running = false
+	g.air.DropFilter = nil
+	if g.ev != nil {
+		g.eng.Cancel(g.ev)
+		g.ev = nil
+	}
+}
+
+func (g *GilbertElliott) flip() {
+	if !g.running {
+		return
+	}
+	g.bad = !g.bad
+	mean := g.Cfg.MeanGood
+	if g.bad {
+		mean = g.Cfg.MeanBad
+	}
+	g.ev = g.eng.After(dynamics.ExpHolding(g.rng, mean), g.flip)
+}
+
+func (g *GilbertElliott) filter(phy.Frame, int, int) bool {
+	p := g.Cfg.LossGood
+	if g.bad {
+		p = g.Cfg.LossBad
+	}
+	if p > 0 && g.rng.Float64() < p {
+		g.Drops++
+		return true
+	}
+	g.Deliveries++
+	return false
+}

@@ -100,6 +100,16 @@ type Air struct {
 	// (the default) derives it from the propagation model's
 	// carrier-sense range; see autoGridCell.
 	GridCellM float64
+	// DropFilter, when non-nil, is consulted once per candidate delivery
+	// (after every physical-layer check passed) and returning true
+	// suppresses that delivery — the hook the fault layer uses to impose
+	// bursty Gilbert–Elliott loss on top of the interference model.
+	// Carrier sense is unaffected: the frame was on air either way. The
+	// filter runs inside the engine's event loop in a deterministic
+	// order (unicast: the single receiver; broadcast: ascending node
+	// id), so a filter drawing from its own seeded RNG keeps the
+	// simulation a pure function of its seeds.
+	DropFilter func(f phy.Frame, src, dst int) bool
 
 	log    []Transmission // completed and active, in start order
 	active []activeTx
@@ -527,6 +537,9 @@ func (a *Air) finish(tx *Transmission) {
 			if !a.cleanAtLegacy(n, tx) {
 				return
 			}
+			if a.DropFilter != nil && a.DropFilter(tx.Frame, tx.Src, n.id) {
+				return
+			}
 			n.deliver(tx.Frame, tx)
 		})
 		return
@@ -539,6 +552,9 @@ func (a *Air) finish(tx *Transmission) {
 			return
 		}
 		if !a.cleanAt(n, tx) {
+			return
+		}
+		if a.DropFilter != nil && a.DropFilter(tx.Frame, tx.Src, n.id) {
 			return
 		}
 		n.deliver(tx.Frame, tx)

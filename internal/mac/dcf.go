@@ -24,6 +24,7 @@ type Stats struct {
 	AckTimeouts   int
 	PayloadRxOK   int64 // payload bytes of acknowledged data (at sender)
 	QueueDropped  int   // frames dropped due to full queue
+	ShedDropped   int   // queued frames evicted by the shed policy
 	LastRxAt      time.Duration
 	LastTxOKAt    time.Duration
 	DeliveredData int // data frames delivered to this node
@@ -53,8 +54,15 @@ type Node struct {
 	// to chain the CTS-to-self one SIFS after each beacon.
 	OnSent func(phy.Frame)
 
+	// FlowKey classifies a data frame into a flow for the shed policy;
+	// nil keys by destination id (one downlink flow per client).
+	FlowKey func(f phy.Frame) int
+
 	queue    []phy.Frame
 	maxQueue int
+	shed     bool
+	down     bool
+	holdData bool
 
 	state     dcfState
 	cw        int
@@ -158,10 +166,110 @@ func (n *Node) SetQueueLimit(limit int) {
 // ClearQueue drops all queued frames (used on disconnection).
 func (n *Node) ClearQueue() { n.queue = n.queue[:0] }
 
+// SetShedding selects the egress-queue overflow policy. Off (the
+// default) is the historical indiscriminate tail drop: a frame arriving
+// at a full queue is rejected. On, the node degrades gracefully under
+// overload with per-flow longest-queue-drop admission: the arriving
+// frame displaces the oldest queued data frame of the flow hogging the
+// queue (see shedFor), so one saturating flow cannot starve the others
+// — or the control plane — of queue space.
+func (n *Node) SetShedding(on bool) { n.shed = on }
+
+// SetHoldData pauses data admission: while held, Send rejects KindData
+// frames (counted in Stats.QueueDropped) while management and control
+// frames pass. An AP camping on a backup channel to collect chirps
+// holds its downlink — otherwise its own saturating data flows stomp
+// the very chirps it is there to decode.
+func (n *Node) SetHoldData(on bool) {
+	n.holdData = on
+	if !on {
+		n.kick()
+	}
+}
+
+// SetDown powers the radio off (true) or back on (false) — the fault
+// model of a crashed node. A down radio rejects sends, drops its egress
+// queue, abandons in-flight MAC state, and ignores all receptions
+// (including ACKs, so peers see it exactly as absent), while staying
+// attached to the medium so powering back on needs no re-registration.
+// Powering on resumes from an idle MAC on the current channel.
+func (n *Node) SetDown(down bool) {
+	if n.down == down {
+		return
+	}
+	n.down = down
+	if down {
+		n.cancelTimers()
+		n.txGen++
+		n.pending = nil
+		n.ClearQueue()
+		n.state = stIdle
+		n.cw = phy.CWMin
+		n.retries = 0
+		return
+	}
+	n.kick()
+}
+
+// Down reports whether the radio is powered off (see SetDown).
+func (n *Node) Down() bool { return n.down }
+
+// flowKey classifies f for the shed policy.
+func (n *Node) flowKey(f phy.Frame) int {
+	if n.FlowKey != nil {
+		return n.FlowKey(f)
+	}
+	return f.Dst
+}
+
+// shedFor tries to make room for f in a full queue by evicting the
+// oldest queued data frame of the flow with the most queued data frames
+// (ties broken toward the lower flow key, keeping the choice
+// deterministic). Management frames are never evicted, and a data frame
+// belonging to a largest flow itself is simply rejected — that sheds
+// the same flow without queue surgery. The head-of-line frame is exempt
+// while it is on air. Reports whether room was made.
+func (n *Node) shedFor(f phy.Frame) bool {
+	counts := map[int]int{}
+	for i := range n.queue {
+		if n.queue[i].Kind == phy.KindData {
+			counts[n.flowKey(n.queue[i])]++
+		}
+	}
+	if len(counts) == 0 {
+		return false
+	}
+	victim, max := 0, -1
+	for k, c := range counts {
+		if c > max || (c == max && k < victim) {
+			victim, max = k, c
+		}
+	}
+	if f.Kind == phy.KindData && counts[n.flowKey(f)] >= max {
+		return false
+	}
+	start := 0
+	if n.state == stTransmitting || n.state == stAwaitingACK {
+		start = 1
+	}
+	for i := start; i < len(n.queue); i++ {
+		q := n.queue[i]
+		if q.Kind == phy.KindData && n.flowKey(q) == victim {
+			n.queue = append(n.queue[:i], n.queue[i+1:]...)
+			n.Stats.ShedDropped++
+			return true
+		}
+	}
+	return false
+}
+
 // SendImmediate puts a frame on the air right now without carrier sense
 // or queuing — the SIFS-priority path used for the CTS-to-self that
 // follows each beacon (Section 4.2.1).
 func (n *Node) SendImmediate(f phy.Frame) *Transmission {
+	if n.down {
+		return nil
+	}
 	f.Src = n.ID
 	f.Seq = n.seq
 	n.seq++
@@ -171,9 +279,15 @@ func (n *Node) SendImmediate(f phy.Frame) *Transmission {
 // Send enqueues a frame for CSMA/CA transmission. Frames are sent on the
 // node's current channel at transmission time.
 func (n *Node) Send(f phy.Frame) bool {
-	if len(n.queue) >= n.maxQueue {
+	if n.down || (n.holdData && f.Kind == phy.KindData) {
 		n.Stats.QueueDropped++
 		return false
+	}
+	if len(n.queue) >= n.maxQueue {
+		if !n.shed || !n.shedFor(f) {
+			n.Stats.QueueDropped++
+			return false
+		}
 	}
 	f.Src = n.ID
 	f.Seq = n.seq
@@ -195,7 +309,7 @@ func (n *Node) cancelTimers() {
 // frame is still draining (possible when a Retune interrupted a
 // transmission): access is deferred to the frame's end.
 func (n *Node) kick() {
-	if n.state != stIdle || len(n.queue) == 0 {
+	if n.down || n.state != stIdle || len(n.queue) == 0 {
 		return
 	}
 	if until := n.an.txUntil; until > n.eng.Now() {
@@ -349,6 +463,9 @@ func (n *Node) completeHead(ok bool) {
 
 // receive handles a clean reception from the medium.
 func (n *Node) receive(f phy.Frame, tx *Transmission) {
+	if n.down {
+		return
+	}
 	n.Stats.RxFrames++
 	n.Stats.LastRxAt = n.eng.Now()
 	switch {

@@ -98,7 +98,11 @@ func (b *Backlogged) fill() {
 		return
 	}
 	for b.Node.QueueLen() < 8 {
-		b.Node.Send(phy.DataFrame(b.Node.ID, b.Dst, b.Bytes))
+		// A down or full node rejects the frame without queueing it;
+		// stop topping up until the next tick or the loop never exits.
+		if !b.Node.Send(phy.DataFrame(b.Node.ID, b.Dst, b.Bytes)) {
+			break
+		}
 	}
 	// Top up at a cadence well below a frame time so the queue never
 	// runs dry but event count stays bounded.
