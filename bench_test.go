@@ -207,6 +207,33 @@ func BenchmarkAblationAPWeight(b *testing.B) {
 	}
 }
 
+// The AllocGate trio are reduced-scale versions of the three
+// alloc-bound scenario benchmarks (DenseCity, Fig12, MixedTraffic),
+// small enough for a CI smoke job. scripts/alloc_gate.sh runs them and
+// fails on a >10% allocs/op regression against the committed
+// BENCH_<sha>.json baseline, so the zero-GC hot path (pooled events,
+// transmission arena, struct-of-arrays medium log) cannot silently rot.
+func BenchmarkAllocGateDenseCity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.DenseCityRun(exp.DenseCityConfig{APs: 50, Seed: 5})
+	}
+}
+
+func BenchmarkAllocGateFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig12(1, []float64{0, 0.05})
+	}
+}
+
+func BenchmarkAllocGateMixedTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.DenseCityRun(exp.DenseCityConfig{
+			APs: 30, Seed: 5,
+			Traffic: traffic.Models(), UplinkFrac: 0.3, QueueLimit: 128,
+		})
+	}
+}
+
 // printish prints the rendered table on the first iteration.
 func printish(i int, s string) {
 	if i == 0 {

@@ -4,6 +4,11 @@
 //
 //	whitefi-bench -exp all
 //	whitefi-bench -exp table1,fig8,fig14 -reps 5
+//	whitefi-bench -exp densecity -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The -cpuprofile/-memprofile flags write pprof profiles covering the
+// selected experiment runs, so profiling a scenario needs no test
+// edits: `go tool pprof cpu.pprof` on the output.
 //
 // Experiment ids match DESIGN.md's per-experiment index: sec2.1, fig2,
 // sec2.3, fig5, table1, fig6, fig7, fig8, fig9, sec5.3, fig10, fig11,
@@ -20,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -30,7 +37,25 @@ import (
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	reps := flag.Int("reps", 3, "repetitions / random placements per data point")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the runs to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	runners := map[string]func(int) *trace.Table{
 		"sec2.1": func(r int) *trace.Table { return exp.Sec21(r) },
@@ -103,5 +128,19 @@ func main() {
 		fmt.Printf("=== %s ===\n", id)
 		runners[id](*reps).Render(os.Stdout)
 		fmt.Println()
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle allocation stats before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }

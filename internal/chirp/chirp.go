@@ -77,7 +77,8 @@ type Chirper struct {
 
 	eng     *sim.Engine
 	running bool
-	next    *sim.Event
+	next    sim.Handle
+	tickFn  func() // bound once so periodic rescheduling does not allocate
 	Sent    int
 
 	// Exponential-backoff state (see EnableBackoff). unanswered counts
@@ -92,7 +93,9 @@ type Chirper struct {
 
 // NewChirper creates a stopped chirper.
 func NewChirper(eng *sim.Engine, n *mac.Node, ssid string, code int, mapFn func() spectrum.Map) *Chirper {
-	return &Chirper{Node: n, SSID: ssid, Code: code, Period: DefaultPeriod, MapFn: mapFn, eng: eng}
+	c := &Chirper{Node: n, SSID: ssid, Code: code, Period: DefaultPeriod, MapFn: mapFn, eng: eng}
+	c.tickFn = c.tick
+	return c
 }
 
 // Start begins chirping immediately and then every Period.
@@ -108,7 +111,7 @@ func (c *Chirper) Start() {
 func (c *Chirper) Stop() {
 	c.running = false
 	c.eng.Cancel(c.next)
-	c.next = nil
+	c.next = sim.Handle{}
 }
 
 // Poke answers evidence that the chirper's network is present on this
@@ -184,5 +187,5 @@ func (c *Chirper) tick() {
 	c.Node.Send(Frame(c.Node.ID, c.SSID, c.MapFn(), c.Code))
 	c.Sent++
 	c.unanswered++
-	c.next = c.eng.After(c.nextPeriod(), c.tick)
+	c.next = c.eng.After(c.nextPeriod(), c.tickFn)
 }

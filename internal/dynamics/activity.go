@@ -36,19 +36,22 @@ type Activity struct {
 	eng     *sim.Engine
 	rng     *rand.Rand
 	running bool
-	ev      *sim.Event
+	ev      sim.Handle
+	flipFn  func() // bound once so rescheduling does not allocate
 }
 
 // NewActivity wraps mic with a Markov activity process. The mic starts
 // (and the process begins) idle.
 func NewActivity(eng *sim.Engine, mic *incumbent.Mic, meanBusy, meanIdle time.Duration, seed int64) *Activity {
-	return &Activity{
+	a := &Activity{
 		Mic:      mic,
 		MeanBusy: meanBusy,
 		MeanIdle: meanIdle,
 		eng:      eng,
 		rng:      rand.New(rand.NewSource(seed)),
 	}
+	a.flipFn = a.flip
+	return a
 }
 
 // NewDutyActivity is NewActivity parameterised by a duty cycle: the mic
@@ -71,16 +74,14 @@ func (a *Activity) Start() {
 		return
 	}
 	a.running = true
-	a.ev = a.eng.After(a.holding(a.MeanIdle), a.flip)
+	a.ev = a.eng.After(a.holding(a.MeanIdle), a.flipFn)
 }
 
 // Stop halts the process; the mic keeps its current state.
 func (a *Activity) Stop() {
 	a.running = false
-	if a.ev != nil {
-		a.eng.Cancel(a.ev)
-		a.ev = nil
-	}
+	a.eng.Cancel(a.ev)
+	a.ev = sim.Handle{}
 }
 
 // ExpHolding draws an exponential holding time with the given mean from
@@ -112,11 +113,11 @@ func (a *Activity) flip() {
 	if a.Mic.Active() {
 		a.Mic.TurnOff()
 		a.Trace = append(a.Trace, Transition{At: a.eng.Now(), Active: false})
-		a.ev = a.eng.After(a.holding(a.MeanIdle), a.flip)
+		a.ev = a.eng.After(a.holding(a.MeanIdle), a.flipFn)
 	} else {
 		a.Mic.TurnOn()
 		a.Trace = append(a.Trace, Transition{At: a.eng.Now(), Active: true})
-		a.ev = a.eng.After(a.holding(a.MeanBusy), a.flip)
+		a.ev = a.eng.After(a.holding(a.MeanBusy), a.flipFn)
 	}
 }
 

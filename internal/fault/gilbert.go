@@ -58,13 +58,16 @@ type GilbertElliott struct {
 	rng     *rand.Rand
 	bad     bool
 	running bool
-	ev      *sim.Event
+	ev      sim.Handle
+	flipFn  func() // bound once so rescheduling does not allocate
 }
 
 // NewGilbertElliott creates a stopped overlay for air.
 func NewGilbertElliott(eng *sim.Engine, air *mac.Air, cfg GEConfig, seed int64) *GilbertElliott {
 	cfg.fill()
-	return &GilbertElliott{Cfg: cfg, eng: eng, air: air, rng: rand.New(rand.NewSource(seed))}
+	g := &GilbertElliott{Cfg: cfg, eng: eng, air: air, rng: rand.New(rand.NewSource(seed))}
+	g.flipFn = g.flip
+	return g
 }
 
 // Bad reports whether the channel is currently in the bad state.
@@ -79,7 +82,7 @@ func (g *GilbertElliott) Start() {
 	g.running = true
 	g.bad = false
 	g.air.DropFilter = g.filter
-	g.ev = g.eng.After(dynamics.ExpHolding(g.rng, g.Cfg.MeanGood), g.flip)
+	g.ev = g.eng.After(dynamics.ExpHolding(g.rng, g.Cfg.MeanGood), g.flipFn)
 }
 
 // Stop uninstalls the overlay and halts state flips.
@@ -89,10 +92,8 @@ func (g *GilbertElliott) Stop() {
 	}
 	g.running = false
 	g.air.DropFilter = nil
-	if g.ev != nil {
-		g.eng.Cancel(g.ev)
-		g.ev = nil
-	}
+	g.eng.Cancel(g.ev)
+	g.ev = sim.Handle{}
 }
 
 func (g *GilbertElliott) flip() {
@@ -104,7 +105,7 @@ func (g *GilbertElliott) flip() {
 	if g.bad {
 		mean = g.Cfg.MeanBad
 	}
-	g.ev = g.eng.After(dynamics.ExpHolding(g.rng, mean), g.flip)
+	g.ev = g.eng.After(dynamics.ExpHolding(g.rng, mean), g.flipFn)
 }
 
 func (g *GilbertElliott) filter(phy.Frame, int, int) bool {

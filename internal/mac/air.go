@@ -110,8 +110,30 @@ type Air struct {
 	// id), so a filter drawing from its own seeded RNG keeps the
 	// simulation a pure function of its seeds.
 	DropFilter func(f phy.Frame, src, dst int) bool
+	// NoPool disables the transmission arena: every Transmit allocates a
+	// fresh record that is never recycled, exactly the pre-pool medium.
+	// Like NoCull it exists for validation — the pooled medium is pinned
+	// event-identical to it by the pool equivalence tests — not for
+	// correctness.
+	NoPool bool
 
-	log    []Transmission // completed and active, in start order
+	// The transmission history is a struct-of-arrays log: one parallel
+	// column per field, all in start order (the virtual clock is
+	// monotonic). Window scans touch only the hot columns they filter on
+	// (start/end/channel/power/srcPos), so the per-event interference
+	// scan walks densely packed cache lines instead of striding over
+	// full Transmission records; the cold frame column is only read when
+	// a record is materialized for a visitor or a delivery resolves.
+	logStart  []time.Duration
+	logEnd    []time.Duration
+	logCh     []spectrum.Channel
+	logPower  []float64
+	logSrcPos []Position
+	logSrc    []int32
+	logUID    []uint64
+	logNoCS   []bool
+	logFrame  []phy.Frame
+
 	active []activeTx
 	// byCenter partitions log indices by the transmission's center UHF
 	// channel; other catches the (never expected) out-of-range centers.
@@ -157,6 +179,29 @@ type Air struct {
 	// transmissions.
 	sensedPool [][]int32
 
+	// Transmission arena: slots are allocated once and recycled through
+	// the free list when their transmission finishes (unless NoPool).
+	// txSlotGen counts recycles per slot; a TxHandle embeds the
+	// generation it was issued against, so resolving a handle after its
+	// transmission finished panics instead of silently reading the
+	// slot's next occupant. txSlotLive guards against double-frees.
+	txSlots    []*Transmission
+	txSlotGen  []uint32
+	txSlotLive []bool
+	txFreeList []int32
+	// finishFn is the end-of-transmission callback, bound once so every
+	// Transmit schedules it with a packed TxHandle word instead of a
+	// fresh closure. deliverFn/senseFn are the per-node visitors of the
+	// delivery and launch fan-outs, likewise bound once; deliverTx/
+	// launchTx/launchSensed carry their per-call state (Air is
+	// single-threaded, and neither fan-out re-enters the other).
+	finishFn     func(uint64)
+	deliverFn    func(*airNode)
+	senseFn      func(*airNode)
+	deliverTx    *Transmission
+	launchTx     *Transmission
+	launchSensed []int32
+
 	// grid is the uniform spatial index over attached nodes that the
 	// culled fan-outs query (see grid.go). Built lazily on the first
 	// culled query, then maintained incrementally by attach, detach and
@@ -175,6 +220,14 @@ type Air struct {
 	scratchIdx  []int32
 	scratchIvs  []busyInterval
 	scratchNear []*airNode
+	// Per-channel observation scratch reused across ObservationAt calls,
+	// and the active-AP set reused by ActiveAPsAt — the per-round
+	// full-band observation is the assignment hot path, and rebuilding
+	// 30 interval slices plus the seen-maps per call dominated its
+	// allocation profile.
+	obsIvs  [spectrum.NumUHF][]busyInterval
+	obsSeen [spectrum.NumUHF]map[int]bool
+	apsSeen map[int]bool
 }
 
 // activeTx is one in-flight transmission plus the pinned set of node ids
@@ -200,7 +253,90 @@ type airNode struct {
 
 // NewAir creates an empty medium bound to the engine.
 func NewAir(eng *sim.Engine) *Air {
-	return &Air{Eng: eng}
+	a := &Air{Eng: eng}
+	a.finishFn = a.finishHandle
+	a.deliverFn = a.deliverCurrent
+	a.senseFn = a.senseCurrent
+	return a
+}
+
+// deliverCurrent delivers a.deliverTx at n (the broadcast fan-out
+// visitor, bound once in NewAir).
+func (a *Air) deliverCurrent(n *airNode) { a.deliverTo(n, a.deliverTx) }
+
+// senseCurrent raises carrier sense for a.launchTx at n (the launch
+// fan-out visitor, bound once in NewAir), appending n to the pinned
+// set being built in a.launchSensed.
+func (a *Air) senseCurrent(n *airNode) {
+	tx := a.launchTx
+	if n.id == tx.Src || !a.hears(n, tx) {
+		return
+	}
+	a.launchSensed = append(a.launchSensed, int32(n.id))
+	n.sensedCnt++
+	if n.sensedCnt == 1 && n.senser != nil {
+		n.senser.mediumBusyChanged(true)
+	}
+}
+
+// TxHandle is a generation-checked reference to a pooled transmission
+// slot: the slot index packed with the generation the handle was issued
+// against. A handle goes stale the moment its transmission finishes
+// (the slot returns to the medium's free list); resolving a stale
+// handle panics rather than reading whatever transmission reuses the
+// slot. The zero TxHandle is never issued.
+type TxHandle uint64
+
+func packTxHandle(slot int32, gen uint32) TxHandle {
+	return TxHandle(uint64(uint32(slot))<<32 | uint64(gen))
+}
+
+func (h TxHandle) slot() int32 { return int32(uint64(h) >> 32) }
+func (h TxHandle) gen() uint32 { return uint32(h) }
+
+// TxAlive reports whether h still resolves: its transmission has
+// neither finished nor had its slot recycled.
+func (a *Air) TxAlive(h TxHandle) bool {
+	i := h.slot()
+	return int(i) < len(a.txSlots) && a.txSlotGen[i] == h.gen() && a.txSlotLive[i]
+}
+
+// TxOf resolves a handle to its transmission. It panics on a stale
+// handle — one whose transmission already finished (use-after-free) or
+// whose slot has been recycled — because reading the slot would
+// silently observe an unrelated transmission.
+func (a *Air) TxOf(h TxHandle) *Transmission {
+	if !a.TxAlive(h) {
+		panic("mac: stale TxHandle: transmission already finished (use after free)")
+	}
+	return a.txSlots[h.slot()]
+}
+
+// allocTx takes a slot from the arena free list, growing the arena when
+// it is empty. Slot pointers are stable for the life of the Air.
+func (a *Air) allocTx() (int32, *Transmission) {
+	if n := len(a.txFreeList); n > 0 {
+		i := a.txFreeList[n-1]
+		a.txFreeList = a.txFreeList[:n-1]
+		a.txSlotLive[i] = true
+		return i, a.txSlots[i]
+	}
+	a.txSlots = append(a.txSlots, &Transmission{})
+	a.txSlotGen = append(a.txSlotGen, 0)
+	a.txSlotLive = append(a.txSlotLive, true)
+	return int32(len(a.txSlots) - 1), a.txSlots[len(a.txSlots)-1]
+}
+
+// freeTx recycles a slot, bumping its generation so outstanding
+// handles go stale. Double-freeing a slot panics.
+func (a *Air) freeTx(i int32) {
+	if !a.txSlotLive[i] {
+		panic("mac: transmission slot double-freed")
+	}
+	a.txSlotLive[i] = false
+	a.txSlotGen[i]++
+	*a.txSlots[i] = Transmission{}
+	a.txFreeList = append(a.txFreeList, i)
 }
 
 // nodeIndex returns the position of id in the sorted node slice, or
@@ -450,11 +586,23 @@ func (a *Air) SensedBusy(id int) bool {
 
 // Transmit puts a frame on the air from node id over channel ch for the
 // frame's airtime at that width. Delivery (or corruption) is resolved
-// when the transmission ends. It returns the transmission record.
+// when the transmission ends. It returns the transmission record, which
+// lives in the medium's arena: it is valid until the transmission
+// finishes (its end event has fired and deliveries resolved), after
+// which the slot is recycled — callers must not retain it past the
+// transmission's End (under NoPool the record is a one-off allocation
+// and never recycled).
 func (a *Air) Transmit(id int, ch spectrum.Channel, f phy.Frame, powerDBm float64, noCS bool) *Transmission {
 	now := a.Eng.Now()
 	a.nextUID++
-	tx := &Transmission{
+	var tx *Transmission
+	slot := int32(-1)
+	if a.NoPool {
+		tx = &Transmission{}
+	} else {
+		slot, tx = a.allocTx()
+	}
+	*tx = Transmission{
 		Src:     id,
 		Channel: ch,
 		Frame:   f,
@@ -465,7 +613,7 @@ func (a *Air) Transmit(id int, ch spectrum.Channel, f phy.Frame, powerDBm float6
 		UID:     a.nextUID,
 		SrcPos:  a.pos[id],
 	}
-	a.record(*tx)
+	a.record(tx)
 	entry := activeTx{tx: tx, sensed: a.grabSensed()}
 	if n := a.node(id); n != nil {
 		n.txUntil = tx.End
@@ -475,25 +623,37 @@ func (a *Air) Transmit(id int, ch spectrum.Channel, f phy.Frame, powerDBm float6
 	// the launch position can hear (hears needs rx at or above the CS
 	// threshold), so the walk is culled to the interference neighborhood;
 	// visits stay in ascending id order, so the pinned set stays sorted.
-	a.eachNodeOverlappingWithin(tx.SrcPos, a.cullRange(powerDBm, DefaultCSThresholdDBm), ch, func(n *airNode) {
-		if n.id == tx.Src || !a.hears(n, tx) {
-			return
-		}
-		entry.sensed = append(entry.sensed, int32(n.id))
-		n.sensedCnt++
-		if n.sensedCnt == 1 && n.senser != nil {
-			n.senser.mediumBusyChanged(true)
-		}
-	})
+	a.launchTx = tx
+	a.launchSensed = entry.sensed
+	a.eachNodeOverlappingWithin(tx.SrcPos, a.cullRange(powerDBm, DefaultCSThresholdDBm), ch, a.senseFn)
+	entry.sensed = a.launchSensed
+	a.launchTx = nil
+	a.launchSensed = nil
 	a.active = append(a.active, entry)
-	a.Eng.Schedule(tx.End, func() { a.finish(tx) })
+	if slot >= 0 {
+		a.Eng.ScheduleArg(tx.End, a.finishFn, uint64(packTxHandle(slot, a.txSlotGen[slot])))
+	} else {
+		a.Eng.Schedule(tx.End, func() { a.finish(tx, -1) })
+	}
 	return tx
+}
+
+// finishHandle is the pooled end-of-transmission event: it unpacks the
+// handle word scheduled by Transmit and finishes the slot's
+// transmission. TxOf's generation check is a corruption tripwire here —
+// only finish frees slots, so the handle cannot have gone stale unless
+// the arena's bookkeeping broke.
+func (a *Air) finishHandle(word uint64) {
+	h := TxHandle(word)
+	a.finish(a.TxOf(h), h.slot())
 }
 
 // finish ends a transmission: drops busy indications at exactly the
 // nodes the launch pinned (as maintained by syncActive since) and
-// resolves delivery at each candidate receiver.
-func (a *Air) finish(tx *Transmission) {
+// resolves delivery at each candidate receiver. A pooled transmission
+// (slot >= 0) is recycled afterwards: delivery callbacks are the last
+// code to see the record.
+func (a *Air) finish(tx *Transmission, slot int32) {
 	var sensed []int32
 	for i := range a.active {
 		if a.active[i].tx == tx {
@@ -520,7 +680,8 @@ func (a *Air) finish(tx *Transmission) {
 	// the node set; broadcasts walk the decode neighborhood (cleanAt
 	// rejects anything below the decode floor, so nodes beyond that
 	// radius can be skipped without changing any outcome).
-	if a.NoCull {
+	switch {
+	case a.NoCull:
 		// Legacy fan-out, kept verbatim as the brute-force reference the
 		// cull tests and BenchmarkDenseCity compare against: walk every
 		// attached node for every finish.
@@ -542,30 +703,36 @@ func (a *Air) finish(tx *Transmission) {
 			}
 			n.deliver(tx.Frame, tx)
 		})
+	case tx.Frame.Dst != phy.Broadcast:
+		if n := a.node(tx.Frame.Dst); n != nil {
+			a.deliverTo(n, tx)
+		}
+	default:
+		a.deliverTx = tx
+		a.eachNodeOverlappingWithin(tx.SrcPos, a.cullRange(tx.PowerDB, NoiseFloorDBm+decodeSNRdB), tx.Channel, a.deliverFn)
+		a.deliverTx = nil
+	}
+	if slot >= 0 {
+		a.freeTx(slot)
+	}
+}
+
+// deliverTo resolves one candidate delivery of tx at node n on the
+// culled path.
+func (a *Air) deliverTo(n *airNode, tx *Transmission) {
+	if n.id == tx.Src || n.deliver == nil {
 		return
 	}
-	deliverAt := func(n *airNode) {
-		if n.id == tx.Src || n.deliver == nil {
-			return
-		}
-		if n.channel != tx.Channel {
-			return
-		}
-		if !a.cleanAt(n, tx) {
-			return
-		}
-		if a.DropFilter != nil && a.DropFilter(tx.Frame, tx.Src, n.id) {
-			return
-		}
-		n.deliver(tx.Frame, tx)
-	}
-	if dst := tx.Frame.Dst; dst != phy.Broadcast {
-		if n := a.node(dst); n != nil {
-			deliverAt(n)
-		}
+	if n.channel != tx.Channel {
 		return
 	}
-	a.eachNodeOverlappingWithin(tx.SrcPos, a.cullRange(tx.PowerDB, NoiseFloorDBm+decodeSNRdB), tx.Channel, deliverAt)
+	if !a.cleanAt(n, tx) {
+		return
+	}
+	if a.DropFilter != nil && a.DropFilter(tx.Frame, tx.Src, n.id) {
+		return
+	}
+	n.deliver(tx.Frame, tx)
 }
 
 // cleanAt reports whether receiver n could decode tx: received power
@@ -656,21 +823,20 @@ func (a *Air) cleanAtLegacy(n *airNode, tx *Transmission) bool {
 	if n.txUntil > tx.Start {
 		return false
 	}
-	for i := len(a.log) - 1; i >= 0; i-- {
-		o := &a.log[i]
-		if o.Start < tx.Start-legacyFrameAir {
+	for i := int32(a.logLen() - 1); i >= 0; i-- {
+		if a.logStart[i] < tx.Start-legacyFrameAir {
 			break
 		}
-		if o.UID == tx.UID || o.Src == n.id {
+		if a.logUID[i] == tx.UID || int(a.logSrc[i]) == n.id {
 			continue
 		}
-		if !o.overlapsTime(tx.Start, tx.End) {
+		if a.logStart[i] >= tx.End || a.logEnd[i] <= tx.Start {
 			continue
 		}
-		if !n.channel.Overlaps(o.Channel) {
+		if !n.channel.Overlaps(a.logCh[i]) {
 			continue
 		}
-		if a.RxPowerOf(o, n.id) >= NoiseFloorDBm {
+		if a.rxPowerAt(i, n.id) >= NoiseFloorDBm {
 			return false
 		}
 	}
@@ -683,29 +849,31 @@ const legacyFrameAir = 50 * time.Millisecond
 
 // interferedIn reports whether partition idx holds a transmission other
 // than tx that overlaps it in time, overlaps receiver n's channel, and
-// arrives at n above the noise floor.
+// arrives at n above the noise floor. The scan reads only the hot log
+// columns — this is the per-delivery inner loop the struct-of-arrays
+// layout exists for.
 func (a *Air) interferedIn(idx []int32, n *airNode, tx *Transmission) bool {
 	rxPos := a.pos[n.id]
 	for i := a.searchStartIdx(idx, tx.Start-a.maxDur); i < len(idx); i++ {
-		o := &a.log[idx[i]]
-		if o.Start >= tx.End {
+		j := idx[i]
+		if a.logStart[j] >= tx.End {
 			break
 		}
-		if o.UID == tx.UID || o.Src == n.id {
+		if a.logUID[j] == tx.UID || int(a.logSrc[j]) == n.id {
 			continue
 		}
-		if !o.overlapsTime(tx.Start, tx.End) {
+		if a.logStart[j] >= tx.End || a.logEnd[j] <= tx.Start {
 			continue
 		}
-		if !n.channel.Overlaps(o.Channel) {
+		if !n.channel.Overlaps(a.logCh[j]) {
 			continue
 		}
 		// Geometric rejection first: an interferer provably below the
 		// noise floor at this distance needs no link-budget evaluation.
-		if a.beyondRange(&a.noiseRange, o.PowerDB, NoiseFloorDBm, dist2(o.SrcPos, rxPos)) {
+		if a.beyondRange(&a.noiseRange, a.logPower[j], NoiseFloorDBm, dist2(a.logSrcPos[j], rxPos)) {
 			continue
 		}
-		if a.RxPowerOf(o, n.id) >= NoiseFloorDBm {
+		if a.rxPowerAt(j, n.id) >= NoiseFloorDBm {
 			return true
 		}
 	}
@@ -733,12 +901,24 @@ func (a *Air) releaseSensed(s []int32) {
 // decodeSNRdB is the SNR needed for the transceiver to decode a frame.
 const decodeSNRdB = 10
 
-// record appends a transmission to the time-indexed log and maintains
-// the per-center partitions, the look-behind bound, and the automatic
-// retention prune.
-func (a *Air) record(tx Transmission) {
-	i := int32(len(a.log))
-	a.log = append(a.log, tx)
+// logLen returns the number of logged transmissions (all columns share
+// this length).
+func (a *Air) logLen() int { return len(a.logStart) }
+
+// record appends a transmission to the column-wise time-indexed log and
+// maintains the per-center partitions, the look-behind bound, and the
+// automatic retention prune.
+func (a *Air) record(tx *Transmission) {
+	i := int32(a.logLen())
+	a.logStart = append(a.logStart, tx.Start)
+	a.logEnd = append(a.logEnd, tx.End)
+	a.logCh = append(a.logCh, tx.Channel)
+	a.logPower = append(a.logPower, tx.PowerDB)
+	a.logSrcPos = append(a.logSrcPos, tx.SrcPos)
+	a.logSrc = append(a.logSrc, int32(tx.Src))
+	a.logUID = append(a.logUID, tx.UID)
+	a.logNoCS = append(a.logNoCS, tx.NoCS)
+	a.logFrame = append(a.logFrame, tx.Frame)
 	if c := tx.Channel.Center; c.Valid() {
 		a.byCenter[c] = append(a.byCenter[c], i)
 		if r := channelReach(tx.Channel); r > a.reach[c] {
@@ -750,10 +930,39 @@ func (a *Air) record(tx Transmission) {
 	if d := tx.Duration(); d > a.maxDur {
 		a.maxDur = d
 	}
-	if a.Retention > 0 && len(a.log) >= a.pruneAt {
+	if a.Retention > 0 && a.logLen() >= a.pruneAt {
 		a.Prune(a.Eng.Now() - a.Retention)
-		a.pruneAt = 2*len(a.log) + minPruneWatermark
+		a.pruneAt = 2*a.logLen() + minPruneWatermark
 	}
+}
+
+// materialize assembles the logged transmission at index i into out.
+func (a *Air) materialize(i int32, out *Transmission) {
+	out.Src = int(a.logSrc[i])
+	out.Channel = a.logCh[i]
+	out.Frame = a.logFrame[i]
+	out.Start = a.logStart[i]
+	out.End = a.logEnd[i]
+	out.PowerDB = a.logPower[i]
+	out.NoCS = a.logNoCS[i]
+	out.UID = a.logUID[i]
+	out.SrcPos = a.logSrcPos[i]
+}
+
+// rxPowerAt returns the power (dBm) at which dst hears the logged
+// transmission at index i — RxPowerOf over the log columns.
+func (a *Air) rxPowerAt(i int32, dst int) float64 {
+	src := int(a.logSrc[i])
+	if a.Loss != nil {
+		return a.logPower[i] - a.Loss(src, dst)
+	}
+	if a.Prop == nil {
+		return a.logPower[i]
+	}
+	if a.pos[src] == a.logSrcPos[i] {
+		return a.logPower[i] - a.pairLoss(src, dst)
+	}
+	return a.logPower[i] - a.Prop.LossDB(a.logSrcPos[i], a.pos[dst])
 }
 
 // minPruneWatermark keeps automatic pruning from running on tiny logs.
@@ -770,38 +979,71 @@ func channelReach(ch spectrum.Channel) spectrum.UHF {
 	return r
 }
 
-// History returns all recorded transmissions, in start order. The
-// returned slice is owned by the medium; callers must not modify it.
-func (a *Air) History() []Transmission { return a.log }
+// History returns all recorded transmissions, in start order,
+// materialized from the column log. It allocates the full copy: a
+// debugging and test API, not a hot path.
+func (a *Air) History() []Transmission {
+	out := make([]Transmission, a.logLen())
+	for i := range out {
+		a.materialize(int32(i), &out[i])
+	}
+	return out
+}
 
 // Prune drops completed transmissions that ended before t, bounding
 // memory in long simulations. Scan windows must not reach behind t.
-// Active transmissions always survive. The per-center partitions are
-// rebuilt, so pruning costs O(surviving log).
+// Active transmissions always survive. The prune is a column-wise
+// in-place compaction followed by a partition rebuild, so it costs
+// O(surviving log) and allocates nothing.
 func (a *Air) Prune(before time.Duration) {
-	kept := a.log[:0]
-	for _, tx := range a.log {
-		if tx.End >= before {
-			kept = append(kept, tx)
+	n := a.logLen()
+	k := 0
+	for i := 0; i < n; i++ {
+		if a.logEnd[i] < before {
+			continue
 		}
+		if k != i {
+			a.logStart[k] = a.logStart[i]
+			a.logEnd[k] = a.logEnd[i]
+			a.logCh[k] = a.logCh[i]
+			a.logPower[k] = a.logPower[i]
+			a.logSrcPos[k] = a.logSrcPos[i]
+			a.logSrc[k] = a.logSrc[i]
+			a.logUID[k] = a.logUID[i]
+			a.logNoCS[k] = a.logNoCS[i]
+			a.logFrame[k] = a.logFrame[i]
+		}
+		k++
 	}
-	a.log = kept
+	// Clear the dropped frame tail so pruning releases Meta payloads.
+	for i := k; i < n; i++ {
+		a.logFrame[i] = phy.Frame{}
+	}
+	a.logStart = a.logStart[:k]
+	a.logEnd = a.logEnd[:k]
+	a.logCh = a.logCh[:k]
+	a.logPower = a.logPower[:k]
+	a.logSrcPos = a.logSrcPos[:k]
+	a.logSrc = a.logSrc[:k]
+	a.logUID = a.logUID[:k]
+	a.logNoCS = a.logNoCS[:k]
+	a.logFrame = a.logFrame[:k]
 	for c := range a.byCenter {
 		a.byCenter[c] = a.byCenter[c][:0]
 	}
 	a.other = a.other[:0]
 	a.maxDur = 0
 	a.reach = [spectrum.NumUHF]spectrum.UHF{}
-	for i, tx := range a.log {
-		if c := tx.Channel.Center; c.Valid() {
+	for i := 0; i < k; i++ {
+		if c := a.logCh[i].Center; c.Valid() {
 			a.byCenter[c] = append(a.byCenter[c], int32(i))
-			if r := channelReach(tx.Channel); r > a.reach[c] {
+			if r := channelReach(a.logCh[i]); r > a.reach[c] {
 				a.reach[c] = r
 			}
 		} else {
 			a.other = append(a.other, int32(i))
 		}
-		if d := tx.Duration(); d > a.maxDur {
+		if d := a.logEnd[i] - a.logStart[i]; d > a.maxDur {
 			a.maxDur = d
 		}
 	}
@@ -813,25 +1055,27 @@ func (a *Air) Compact(before time.Duration) { a.Prune(before) }
 // searchStart returns the first log index whose transmission starts at
 // or after t.
 func (a *Air) searchStart(t time.Duration) int {
-	return sort.Search(len(a.log), func(i int) bool { return a.log[i].Start >= t })
+	return sort.Search(a.logLen(), func(i int) bool { return a.logStart[i] >= t })
 }
 
 // searchStartIdx is searchStart over a partition's index slice.
 func (a *Air) searchStartIdx(idx []int32, t time.Duration) int {
-	return sort.Search(len(idx), func(i int) bool { return a.log[idx[i]].Start >= t })
+	return sort.Search(len(idx), func(i int) bool { return a.logStart[idx[i]] >= t })
 }
 
 // ForEachOverlapping visits, in start order, every transmission on air
-// at any point of [from, to), regardless of channel. The visited pointer
-// is only valid during the call.
+// at any point of [from, to), regardless of channel. The visited record
+// is materialized into call-local scratch: it is only valid during the
+// call and is overwritten between visits.
 func (a *Air) ForEachOverlapping(from, to time.Duration, visit func(*Transmission)) {
-	for i := a.searchStart(from - a.maxDur); i < len(a.log); i++ {
-		tx := &a.log[i]
-		if tx.Start >= to {
+	var tx Transmission
+	for i := a.searchStart(from - a.maxDur); i < a.logLen(); i++ {
+		if a.logStart[i] >= to {
 			break
 		}
-		if tx.End > from {
-			visit(tx)
+		if a.logEnd[i] > from {
+			a.materialize(int32(i), &tx)
+			visit(&tx)
 		}
 	}
 }
@@ -861,13 +1105,15 @@ func (a *Air) partition(center spectrum.UHF) []int32 {
 }
 
 func (a *Air) forEachIdxOverlapping(idx []int32, from, to time.Duration, visit func(*Transmission)) {
+	var tx Transmission
 	for i := a.searchStartIdx(idx, from-a.maxDur); i < len(idx); i++ {
-		tx := &a.log[idx[i]]
-		if tx.Start >= to {
+		j := idx[i]
+		if a.logStart[j] >= to {
 			break
 		}
-		if tx.End > from {
-			visit(tx)
+		if a.logEnd[j] > from {
+			a.materialize(j, &tx)
+			visit(&tx)
 		}
 	}
 }
@@ -884,6 +1130,20 @@ func (a *Air) forEachIdxOverlapping(idx []int32, from, to time.Duration, visit f
 const maxHalfSpan = 2
 
 func (a *Air) forEachContaining(u spectrum.UHF, from, to time.Duration, visit func(*Transmission)) {
+	var tx Transmission
+	for _, i := range a.collectContaining(u, from, to) {
+		a.materialize(i, &tx)
+		visit(&tx)
+	}
+}
+
+// collectContaining gathers, into the shared scratch index buffer, the
+// start-ordered log indices of every transmission whose channel span
+// includes u and that overlaps [from, to). Column-direct queries
+// (BusyFractionAt, ActiveAPsAt) iterate the returned indices against
+// the log columns without materializing records; the buffer is
+// overwritten by the next window query.
+func (a *Air) collectContaining(u spectrum.UHF, from, to time.Duration) []int32 {
 	a.scratchIdx = a.scratchIdx[:0]
 	for c := u - maxHalfSpan; c <= u+maxHalfSpan; c++ {
 		if !a.partitionReaches(c, u, u) {
@@ -891,22 +1151,22 @@ func (a *Air) forEachContaining(u spectrum.UHF, from, to time.Duration, visit fu
 		}
 		idx := a.partition(c)
 		for i := a.searchStartIdx(idx, from-a.maxDur); i < len(idx); i++ {
-			tx := &a.log[idx[i]]
-			if tx.Start >= to {
+			j := idx[i]
+			if a.logStart[j] >= to {
 				break
 			}
-			if tx.End > from && tx.Channel.Contains(u) {
-				a.scratchIdx = append(a.scratchIdx, idx[i])
+			if a.logEnd[j] > from && a.logCh[j].Contains(u) {
+				a.scratchIdx = append(a.scratchIdx, j)
 			}
 		}
 	}
 	for i := a.searchStartIdx(a.other, from-a.maxDur); i < len(a.other); i++ {
-		tx := &a.log[a.other[i]]
-		if tx.Start >= to {
+		j := a.other[i]
+		if a.logStart[j] >= to {
 			break
 		}
-		if tx.End > from && tx.Channel.Contains(u) {
-			a.scratchIdx = append(a.scratchIdx, a.other[i])
+		if a.logEnd[j] > from && a.logCh[j].Contains(u) {
+			a.scratchIdx = append(a.scratchIdx, j)
 		}
 	}
 	// Log indices are start-ordered; merge the partitions by sorting the
@@ -917,9 +1177,7 @@ func (a *Air) forEachContaining(u spectrum.UHF, from, to time.Duration, visit fu
 			a.scratchIdx[j], a.scratchIdx[j-1] = a.scratchIdx[j-1], a.scratchIdx[j]
 		}
 	}
-	for _, i := range a.scratchIdx {
-		visit(&a.log[i])
-	}
+	return a.scratchIdx
 }
 
 // Overlapping returns the transmissions on air at any point of [from, to)
@@ -950,16 +1208,17 @@ func (a *Air) BusyFractionExcluding(u spectrum.UHF, from, to time.Duration, excl
 // global ground truth the QualNet-style experiments validate against).
 const IdealObserver = -1
 
-// audibleAt reports whether observer receives tx above the carrier-sense
-// threshold; the ideal observer hears everything.
-func (a *Air) audibleAt(observer int, tx *Transmission) bool {
+// audibleAt reports whether observer receives the logged transmission
+// at index i above the carrier-sense threshold; the ideal observer
+// hears everything.
+func (a *Air) audibleAt(observer int, i int32) bool {
 	if observer == IdealObserver {
 		return true
 	}
-	if a.beyondRange(&a.csRange, tx.PowerDB, DefaultCSThresholdDBm, dist2(tx.SrcPos, a.pos[observer])) {
+	if a.beyondRange(&a.csRange, a.logPower[i], DefaultCSThresholdDBm, dist2(a.logSrcPos[i], a.pos[observer])) {
 		return false
 	}
-	return a.RxPowerOf(tx, observer) >= DefaultCSThresholdDBm
+	return a.rxPowerAt(i, observer) >= DefaultCSThresholdDBm
 }
 
 // BusyFractionAt is BusyFractionExcluding as heard at node observer:
@@ -974,13 +1233,13 @@ func (a *Air) BusyFractionAt(observer int, u spectrum.UHF, from, to time.Duratio
 		return 0
 	}
 	ivs := a.scratchIvs[:0]
-	// forEachContaining visits in start order, so the intervals arrive
-	// already sorted and the union is a single sweep.
-	a.forEachContaining(u, from, to, func(tx *Transmission) {
-		if exclude[tx.Src] || !a.audibleAt(observer, tx) {
-			return
+	// collectContaining returns indices in start order, so the intervals
+	// arrive already sorted and the union is a single sweep.
+	for _, i := range a.collectContaining(u, from, to) {
+		if exclude[int(a.logSrc[i])] || !a.audibleAt(observer, i) {
+			continue
 		}
-		s, e := tx.Start, tx.End
+		s, e := a.logStart[i], a.logEnd[i]
 		if s < from {
 			s = from
 		}
@@ -988,7 +1247,7 @@ func (a *Air) BusyFractionAt(observer int, u spectrum.UHF, from, to time.Duratio
 			e = to
 		}
 		ivs = append(ivs, busyInterval{s, e})
-	})
+	}
 	a.scratchIvs = ivs[:0]
 	var busy, end time.Duration
 	end = -1
@@ -1020,13 +1279,31 @@ func (a *Air) ObservationAt(observer int, from, to time.Duration, exclude map[in
 	if to <= from {
 		return
 	}
-	var ivs [spectrum.NumUHF][]busyInterval
-	var seen [spectrum.NumUHF]map[int]bool
-	visit := func(tx *Transmission) {
-		if exclude[tx.Src] || !a.audibleAt(observer, tx) {
-			return
+	for u := range a.obsIvs {
+		a.obsIvs[u] = a.obsIvs[u][:0]
+		if a.obsSeen[u] != nil {
+			clear(a.obsSeen[u])
 		}
-		s, e := tx.Start, tx.End
+	}
+	// One cache-linear walk of the column log over the window: every
+	// entry is in exactly one partition, so the full-log walk visits the
+	// same set the per-partition walks did — but in global start order,
+	// so each channel's intervals arrive pre-sorted and the union sweep
+	// needs no per-channel sort (the union is order-independent, so the
+	// result matches the per-channel query exactly).
+	n := a.logLen()
+	for i := a.searchStart(from - a.maxDur); i < n; i++ {
+		if a.logStart[i] >= to {
+			break
+		}
+		if a.logEnd[i] <= from {
+			continue
+		}
+		src := int(a.logSrc[i])
+		if exclude[src] || !a.audibleAt(observer, int32(i)) {
+			continue
+		}
+		s, e := a.logStart[i], a.logEnd[i]
 		if s < from {
 			s = from
 		}
@@ -1034,41 +1311,31 @@ func (a *Air) ObservationAt(observer int, from, to time.Duration, exclude map[in
 			e = to
 		}
 		countAP := false
-		if n := a.node(tx.Src); n != nil {
-			countAP = n.isAP
+		if nd := a.node(src); nd != nil {
+			countAP = nd.isAP
 		} else {
 			// Transmissions from nodes that have since detached still
 			// count if they look like AP traffic (beacons).
-			countAP = tx.Frame.Kind == phy.KindBeacon
+			countAP = a.logFrame[i].Kind == phy.KindBeacon
 		}
-		lo, hi := tx.Channel.Bounds()
+		lo, hi := a.logCh[i].Bounds()
 		for u := lo; u <= hi; u++ {
 			if !u.Valid() {
 				continue
 			}
-			ivs[u] = append(ivs[u], busyInterval{s, e})
+			a.obsIvs[u] = append(a.obsIvs[u], busyInterval{s, e})
 			if countAP {
-				if seen[u] == nil {
-					seen[u] = map[int]bool{}
+				if a.obsSeen[u] == nil {
+					a.obsSeen[u] = map[int]bool{}
 				}
-				seen[u][tx.Src] = true
+				a.obsSeen[u][src] = true
 			}
 		}
 	}
-	for c := range a.byCenter {
-		a.forEachIdxOverlapping(a.byCenter[c], from, to, visit)
-	}
-	a.forEachIdxOverlapping(a.other, from, to, visit)
-	for u := range ivs {
-		// A channel's intervals arrive ordered within each partition but
-		// interleaved across the up-to-five partitions feeding it; sort
-		// before the union sweep (the union is order-independent, so the
-		// result matches the per-channel query exactly).
-		iv := ivs[u]
-		sort.Slice(iv, func(i, j int) bool { return iv[i].s < iv[j].s })
+	for u := range a.obsIvs {
 		var busy, end time.Duration
 		end = -1
-		for _, v := range iv {
+		for _, v := range a.obsIvs[u] {
 			if v.s > end {
 				busy += v.e - v.s
 				end = v.e
@@ -1078,7 +1345,7 @@ func (a *Air) ObservationAt(observer int, from, to time.Duration, exclude map[in
 			}
 		}
 		airtime[u] = float64(busy) / float64(to-from)
-		aps[u] = len(seen[u])
+		aps[u] = len(a.obsSeen[u])
 	}
 	return airtime, aps
 }
@@ -1100,20 +1367,27 @@ func (a *Air) ActiveAPsExcluding(u spectrum.UHF, from, to time.Duration, exclude
 // carrier-sense threshold are invisible to it, just as they would be to
 // the node's SIFT scanner.
 func (a *Air) ActiveAPsAt(observer int, u spectrum.UHF, from, to time.Duration, exclude map[int]bool) int {
-	seen := map[int]bool{}
-	a.forEachContaining(u, from, to, func(tx *Transmission) {
-		if exclude[tx.Src] || !a.audibleAt(observer, tx) {
-			return
+	if a.apsSeen == nil {
+		a.apsSeen = map[int]bool{}
+	} else {
+		clear(a.apsSeen)
+	}
+	for _, i := range a.collectContaining(u, from, to) {
+		src := int(a.logSrc[i])
+		if exclude[src] || !a.audibleAt(observer, i) {
+			continue
 		}
-		if n := a.node(tx.Src); n != nil && n.isAP {
-			seen[tx.Src] = true
-			return
+		if n := a.node(src); n != nil {
+			if n.isAP {
+				a.apsSeen[src] = true
+			}
+			continue
 		}
 		// Transmissions from nodes that have since detached still
 		// count if they look like AP traffic (beacons).
-		if a.node(tx.Src) == nil && tx.Frame.Kind == phy.KindBeacon {
-			seen[tx.Src] = true
+		if a.logFrame[i].Kind == phy.KindBeacon {
+			a.apsSeen[src] = true
 		}
-	})
-	return len(seen)
+	}
+	return len(a.apsSeen)
 }

@@ -44,6 +44,13 @@ func (r *recorder) deliver(f phy.Frame, tx *Transmission) {
 // the full ordered event log. The world is a pure function of (prop,
 // seed, noCull); culling must not appear in it.
 func cullWorldEvents(prop Propagation, seed int64, noCull bool, cellM float64) []string {
+	return worldEvents(prop, seed, noCull, false, cellM)
+}
+
+// worldEvents is cullWorldEvents with the transmission arena also
+// switchable: noPool disables pooling (fresh Transmission per Transmit),
+// the escape hatch pool_test.go pins event-identical to the pooled path.
+func worldEvents(prop Propagation, seed int64, noCull, noPool bool, cellM float64) []string {
 	const (
 		nNodes  = 14
 		nTx     = 300
@@ -56,6 +63,7 @@ func cullWorldEvents(prop Propagation, seed int64, noCull bool, cellM float64) [
 	air := NewAir(eng)
 	air.Prop = prop
 	air.NoCull = noCull
+	air.NoPool = noPool
 	air.GridCellM = cellM
 
 	var log []string

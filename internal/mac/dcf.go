@@ -74,10 +74,27 @@ type Node struct {
 	// the old frame's end event mutate MAC state on the new channel.
 	txGen uint64
 
-	difsEv  *sim.Event
-	slotEv  *sim.Event
-	ackEv   *sim.Event
-	pending *phy.Frame // frame awaiting ACK
+	difsEv sim.Handle
+	slotEv sim.Handle
+	ackEv  sim.Handle
+	// pending is the frame awaiting ACK (valid while hasPending); curTx
+	// is the frame currently on air, read by the end-of-transmission
+	// event. Both are values, not pointers: the DCF fires millions of
+	// timer events per run, and value state plus the bound callbacks
+	// below keep that hot path allocation-free.
+	pending    phy.Frame
+	hasPending bool
+	curTx      phy.Frame
+
+	// Callbacks bound once at construction so per-event scheduling does
+	// not allocate a closure. The *Arg variants receive their per-event
+	// word (a generation counter or a node id) through the scheduler.
+	difsDoneFn   func()
+	slotDoneFn   func()
+	ackTimeoutFn func()
+	kickGenFn    func(uint64)
+	txEndGenFn   func(uint64)
+	ackReplyFn   func(uint64)
 
 	Stats Stats
 }
@@ -104,6 +121,22 @@ func NewNode(eng *sim.Engine, air *Air, id int, ch spectrum.Channel, isAP bool) 
 		channel:  ch,
 		cw:       phy.CWMin,
 		maxQueue: 512,
+	}
+	n.difsDoneFn = n.difsDone
+	n.slotDoneFn = n.slotDone
+	n.ackTimeoutFn = n.ackTimeout
+	n.kickGenFn = func(gen uint64) {
+		if n.txGen == gen {
+			n.kick()
+		}
+	}
+	n.txEndGenFn = func(gen uint64) {
+		if n.txGen == gen {
+			n.txEnded(n.curTx)
+		}
+	}
+	n.ackReplyFn = func(dst uint64) {
+		n.air.Transmit(n.ID, n.channel, phy.ACKFrame(n.ID, int(dst)), n.Power, true)
 	}
 	n.an = air.attach(id, ch, isAP, n, n.receive)
 	return n
@@ -136,7 +169,8 @@ func (n *Node) Position() Position { return n.air.PositionOf(n.ID) }
 func (n *Node) Retune(ch spectrum.Channel) {
 	n.cancelTimers()
 	n.txGen++
-	n.pending = nil
+	n.pending = phy.Frame{}
+	n.hasPending = false
 	n.state = stIdle
 	n.cw = phy.CWMin
 	n.retries = 0
@@ -201,7 +235,8 @@ func (n *Node) SetDown(down bool) {
 	if down {
 		n.cancelTimers()
 		n.txGen++
-		n.pending = nil
+		n.pending = phy.Frame{}
+		n.hasPending = false
 		n.ClearQueue()
 		n.state = stIdle
 		n.cw = phy.CWMin
@@ -255,7 +290,10 @@ func (n *Node) shedFor(f phy.Frame) bool {
 	for i := start; i < len(n.queue); i++ {
 		q := n.queue[i]
 		if q.Kind == phy.KindData && n.flowKey(q) == victim {
-			n.queue = append(n.queue[:i], n.queue[i+1:]...)
+			last := len(n.queue) - 1
+			copy(n.queue[i:], n.queue[i+1:])
+			n.queue[last] = phy.Frame{} // don't pin the evicted Meta
+			n.queue = n.queue[:last]
 			n.Stats.ShedDropped++
 			return true
 		}
@@ -301,7 +339,7 @@ func (n *Node) cancelTimers() {
 	n.eng.Cancel(n.difsEv)
 	n.eng.Cancel(n.slotEv)
 	n.eng.Cancel(n.ackEv)
-	n.difsEv, n.slotEv, n.ackEv = nil, nil, nil
+	n.difsEv, n.slotEv, n.ackEv = sim.Handle{}, sim.Handle{}, sim.Handle{}
 }
 
 // kick starts medium acquisition if there is work and the MAC is idle.
@@ -313,12 +351,7 @@ func (n *Node) kick() {
 		return
 	}
 	if until := n.an.txUntil; until > n.eng.Now() {
-		gen := n.txGen
-		n.eng.Schedule(until, func() {
-			if n.txGen == gen {
-				n.kick()
-			}
-		})
+		n.eng.ScheduleArg(until, n.kickGenFn, n.txGen)
 		return
 	}
 	n.beginAccess()
@@ -338,11 +371,11 @@ func (n *Node) startDIFS() {
 		return
 	}
 	n.state = stDIFS
-	n.difsEv = n.eng.After(phy.DIFS(n.channel.Width), n.difsDone)
+	n.difsEv = n.eng.After(phy.DIFS(n.channel.Width), n.difsDoneFn)
 }
 
 func (n *Node) difsDone() {
-	n.difsEv = nil
+	n.difsEv = sim.Handle{}
 	if n.slotsLeft == 0 {
 		n.transmitHead()
 		return
@@ -352,11 +385,11 @@ func (n *Node) difsDone() {
 }
 
 func (n *Node) scheduleSlot() {
-	n.slotEv = n.eng.After(phy.Slot(n.channel.Width), n.slotDone)
+	n.slotEv = n.eng.After(phy.Slot(n.channel.Width), n.slotDoneFn)
 }
 
 func (n *Node) slotDone() {
-	n.slotEv = nil
+	n.slotEv = sim.Handle{}
 	n.slotsLeft--
 	if n.slotsLeft <= 0 {
 		n.transmitHead()
@@ -371,12 +404,12 @@ func (n *Node) mediumBusyChanged(busy bool) {
 		switch n.state {
 		case stDIFS:
 			n.eng.Cancel(n.difsEv)
-			n.difsEv = nil
+			n.difsEv = sim.Handle{}
 			n.state = stDeferring
 		case stBackoff:
 			// The slot in progress did not complete idle: freeze.
 			n.eng.Cancel(n.slotEv)
-			n.slotEv = nil
+			n.slotEv = sim.Handle{}
 			n.state = stDeferring
 		}
 		return
@@ -399,12 +432,8 @@ func (n *Node) transmitHead() {
 	} else if !f.Kind.NeedsACK() {
 		n.Stats.TxBroadcast++
 	}
-	gen := n.txGen
-	n.eng.Schedule(tx.End, func() {
-		if n.txGen == gen {
-			n.txEnded(f)
-		}
-	})
+	n.curTx = f
+	n.eng.ScheduleArg(tx.End, n.txEndGenFn, n.txGen)
 }
 
 func (n *Node) txEnded(f phy.Frame) {
@@ -413,10 +442,10 @@ func (n *Node) txEnded(f phy.Frame) {
 	}
 	if f.Kind.NeedsACK() && f.Dst != phy.Broadcast {
 		n.state = stAwaitingACK
-		cp := f
-		n.pending = &cp
+		n.pending = f
+		n.hasPending = true
 		timeout := phy.SIFS(n.channel.Width) + phy.ACKAirtime(n.channel.Width) + 2*phy.Slot(n.channel.Width)
-		n.ackEv = n.eng.After(timeout, n.ackTimeout)
+		n.ackEv = n.eng.After(timeout, n.ackTimeoutFn)
 		return
 	}
 	// Broadcast / unacknowledged frame: done.
@@ -424,8 +453,9 @@ func (n *Node) txEnded(f phy.Frame) {
 }
 
 func (n *Node) ackTimeout() {
-	n.ackEv = nil
-	n.pending = nil
+	n.ackEv = sim.Handle{}
+	n.pending = phy.Frame{}
+	n.hasPending = false
 	n.Stats.AckTimeouts++
 	n.retries++
 	if n.retries > RetryLimit {
@@ -448,7 +478,16 @@ func (n *Node) ackTimeout() {
 func (n *Node) completeHead(ok bool) {
 	if len(n.queue) > 0 {
 		f := n.queue[0]
-		n.queue = n.queue[1:]
+		// Dequeue by compacting in place rather than re-slicing from
+		// index 1: re-slicing abandons the head of the backing array, so
+		// with a typically short queue nearly every Send would have to
+		// reallocate it. Compaction keeps the array (and its capacity)
+		// stable for the node's lifetime. The vacated tail slot is
+		// zeroed so it does not pin the frame's Meta payload.
+		last := len(n.queue) - 1
+		copy(n.queue, n.queue[1:])
+		n.queue[last] = phy.Frame{}
+		n.queue = n.queue[:last]
 		if ok && f.Kind == phy.KindData && f.Dst != phy.Broadcast {
 			n.Stats.TxOK++
 			n.Stats.PayloadRxOK += int64(f.Bytes - phy.MACHeaderBytes)
@@ -470,19 +509,17 @@ func (n *Node) receive(f phy.Frame, tx *Transmission) {
 	n.Stats.LastRxAt = n.eng.Now()
 	switch {
 	case f.Kind == phy.KindACK:
-		if n.state == stAwaitingACK && n.pending != nil && f.Src == n.pending.Dst {
+		if n.state == stAwaitingACK && n.hasPending && f.Src == n.pending.Dst {
 			n.eng.Cancel(n.ackEv)
-			n.ackEv = nil
-			n.pending = nil
+			n.ackEv = sim.Handle{}
+			n.pending = phy.Frame{}
+			n.hasPending = false
 			n.completeHead(true)
 		}
 		return
 	case f.Kind.NeedsACK() && f.Dst == n.ID:
 		// Reply with an ACK one SIFS later, without carrier sense.
-		src := f.Src
-		n.eng.After(phy.SIFS(n.channel.Width), func() {
-			n.air.Transmit(n.ID, n.channel, phy.ACKFrame(n.ID, src), n.Power, true)
-		})
+		n.eng.AfterArg(phy.SIFS(n.channel.Width), n.ackReplyFn, uint64(f.Src))
 	}
 	if f.Kind == phy.KindData {
 		n.Stats.RxData++

@@ -19,13 +19,16 @@ type CBR struct {
 
 	eng     *sim.Engine
 	running bool
-	ev      *sim.Event
+	ev      sim.Handle
+	tickFn  func() // bound once so periodic rescheduling does not allocate
 	Sent    int
 }
 
 // NewCBR creates a stopped CBR source; call Start to begin.
 func NewCBR(eng *sim.Engine, n *Node, dst, bytes int, interval time.Duration) *CBR {
-	return &CBR{Node: n, Dst: dst, Bytes: bytes, Interval: interval, eng: eng}
+	c := &CBR{Node: n, Dst: dst, Bytes: bytes, Interval: interval, eng: eng}
+	c.tickFn = c.tick
+	return c
 }
 
 // Start begins generating packets, the first one immediately.
@@ -40,10 +43,8 @@ func (c *CBR) Start() {
 // Stop halts generation. Queued frames still drain.
 func (c *CBR) Stop() {
 	c.running = false
-	if c.ev != nil {
-		c.eng.Cancel(c.ev)
-		c.ev = nil
-	}
+	c.eng.Cancel(c.ev)
+	c.ev = sim.Handle{}
 }
 
 // Running reports whether the source is generating.
@@ -55,7 +56,7 @@ func (c *CBR) tick() {
 	}
 	c.Node.Send(phy.DataFrame(c.Node.ID, c.Dst, c.Bytes))
 	c.Sent++
-	c.ev = c.eng.After(c.Interval, c.tick)
+	c.ev = c.eng.After(c.Interval, c.tickFn)
 }
 
 // Backlogged keeps a node's transmit queue non-empty, modelling the
@@ -67,12 +68,15 @@ type Backlogged struct {
 
 	eng     *sim.Engine
 	running bool
-	ev      *sim.Event
+	ev      sim.Handle
+	fillFn  func() // bound once so periodic rescheduling does not allocate
 }
 
 // NewBacklogged creates a stopped saturating source.
 func NewBacklogged(eng *sim.Engine, n *Node, dst, bytes int) *Backlogged {
-	return &Backlogged{Node: n, Dst: dst, Bytes: bytes, eng: eng}
+	b := &Backlogged{Node: n, Dst: dst, Bytes: bytes, eng: eng}
+	b.fillFn = b.fill
+	return b
 }
 
 // Start begins keeping the queue topped up.
@@ -87,10 +91,8 @@ func (b *Backlogged) Start() {
 // Stop halts the source.
 func (b *Backlogged) Stop() {
 	b.running = false
-	if b.ev != nil {
-		b.eng.Cancel(b.ev)
-		b.ev = nil
-	}
+	b.eng.Cancel(b.ev)
+	b.ev = sim.Handle{}
 }
 
 func (b *Backlogged) fill() {
@@ -106,7 +108,7 @@ func (b *Backlogged) fill() {
 	}
 	// Top up at a cadence well below a frame time so the queue never
 	// runs dry but event count stays bounded.
-	b.ev = b.eng.After(500*time.Microsecond, b.fill)
+	b.ev = b.eng.After(500*time.Microsecond, b.fillFn)
 }
 
 // MarkovOnOff modulates a CBR source with the two-state Markov chain of
@@ -126,13 +128,14 @@ type MarkovOnOff struct {
 	eng     *sim.Engine
 	active  bool
 	running bool
-	ev      *sim.Event
+	ev      sim.Handle
+	stepFn  func() // bound once so periodic rescheduling does not allocate
 }
 
 // NewMarkovOnOff wraps a CBR source with on/off churn. startActive sets
 // the initial state.
 func NewMarkovOnOff(eng *sim.Engine, src *CBR, pStayActive, pStayPassive float64, epoch time.Duration, startActive bool) *MarkovOnOff {
-	return &MarkovOnOff{
+	m := &MarkovOnOff{
 		Source:       src,
 		PStayActive:  pStayActive,
 		PStayPassive: pStayPassive,
@@ -140,6 +143,8 @@ func NewMarkovOnOff(eng *sim.Engine, src *CBR, pStayActive, pStayPassive float64
 		eng:          eng,
 		active:       startActive,
 	}
+	m.stepFn = m.step
+	return m
 }
 
 // Start begins the chain (and the CBR source if initially active).
@@ -151,16 +156,14 @@ func (m *MarkovOnOff) Start() {
 	if m.active {
 		m.Source.Start()
 	}
-	m.ev = m.eng.After(m.Epoch, m.step)
+	m.ev = m.eng.After(m.Epoch, m.stepFn)
 }
 
 // Stop halts both the chain and the source.
 func (m *MarkovOnOff) Stop() {
 	m.running = false
-	if m.ev != nil {
-		m.eng.Cancel(m.ev)
-		m.ev = nil
-	}
+	m.eng.Cancel(m.ev)
+	m.ev = sim.Handle{}
 	m.Source.Stop()
 }
 
@@ -183,7 +186,7 @@ func (m *MarkovOnOff) step() {
 			m.Source.Start()
 		}
 	}
-	m.ev = m.eng.After(m.Epoch, m.step)
+	m.ev = m.eng.After(m.Epoch, m.stepFn)
 }
 
 // BackgroundPair is a background AP with one associated client running a

@@ -216,6 +216,11 @@ type TrueAirtime struct {
 	Air      *mac.Air
 	Exclude  map[int]bool
 	Observer int
+
+	// scratchEx is the reusable exclude set for Measure calls that add a
+	// caller exclusion, so per-round observations do not allocate a map
+	// each. ObservationAt only reads it during the call.
+	scratchEx map[int]bool
 }
 
 func (t *TrueAirtime) observer() int {
@@ -233,11 +238,15 @@ func (t *TrueAirtime) observer() int {
 func (t *TrueAirtime) Measure(from, to time.Duration, exclude int) (airtime [spectrum.NumUHF]float64, aps [spectrum.NumUHF]int) {
 	ex := t.Exclude
 	if exclude >= 0 {
-		ex = make(map[int]bool, len(t.Exclude)+1)
-		for k, v := range t.Exclude {
-			ex[k] = v
+		if t.scratchEx == nil {
+			t.scratchEx = make(map[int]bool, len(t.Exclude)+1)
 		}
-		ex[exclude] = true
+		clear(t.scratchEx)
+		for k, v := range t.Exclude {
+			t.scratchEx[k] = v
+		}
+		t.scratchEx[exclude] = true
+		ex = t.scratchEx
 	}
 	return t.Air.ObservationAt(t.observer(), from, to, ex)
 }

@@ -1,3 +1,13 @@
+// Package sim provides a single-threaded discrete-event scheduler with
+// a seeded random source. Events are pooled per Engine: firing or
+// cancelling an event returns its storage to an engine-owned free list,
+// and the Handle returned by the Schedule methods carries a generation
+// counter so a stale handle (kept past the event's firing) can never
+// cancel the slot's next occupant. The pool keeps steady-state
+// scheduling allocation-free, which matters because event churn
+// dominates the allocation profile of large scenario runs; free lists
+// are engine-local so the design stays compatible with per-shard arenas
+// (no cross-engine pointers).
 package sim
 
 import (
@@ -6,23 +16,35 @@ import (
 	"time"
 )
 
-// Event is a scheduled callback. It is returned by the Schedule methods
-// so callers can cancel pending events (e.g. an ACK timeout).
-type Event struct {
-	at     time.Duration
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 once popped or cancelled
-	cancel bool
+// event is a pooled scheduled callback. Exactly one of fn/argFn is
+// non-nil. gen is bumped every time the slot is released (fired or
+// cancelled), invalidating outstanding Handles.
+type event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	argFn func(uint64)
+	arg   uint64
+	index int // heap index while queued
+	gen   uint32
+	live  bool // queued and not yet fired/cancelled
 }
 
-// At returns the virtual time the event is scheduled for.
-func (e *Event) At() time.Duration { return e.at }
+// Handle identifies a scheduled event for cancellation. The zero
+// Handle is valid and refers to no event; cancelling it is a no-op, as
+// is cancelling a handle whose event has already fired or been
+// cancelled (the generation check makes stale handles inert rather
+// than dangerous, even after the pooled slot is reused).
+type Handle struct {
+	ev  *event
+	gen uint32
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancel }
+// Scheduled reports whether the handle's event is still pending: not
+// yet fired and not cancelled. The zero Handle reports false.
+func (h Handle) Scheduled() bool { return h.ev != nil && h.ev.gen == h.gen && h.ev.live }
 
-type eventQueue []*Event
+type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
@@ -36,7 +58,7 @@ func (q eventQueue) Swap(i, j int) {
 	q[i].index, q[j].index = i, j
 }
 func (q *eventQueue) Push(x interface{}) {
-	e := x.(*Event)
+	e := x.(*event)
 	e.index = len(*q)
 	*q = append(*q, e)
 }
@@ -56,6 +78,7 @@ type Engine struct {
 	now   time.Duration
 	seq   uint64
 	queue eventQueue
+	free  []*event
 	rng   *rand.Rand
 }
 
@@ -70,64 +93,109 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Schedule runs fn at virtual time at. Times in the past (including the
-// current instant) run as soon as the engine resumes processing, before
-// any later event. It returns a handle that can be cancelled.
-func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+// alloc takes an event from the free list, or grows the pool.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.live = true
+		return ev
+	}
+	return &event{live: true}
+}
+
+// release returns a fired or cancelled event to the free list, bumping
+// its generation so outstanding Handles go stale. Callbacks are cleared
+// so the pool does not pin closures.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.live = false
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = 0
+	e.free = append(e.free, ev)
+}
+
+// enqueue inserts a pooled event at time at (clamped to now).
+func (e *Engine) enqueue(at time.Duration, ev *event) Handle {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev.at = at
+	ev.seq = e.seq
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// Schedule runs fn at virtual time at. Times in the past (including the
+// current instant) run as soon as the engine resumes processing, before
+// any later event. It returns a handle that can be cancelled.
+func (e *Engine) Schedule(at time.Duration, fn func()) Handle {
+	ev := e.alloc()
+	ev.fn = fn
+	return e.enqueue(at, ev)
 }
 
 // After runs fn d after the current virtual time.
-func (e *Engine) After(d time.Duration, fn func()) *Event {
+func (e *Engine) After(d time.Duration, fn func()) Handle {
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel prevents a pending event from firing. Cancelling a fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancel {
+// ScheduleArg runs fn(arg) at virtual time at (clamped like Schedule).
+// Passing state through arg instead of a closure capture keeps hot-path
+// scheduling allocation-free: fn can be a long-lived bound function
+// while arg carries the per-event word (a packed handle, a generation
+// counter, a node id).
+func (e *Engine) ScheduleArg(at time.Duration, fn func(uint64), arg uint64) Handle {
+	ev := e.alloc()
+	ev.argFn = fn
+	ev.arg = arg
+	return e.enqueue(at, ev)
+}
+
+// AfterArg runs fn(arg) d after the current virtual time.
+func (e *Engine) AfterArg(d time.Duration, fn func(uint64), arg uint64) Handle {
+	return e.ScheduleArg(e.now+d, fn, arg)
+}
+
+// Cancel prevents a pending event from firing. Cancelling the zero
+// Handle, a fired event, or an already-cancelled event is a no-op: the
+// generation check rejects stale handles even after the slot has been
+// reused for a newer event.
+func (e *Engine) Cancel(h Handle) {
+	if h.ev == nil || h.ev.gen != h.gen || !h.ev.live {
 		return
 	}
-	ev.cancel = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-		ev.index = -1
-	}
+	heap.Remove(&e.queue, h.ev.index)
+	e.release(h.ev)
 }
 
 // Step fires the next pending event, advancing the clock to its time.
-// It reports whether an event was fired.
+// It reports whether an event was fired. The event's storage is
+// released before its callback runs, so a callback that reschedules
+// typically reuses the slot it just fired from.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.at
-		ev.fn()
-		return true
+	if e.queue.Len() == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	fn, argFn, arg := ev.fn, ev.argFn, ev.arg
+	e.release(ev)
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // RunUntil processes events in order until the queue is empty or the next
 // event is after deadline; the clock is then set to deadline.
 func (e *Engine) RunUntil(deadline time.Duration) {
-	for e.queue.Len() > 0 {
-		next := e.queue[0]
-		if next.cancel {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > deadline {
-			break
-		}
+	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -147,7 +215,8 @@ type Ticker struct {
 	eng    *Engine
 	period time.Duration
 	fn     func()
-	ev     *Event
+	tickFn func() // bound once so rescheduling does not allocate
+	ev     Handle
 	done   bool
 }
 
@@ -158,7 +227,8 @@ func (e *Engine) Every(period time.Duration, fn func()) *Ticker {
 		panic("sim: Every needs a positive period")
 	}
 	t := &Ticker{eng: e, period: period, fn: fn}
-	t.ev = e.After(period, t.tick)
+	t.tickFn = t.tick
+	t.ev = e.After(period, t.tickFn)
 	return t
 }
 
@@ -172,25 +242,16 @@ func (t *Ticker) tick() {
 	if t.done {
 		return
 	}
-	t.ev = t.eng.After(t.period, t.tick)
+	t.ev = t.eng.After(t.period, t.tickFn)
 }
 
 // Stop cancels the ticker; firing a stopped ticker is a no-op.
 func (t *Ticker) Stop() {
 	t.done = true
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = Handle{}
 }
 
-// Pending returns the number of uncancelled scheduled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancel {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled events. Cancelled events
+// leave the queue immediately, so every queued event counts.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -77,27 +77,112 @@ func TestCancel(t *testing.T) {
 	e := New(1)
 	fired := false
 	ev := e.Schedule(10, func() { fired = true })
+	if !ev.Scheduled() {
+		t.Error("Scheduled() false before cancel")
+	}
 	e.Cancel(ev)
 	e.Run()
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Error("Cancelled() false after cancel")
+	if ev.Scheduled() {
+		t.Error("Scheduled() true after cancel")
 	}
-	e.Cancel(ev) // double cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(ev)       // double cancel is a no-op
+	e.Cancel(Handle{}) // zero handle is a no-op
 }
 
 func TestCancelFromWithinEvent(t *testing.T) {
 	e := New(1)
 	fired := false
-	var target *Event
+	var target Handle
 	target = e.Schedule(20, func() { fired = true })
 	e.Schedule(10, func() { e.Cancel(target) })
 	e.Run()
 	if fired {
 		t.Error("event cancelled at t=10 still fired at t=20")
+	}
+}
+
+// TestStaleHandleCannotCancelReusedSlot is the generation-check
+// property: a handle kept past its event's firing must not cancel the
+// pooled slot's next occupant.
+func TestStaleHandleCannotCancelReusedSlot(t *testing.T) {
+	e := New(1)
+	var stale Handle
+	stale = e.Schedule(10, func() {})
+	e.Run() // fires; slot returns to the free list
+	if stale.Scheduled() {
+		t.Fatal("handle still Scheduled() after firing")
+	}
+	fired := false
+	fresh := e.Schedule(20, func() { fired = true }) // reuses the slot
+	e.Cancel(stale)                                  // stale generation: must be inert
+	e.Run()
+	if !fired {
+		t.Fatal("stale handle cancelled the slot's new occupant")
+	}
+	_ = fresh
+}
+
+// TestDoubleCancelAfterReuse: cancelling twice, with a reuse in
+// between, must not free the new occupant out from under its handle.
+func TestDoubleCancelAfterReuse(t *testing.T) {
+	e := New(1)
+	h := e.Schedule(10, func() {})
+	e.Cancel(h)
+	fired := false
+	e.Schedule(5, func() { fired = true }) // reuses the freed slot
+	e.Cancel(h)                            // double free attempt: stale gen, no-op
+	e.Run()
+	if !fired {
+		t.Fatal("double cancel freed the reused slot")
+	}
+}
+
+// TestPoolReuseKeepsOrdering: heavy schedule/fire churn through the
+// pool must preserve (time, scheduling-order) firing exactly.
+func TestPoolReuseKeepsOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		got = append(got, n)
+		if n < 100 {
+			e.After(time.Millisecond, step)
+		}
+	}
+	e.After(time.Millisecond, step)
+	e.Run()
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("pool reuse broke ordering: %v", got[:i+1])
+		}
+	}
+}
+
+// TestScheduleArg covers the closure-free scheduling path: the arg word
+// arrives intact, ordering and cancellation match Schedule.
+func TestScheduleArg(t *testing.T) {
+	e := New(1)
+	var got []uint64
+	fn := func(arg uint64) { got = append(got, arg) }
+	e.ScheduleArg(20, fn, 2)
+	e.ScheduleArg(10, fn, 1)
+	h := e.AfterArg(30, fn, 3)
+	e.ScheduleArg(40, fn, 1<<40|7)
+	e.Cancel(h)
+	e.Run()
+	want := []uint64{1, 2, 1<<40 | 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
 	}
 }
 
@@ -186,7 +271,7 @@ func TestQuickCancelSubset(t *testing.T) {
 	f := func(mask uint32) bool {
 		e := New(0)
 		fired := map[int]bool{}
-		var evs []*Event
+		var evs []Handle
 		for i := 0; i < 32; i++ {
 			i := i
 			evs = append(evs, e.Schedule(time.Duration(i%7), func() { fired[i] = true }))

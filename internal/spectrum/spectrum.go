@@ -170,26 +170,36 @@ func (c Channel) String() string {
 	return fmt.Sprintf("(%s, %s)", c.Center, c.Width)
 }
 
-// AllChannels enumerates every valid WhiteFi channel: 30 at 5 MHz, 28 at
-// 10 MHz and 26 at 20 MHz (84 combinations, Section 4.2 of the paper).
-func AllChannels() []Channel {
-	var out []Channel
+// The channel tables are fixed by the band plan, so they are built once
+// at package init and shared: the assignment layer enumerates them every
+// Selector round, which used to rebuild the 84-entry slice per call.
+var (
+	allChannels     []Channel
+	channelsByWidth map[Width][]Channel
+)
+
+func init() {
+	channelsByWidth = make(map[Width][]Channel, len(Widths))
 	for _, w := range Widths {
-		out = append(out, ChannelsOfWidth(w)...)
+		half := UHF(w.Span() / 2)
+		var out []Channel
+		for u := half; u < NumUHF-half; u++ {
+			out = append(out, Channel{Center: u, Width: w})
+		}
+		channelsByWidth[w] = out
+		allChannels = append(allChannels, out...)
 	}
-	return out
 }
 
+// AllChannels enumerates every valid WhiteFi channel: 30 at 5 MHz, 28 at
+// 10 MHz and 26 at 20 MHz (84 combinations, Section 4.2 of the paper).
+// The returned slice is shared and must not be modified.
+func AllChannels() []Channel { return allChannels }
+
 // ChannelsOfWidth enumerates every valid WhiteFi channel of width w,
-// lowest center first.
-func ChannelsOfWidth(w Width) []Channel {
-	half := UHF(w.Span() / 2)
-	var out []Channel
-	for u := half; u < NumUHF-half; u++ {
-		out = append(out, Channel{Center: u, Width: w})
-	}
-	return out
-}
+// lowest center first. The returned slice is shared and must not be
+// modified; an unknown width yields nil.
+func ChannelsOfWidth(w Width) []Channel { return channelsByWidth[w] }
 
 // Map is a spectrum map: a bit-vector u_0..u_29 where bit i is set when
 // UHF channel i is in use by an incumbent (TV station or wireless

@@ -41,8 +41,20 @@ type Flow struct {
 	eng     *sim.Engine
 	rng     *rand.Rand
 	running bool
-	ev      *sim.Event
+	ev      sim.Handle
 	startAt time.Duration
+
+	// Bound once so the per-packet/per-page reschedules do not allocate
+	// closures.
+	stepFn        func()
+	sendRequestFn func()
+
+	// tagBuf is the current tag slab chunk: tags are handed out as
+	// pointers into it, so chunks are never grown in place (append only
+	// within capacity) and a fresh chunk is allocated when one fills.
+	// Tags are never individually reused — a stale Meta pointer can
+	// therefore never mis-attribute a late delivery.
+	tagBuf []tag
 
 	onLeft time.Duration // Burst: remaining ON holding time
 
@@ -52,7 +64,20 @@ type Flow struct {
 	lastDataSeq int64
 	lastReqSeq  int64
 
-	timeoutEv *sim.Event // Web: outstanding-page watchdog
+	timeoutEv sim.Handle // Web: outstanding-page watchdog
+}
+
+// tagChunk is the tag slab chunk size: large enough to amortise the
+// allocation to noise, small enough to waste little on short flows.
+const tagChunk = 256
+
+// newTag hands out one tag from the flow's slab.
+func (f *Flow) newTag() *tag {
+	if len(f.tagBuf) == cap(f.tagBuf) {
+		f.tagBuf = make([]tag, 0, tagChunk)
+	}
+	f.tagBuf = append(f.tagBuf, tag{})
+	return &f.tagBuf[len(f.tagBuf)-1]
 }
 
 // Orient maps a spec onto an AP/client pair as (sender, receiver) in
@@ -83,6 +108,8 @@ func NewFlow(eng *sim.Engine, id int, spec Spec, sender, receiver *mac.Node) *Fl
 		lastReqSeq:  -1,
 	}
 	f.Tel.init()
+	f.stepFn = f.step
+	f.sendRequestFn = f.sendRequest
 	return f
 }
 
@@ -107,14 +134,10 @@ func (f *Flow) Start() {
 // already-queued packets keep counting so tail latency is not lost.
 func (f *Flow) Stop() {
 	f.running = false
-	if f.ev != nil {
-		f.eng.Cancel(f.ev)
-		f.ev = nil
-	}
-	if f.timeoutEv != nil {
-		f.eng.Cancel(f.timeoutEv)
-		f.timeoutEv = nil
-	}
+	f.eng.Cancel(f.ev)
+	f.ev = sim.Handle{}
+	f.eng.Cancel(f.timeoutEv)
+	f.timeoutEv = sim.Handle{}
 }
 
 // Running reports whether the flow is generating.
@@ -129,7 +152,7 @@ func (f *Flow) step() {
 		return
 	}
 	f.sendData(false)
-	f.ev = f.eng.After(f.nextWait(), f.step)
+	f.ev = f.eng.After(f.nextWait(), f.stepFn)
 }
 
 // nextWait draws the gap before the next open-loop packet.
@@ -156,7 +179,9 @@ func (f *Flow) nextWait() time.Duration {
 // sendData enqueues one tagged data packet at the sender.
 func (f *Flow) sendData(last bool) {
 	fr := phy.DataFrame(f.Sender.ID, f.Receiver.ID, f.Spec.Bytes)
-	fr.Meta = &tag{flow: f, sentAt: f.eng.Now(), last: last}
+	t := f.newTag()
+	*t = tag{flow: f, sentAt: f.eng.Now(), last: last}
+	fr.Meta = t
 	f.Tel.Generated++
 	if !f.Sender.Send(fr) {
 		f.Tel.QueueDropped++
@@ -171,17 +196,17 @@ func (f *Flow) sendRequest() {
 	if !f.running {
 		return
 	}
-	if f.ev != nil {
-		f.eng.Cancel(f.ev)
-		f.ev = nil
-	}
+	f.eng.Cancel(f.ev)
+	f.ev = sim.Handle{}
 	fr := phy.DataFrame(f.Receiver.ID, f.Sender.ID, f.Spec.RequestBytes)
-	fr.Meta = &tag{flow: f, sentAt: f.eng.Now(), req: true}
+	t := f.newTag()
+	*t = tag{flow: f, sentAt: f.eng.Now(), req: true}
+	fr.Meta = t
 	f.Tel.Requests++
 	if !f.Receiver.Send(fr) {
 		f.Tel.RequestDropped++
 	}
-	f.timeoutEv = f.eng.After(webTimeout, f.sendRequest)
+	f.timeoutEv = f.eng.After(webTimeout, f.sendRequestFn)
 }
 
 // servePage answers a delivered request with a page of data packets.
@@ -196,17 +221,13 @@ func (f *Flow) servePage() {
 // resets the single pending timer (cancelled before rescheduling) — at
 // most one request loop ever runs, however congested delivery gets.
 func (f *Flow) pageDone() {
-	if f.timeoutEv != nil {
-		f.eng.Cancel(f.timeoutEv)
-		f.timeoutEv = nil
-	}
+	f.eng.Cancel(f.timeoutEv)
+	f.timeoutEv = sim.Handle{}
 	if !f.running {
 		return
 	}
-	if f.ev != nil {
-		f.eng.Cancel(f.ev)
-	}
-	f.ev = f.eng.After(expDur(f.rng, f.Spec.Think), f.sendRequest)
+	f.eng.Cancel(f.ev)
+	f.ev = f.eng.After(expDur(f.rng, f.Spec.Think), f.sendRequestFn)
 }
 
 // hook chains the flow's delivery tap onto n's receive path, ahead of
@@ -295,7 +316,10 @@ type Telemetry struct {
 	// LastDeliveredAt is the virtual time of the latest delivery.
 	LastDeliveredAt time.Duration
 
-	p50, p95, p99 *trace.Quantile
+	// The sketches are value fields (not pointers) so creating a flow's
+	// telemetry performs no heap allocation; a Telemetry copy therefore
+	// snapshots the sketches rather than sharing them.
+	p50, p95, p99 trace.Quantile
 	delaySum      time.Duration
 	lastDelay     time.Duration
 	haveLast      bool
@@ -304,9 +328,9 @@ type Telemetry struct {
 }
 
 func (t *Telemetry) init() {
-	t.p50 = trace.NewQuantile(0.50)
-	t.p95 = trace.NewQuantile(0.95)
-	t.p99 = trace.NewQuantile(0.99)
+	t.p50.Reset(0.50)
+	t.p95.Reset(0.95)
+	t.p99.Reset(0.99)
 }
 
 // deliver folds one delivery into the sketches.

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# alloc_gate.sh — hard allocation-regression gate for the zero-GC hot
+# path. Runs the three reduced-scale alloc-bound scenario benchmarks
+# (BenchmarkAllocGateDenseCity, BenchmarkAllocGateFig12,
+# BenchmarkAllocGateMixedTraffic) and FAILS (exit 1) when any of them
+# regresses allocs_per_op by more than the threshold against the most
+# recently committed BENCH_<sha>.json baseline.
+#
+#   threshold: ALLOC_GATE_THRESHOLD, default 10 (percent). allocs/op is
+#   deterministic up to map/slice growth timing, so 10% headroom
+#   absorbs benign growth-pattern shifts while catching any real
+#   reintroduction of per-event/per-frame allocation.
+#
+# A gate benchmark missing from the committed baseline is reported but
+# does not fail the gate (it gates from the first baseline that covers
+# it). No committed baseline at all skips the gate.
+#
+# Usage: scripts/alloc_gate.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+threshold=${ALLOC_GATE_THRESHOLD:-10}
+
+# Most recently committed baseline (by commit time).
+baseline=""
+best=0
+for f in $(git ls-files 'BENCH_*.json'); do
+    ct=$(git log -1 --format=%ct -- "$f" 2>/dev/null || echo 0)
+    if [ "$ct" -gt "$best" ]; then
+        best=$ct
+        baseline=$f
+    fi
+done
+
+if [ -z "$baseline" ]; then
+    echo "alloc-gate: no committed BENCH_*.json baseline; skipping"
+    exit 0
+fi
+
+echo "alloc-gate: running AllocGate benchmarks (fail at >+${threshold}% allocs/op vs $baseline)"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench 'BenchmarkAllocGate' -benchtime 1x -benchmem . | tee "$raw"
+
+awk -v thr="$threshold" '
+function base_allocs(name,    line, m) {
+    if (name in cache) return cache[name]
+    return ""
+}
+FILENAME == ARGV[1] {
+    # Baseline JSON lines: pull name (minus -GOMAXPROCS suffix) and allocs_per_op.
+    if (match($0, /"name":"[^"]*"/)) {
+        m = substr($0, RSTART, RLENGTH)
+        sub(/"name":"/, "", m); sub(/"$/, "", m); sub(/-[0-9]+$/, "", m)
+        if (match($0, /"allocs_per_op":[0-9]+/)) {
+            a = substr($0, RSTART, RLENGTH)
+            sub(/"allocs_per_op":/, "", a)
+            cache[m] = a
+        }
+    }
+    next
+}
+/^BenchmarkAllocGate/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    allocs = ""
+    for (i = 4; i <= NF; i++) if ($(i) == "allocs/op") allocs = $(i-1)
+    if (allocs == "") next
+    b = base_allocs(name)
+    if (b == "") { printf "alloc-gate: %-35s %12d allocs/op (no baseline entry; not gated)\n", name, allocs; next }
+    delta = (allocs - b) / b * 100
+    printf "alloc-gate: %-35s %12d allocs/op vs %d baseline (%+.1f%%)\n", name, allocs, b, delta
+    if (delta > thr) { bad = 1 }
+}
+END { exit bad ? 1 : 0 }
+' "$baseline" "$raw" || { echo "alloc-gate: FAIL — allocs/op regressed past +${threshold}%"; exit 1; }
+
+echo "alloc-gate: PASS"

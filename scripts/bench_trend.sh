@@ -7,13 +7,27 @@
 #
 # Joins the new file with the TWO most recently committed BENCH_*.json
 # by benchmark name and prints a WARN line only for benchmarks whose
-# ns_per_op regressed past the threshold against *both* baselines: a
+# metrics regressed past the threshold against *both* baselines: a
 # deviation must persist across two consecutive committed runs before
 # it flags, so a single noisy run (shared CI machines easily wobble a
 # whole run by 1x-level factors) stays quiet. With only one committed
 # baseline it falls back to the single comparison. INFO lines mark
 # equally persistent large improvements. Always exits 0: the trend step
-# is a tripwire for humans reading CI logs, not a gate.
+# is a tripwire for humans reading CI logs, not a gate (the hard gate
+# on allocs/op is scripts/alloc_gate.sh, run as its own CI job).
+#
+# Three metrics are diffed, each with its own threshold (percent
+# regression that triggers a WARN):
+#
+#   ns_per_op      BENCH_TREND_THRESHOLD        (default 30) — wall
+#                  clock wobbles hard on shared runners, so the bar is
+#                  high.
+#   bytes_per_op   BENCH_TREND_BYTES_THRESHOLD  (default 15) — heap
+#                  volume is mostly deterministic; moderate bar.
+#   allocs_per_op  BENCH_TREND_ALLOC_THRESHOLD  (default 10) — alloc
+#                  counts are deterministic modulo map/slice growth
+#                  timing, so even small drifts are real. This mirrors
+#                  the hard alloc_gate.sh threshold.
 #
 # Baseline workflow: BENCH_*.json is gitignored (every bench.sh run
 # drops one), so committing a new per-PR baseline requires a force-add:
@@ -26,7 +40,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 new=${1:?usage: scripts/bench_trend.sh <new-bench.json>}
-threshold=${BENCH_TREND_THRESHOLD:-30}   # percent slower that triggers a warning
+threshold=${BENCH_TREND_THRESHOLD:-30}          # percent slower (ns/op) that warns
+bthreshold=${BENCH_TREND_BYTES_THRESHOLD:-15}   # percent more bytes/op that warns
+athreshold=${BENCH_TREND_ALLOC_THRESHOLD:-10}   # percent more allocs/op that warns
 
 # The two most recently committed baselines (by commit time), excluding
 # the new file itself if it happens to be tracked.
@@ -54,12 +70,13 @@ if [ -z "$baseline" ]; then
 fi
 
 if [ -n "$prior" ]; then
-    echo "bench-trend: comparing $new against $baseline and $prior (warn at +${threshold}% vs both)"
+    echo "bench-trend: comparing $new against $baseline and $prior (warn at +${threshold}% ns, +${bthreshold}% B, +${athreshold}% allocs, vs both)"
 else
-    echo "bench-trend: comparing $new against committed baseline $baseline (warn at +${threshold}%)"
+    echo "bench-trend: comparing $new against committed baseline $baseline (warn at +${threshold}% ns, +${bthreshold}% B, +${athreshold}% allocs)"
 fi
 
-awk -v thr="$threshold" -v nbase="$([ -n "$prior" ] && echo 2 || echo 1)" '
+awk -v thr="$threshold" -v bthr="$bthreshold" -v athr="$athreshold" \
+    -v nbase="$([ -n "$prior" ] && echo 2 || echo 1)" '
 function sval(line, key,    m) {
     m = ""
     if (match(line, "\"" key "\":\"[^\"]*\"")) {
@@ -80,33 +97,47 @@ function nval(line, key,    m) {
     }
     return m
 }
+# diff emits one WARN/INFO line for metric "what" when the delta vs the
+# newest baseline exceeds its threshold AND (when a prior baseline also
+# covers the benchmark) persists against the prior value too.
+function diff(name, what, unit, t, bval, pval, nvalue,    delta, pdelta, confirmed) {
+    if (bval == "" || nvalue == "") return
+    if (bval == 0) return
+    delta = (nvalue - bval) / bval * 100
+    confirmed = 1
+    if (pval != "" && pval != 0) {
+        pdelta = (nvalue - pval) / pval * 100
+        if (delta > t && pdelta <= t)   confirmed = 0
+        if (delta < -t && pdelta >= -t) confirmed = 0
+    }
+    if (!confirmed) return
+    if (delta > t)       printf "WARN  %-45s %-9s %+7.1f%%  (%.0f -> %.0f %s)\n", name, what, delta, bval, nvalue, unit
+    else if (delta < -t) printf "INFO  %-45s %-9s %+7.1f%%  (%.0f -> %.0f %s)\n", name, what, delta, bval, nvalue, unit
+}
 FNR == 1 { fileno++ }
 fileno == 1 {
-    name = sval($0, "name"); ns = nval($0, "ns_per_op")
-    if (name != "" && ns != "") base[name] = ns
+    name = sval($0, "name")
+    if (name == "") next
+    base_ns[name] = nval($0, "ns_per_op")
+    base_b[name]  = nval($0, "bytes_per_op")
+    base_a[name]  = nval($0, "allocs_per_op")
     next
 }
 fileno == 2 && nbase == 2 {
-    name = sval($0, "name"); ns = nval($0, "ns_per_op")
-    if (name != "" && ns != "") prior[name] = ns
+    name = sval($0, "name")
+    if (name == "") next
+    prior_ns[name] = nval($0, "ns_per_op")
+    prior_b[name]  = nval($0, "bytes_per_op")
+    prior_a[name]  = nval($0, "allocs_per_op")
     next
 }
 {
     name = sval($0, "name"); ns = nval($0, "ns_per_op")
     if (name == "" || ns == "") next
-    if (!(name in base)) { printf "NEW   %-45s %12.0f ns/op (no baseline)\n", name, ns; next }
-    delta = (ns - base[name]) / base[name] * 100
-    # A deviation counts only when it persists against the prior
-    # baseline too (when one exists and also covers this benchmark).
-    confirmed = 1
-    if (name in prior) {
-        pdelta = (ns - prior[name]) / prior[name] * 100
-        if (delta > thr && pdelta <= thr)   confirmed = 0
-        if (delta < -thr && pdelta >= -thr) confirmed = 0
-    }
-    if (!confirmed) next
-    if (delta > thr)       printf "WARN  %-45s %+7.1f%%  (%.0f -> %.0f ns/op)\n", name, delta, base[name], ns
-    else if (delta < -thr) printf "INFO  %-45s %+7.1f%%  (%.0f -> %.0f ns/op)\n", name, delta, base[name], ns
+    if (!(name in base_ns)) { printf "NEW   %-45s %12.0f ns/op (no baseline)\n", name, ns; next }
+    diff(name, "ns/op",     "ns",     thr,  base_ns[name], prior_ns[name], ns)
+    diff(name, "bytes/op",  "B",      bthr, base_b[name],  prior_b[name],  nval($0, "bytes_per_op"))
+    diff(name, "allocs/op", "allocs", athr, base_a[name],  prior_a[name],  nval($0, "allocs_per_op"))
 }
 ' <(tr -d '\r' < "$baseline") <(tr -d '\r' < "${prior:-/dev/null}") <(tr -d '\r' < "$new") || true
 
