@@ -48,6 +48,14 @@
 // -dense accepts the same two flags (backlog selects the dense
 // scenario's default CBR).
 //
+// -telemetry addr attaches the observability layer (internal/obs) and
+// serves the latest metrics snapshot and trace-ring dump live over
+// HTTP: GET /metrics returns the most recent snapshot JSON line, GET
+// /trace the most recent span dump. Snapshot lines also stream to
+// stdout when combined with -json. -telemetry-hold keeps the process
+// (and the endpoints) alive for that long after the run finishes, so
+// an external prober can still read the final snapshot.
+//
 // -faults arms the deterministic fault injector (internal/fault)
 // against the AP: seeded crash/restart cycles, scanner stalls and
 // overload bursts, plus a Gilbert–Elliott bursty-loss overlay on the
@@ -73,6 +81,7 @@ import (
 	"whitefi/internal/fault"
 	"whitefi/internal/incumbent"
 	"whitefi/internal/mac"
+	"whitefi/internal/obs"
 	"whitefi/internal/radio"
 	"whitefi/internal/sim"
 	"whitefi/internal/spectrum"
@@ -92,33 +101,6 @@ type stepRecord struct {
 	// or mic-churned runs ever see them advance.
 	Disconnects int `json:"disconnects"`
 	Reconnects  int `json:"reconnects"`
-}
-
-// posRecord is one -json client position line (mobility runs).
-type posRecord struct {
-	Event string  `json:"event"`
-	T     float64 `json:"t_s"`
-	ID    int     `json:"id"`
-	X     float64 `json:"x_m"`
-	Y     float64 `json:"y_m"`
-	DistM float64 `json:"ap_dist_m"`
-}
-
-// micRecord is one -json microphone transition line.
-type micRecord struct {
-	Event   string  `json:"event"`
-	T       float64 `json:"t_s"`
-	Channel string  `json:"channel"`
-	Active  bool    `json:"active"`
-}
-
-// faultRecord is one -json injected-fault line.
-type faultRecord struct {
-	Event  string  `json:"event"`
-	T      float64 `json:"t_s"`
-	Kind   string  `json:"kind"`
-	Target int     `json:"target"`
-	DurS   float64 `json:"dur_s"`
 }
 
 // switchRecord is one -json switch-log line.
@@ -147,11 +129,44 @@ type denseRecord struct {
 	WallSec      float64 `json:"wall_s"`
 }
 
+// startTelemetry builds the live observer for -telemetry: wall timers
+// on, snapshot lines copied to stdout when jsonOut is set, and the
+// /metrics + /trace endpoints served immediately. Returns nils when
+// addr is empty.
+func startTelemetry(addr string, jsonOut bool) (*obs.Observer, *obs.Server) {
+	if addr == "" {
+		return nil, nil
+	}
+	o := &obs.Observer{Wall: obs.NewWallTimers()}
+	if jsonOut {
+		o.Out = os.Stdout
+	}
+	srv, err := o.Serve(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /trace on %s\n", srv.Addr())
+	return o, srv
+}
+
+// holdTelemetry keeps the telemetry endpoints alive for the post-run
+// hold window, then shuts the server down.
+func holdTelemetry(srv *obs.Server, hold time.Duration) {
+	if srv == nil {
+		return
+	}
+	if hold > 0 {
+		time.Sleep(hold)
+	}
+	srv.Close()
+}
+
 // runDenseCity executes the exp.DenseCity scenario once with the CLI's
 // duration split into the default settle plus the remaining measurement
 // window, and prints (or emits as JSON) the summary metrics.
-func runDenseCity(aps int, duration time.Duration, seed int64, micDuty float64, models []traffic.Model, uplinkFrac float64, jsonOut bool) {
-	cfg := exp.DenseCityConfig{APs: aps, Seed: seed, MicDuty: micDuty, Traffic: models, UplinkFrac: uplinkFrac}
+func runDenseCity(aps int, duration time.Duration, seed int64, micDuty float64, models []traffic.Model, uplinkFrac float64, jsonOut bool, o *obs.Observer) {
+	cfg := exp.DenseCityConfig{APs: aps, Seed: seed, MicDuty: micDuty, Traffic: models, UplinkFrac: uplinkFrac, Obs: o}
 	if len(models) > 0 {
 		cfg.QueueLimit = 128 // engine runs bound the AP egress queue so drops are measured
 	}
@@ -235,6 +250,8 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 1, "fault schedule scale: 1 = default means, 2 = twice as many faults")
 	faultSeed := flag.Int64("fault-seed", 0, "seed of the fault realisation (0 = derive from -seed)")
 	jsonOut := flag.Bool("json", false, "emit the periodic trace as JSON lines instead of text")
+	telemetry := flag.String("telemetry", "", "serve live observability on this address (e.g. :8080): GET /metrics returns the latest metrics snapshot, GET /trace the latest span-ring dump (empty = off)")
+	teleHold := flag.Duration("telemetry-hold", 0, "keep the -telemetry endpoints alive this long after the run finishes")
 	flag.Parse()
 
 	var models []traffic.Model
@@ -256,7 +273,9 @@ func main() {
 	}
 
 	if *denseAPs > 0 {
-		runDenseCity(*denseAPs, *duration, *seed, *micDuty, models, *uplinkFrac, *jsonOut)
+		o, srv := startTelemetry(*telemetry, *jsonOut)
+		runDenseCity(*denseAPs, *duration, *seed, *micDuty, models, *uplinkFrac, *jsonOut, o)
+		holdTelemetry(srv, *teleHold)
 		return
 	}
 
@@ -347,6 +366,55 @@ func main() {
 		}
 	}
 
+	// Live observability (-telemetry): register every subsystem with
+	// the observer and trace mic transitions and outage closures as
+	// point events.
+	ob, tele := startTelemetry(*telemetry, *jsonOut)
+	var trc *obs.Tracer
+	var micOnID, micOffID obs.SpanID
+	if ob != nil {
+		ob.Attach(eng)
+		obs.RegisterEngine(ob.Reg, eng)
+		obs.RegisterAir(ob.Reg, air)
+		obs.RegisterAirtime(ob.Reg, air, time.Second, base.FreeChannels())
+		nodes := []*mac.Node{net.AP.Node}
+		for _, c := range net.Clients {
+			nodes = append(nodes, c.Node)
+		}
+		obs.RegisterNodes(ob.Reg, "mac", nodes)
+		if len(net.Flows) > 0 {
+			obs.RegisterFlows(ob.Reg, net.Flows)
+		}
+		obs.RegisterClients(ob.Reg, net.Clients)
+		obs.RegisterAP(ob.Reg, net.AP)
+		obs.RegisterScanner(ob.Reg, "radio.ap", net.AP.Scanner)
+		if inj != nil {
+			obs.RegisterInjector(ob.Reg, inj)
+		}
+		ob.Reg.GaugeFunc("incumbent.active_mics", func() float64 {
+			n := 0
+			for _, m := range mics {
+				if m.Active() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+		trc = ob.Tracer()
+		micOnID, micOffID = trc.ID("mic.on"), trc.ID("mic.off")
+		outageID := trc.ID("core.outage")
+		for _, c := range net.Clients {
+			prev := c.OnOutage
+			c.OnOutage = func(r trace.OutageRecord) {
+				if prev != nil {
+					prev(r)
+				}
+				trc.Event(outageID, int64(r.Node))
+			}
+		}
+		ob.Start()
+	}
+
 	// Observe every mic transition (after the AP and clients hooked
 	// their own watchers, so the chain stays intact).
 	for _, m := range mics {
@@ -356,8 +424,15 @@ func main() {
 			if prev != nil {
 				prev(active)
 			}
+			if trc != nil {
+				id := micOffID
+				if active {
+					id = micOnID
+				}
+				trc.Event(id, int64(m.Channel))
+			}
 			if em != nil {
-				em.Emit(micRecord{Event: "mic", T: eng.Now().Seconds(), Channel: m.Channel.String(), Active: active})
+				em.Emit(trace.MicRecord{Event: "mic", T: eng.Now().Seconds(), Channel: m.Channel.String(), Active: active})
 			} else {
 				state := "OFF"
 				if active {
@@ -436,6 +511,11 @@ func main() {
 		fmt.Printf("map: %s   topology: %s   clients: %d   background: %d @ %v   mobility: %s   mic-duty: %.2f\n",
 			base, *topology, *clients, *background, *bgDelay, *mobility, *micDuty)
 	}
+	var wallRun *obs.Phase
+	if ob != nil {
+		wallRun = ob.Wall.Phase("run")
+		wallRun.Start()
+	}
 	var last int64
 	step := 5 * time.Second
 	for t := step; t <= *duration; t += step {
@@ -465,7 +545,7 @@ func main() {
 			if upd != nil {
 				for _, c := range net.Clients {
 					p := air.PositionOf(c.ID)
-					em.Emit(posRecord{
+					em.Emit(trace.PositionRecord{
 						Event: "pos", T: t.Seconds(), ID: c.ID, X: p.X, Y: p.Y,
 						DistM: p.DistanceTo(air.PositionOf(net.AP.ID)),
 					})
@@ -476,6 +556,13 @@ func main() {
 				t, net.AP.Channel(), net.AP.Backup(), trace.Mbps(bps), assoc, len(net.Clients), disc, rec)
 		}
 		air.Compact(t - 15*time.Second)
+	}
+	if wallRun != nil {
+		wallRun.Stop()
+	}
+	if ob != nil {
+		ob.Stop()
+		ob.Flush()
 	}
 
 	if em != nil {
@@ -491,7 +578,7 @@ func main() {
 		}
 		if inj != nil {
 			for _, e := range inj.Events {
-				em.Emit(faultRecord{
+				em.Emit(trace.FaultRecord{
 					Event: "fault", T: e.At.Seconds(),
 					Kind: e.Kind, Target: e.Target, DurS: e.Dur.Seconds(),
 				})
@@ -507,6 +594,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "json trace: %v\n", err)
 			os.Exit(1)
 		}
+		holdTelemetry(tele, *teleHold)
 		return
 	}
 	fmt.Println("\nswitch log:")
@@ -553,4 +641,5 @@ func main() {
 		fmt.Println()
 		t.Render(os.Stdout)
 	}
+	holdTelemetry(tele, *teleHold)
 }

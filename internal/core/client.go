@@ -60,6 +60,9 @@ type Client struct {
 
 	onBackup bool
 	chirper  *chirp.Chirper
+	// chirpsSent accumulates Sent counts of retired chirpers (see
+	// ChirpsSent).
+	chirpsSent int
 	// rng drives the client's own seeded choices (secondary-backup
 	// picks, rotation order, chirp jitter) so its recovery realisation
 	// is a pure function of (id, seed-independent construction), not of
@@ -77,6 +80,9 @@ type Client struct {
 	Reconnections int
 	// Disconnects counts entries into the disconnected state.
 	Disconnects int
+	// RendezvousAttempts counts retunes to a rendezvous channel while
+	// disconnected (every hop of every outage's chirp path).
+	RendezvousAttempts int
 	// Outages records every completed disconnection episode, in order.
 	Outages []trace.OutageRecord
 	// OnOutage, when non-nil, is invoked for each completed episode —
@@ -353,6 +359,13 @@ func (c *Client) goToBackup(cause string) {
 		}
 	}
 	c.moveChirpTo(target)
+	if c.chirper != nil {
+		// A chirper may already be running (mic hit on the rendezvous
+		// channel); fold its count before replacing it. Its events are
+		// left untouched — stopping it here would alter the pinned
+		// event sequences.
+		c.chirpsSent += c.chirper.Sent
+	}
 	c.chirper = chirp.NewChirper(c.eng, c.Node, c.Cfg.SSID, c.ssidCode, func() spectrum.Map {
 		return c.Sensor.CurrentMap()
 	})
@@ -364,6 +377,7 @@ func (c *Client) goToBackup(cause string) {
 // moveChirpTo retunes the disconnected client to a rendezvous channel,
 // records it on the outage path, and (re)arms the rotation dwell timer.
 func (c *Client) moveChirpTo(target spectrum.Channel) {
+	c.RendezvousAttempts++
 	c.Node.ClearQueue()
 	c.Node.Retune(target)
 	c.onBackup = true
@@ -425,9 +439,22 @@ func (c *Client) rotateBackup() {
 	}
 }
 
+// stopChirping retires the active chirper, folding its sent count into
+// the client's cumulative total before dropping it.
 func (c *Client) stopChirping() {
 	if c.chirper != nil {
 		c.chirper.Stop()
+		c.chirpsSent += c.chirper.Sent
 		c.chirper = nil
 	}
+}
+
+// ChirpsSent returns the total number of chirps this client has sent
+// across all disconnection episodes, including the one in progress.
+func (c *Client) ChirpsSent() int {
+	n := c.chirpsSent
+	if c.chirper != nil {
+		n += c.chirper.Sent
+	}
+	return n
 }

@@ -10,6 +10,7 @@ import (
 	"whitefi/internal/dynamics"
 	"whitefi/internal/incumbent"
 	"whitefi/internal/mac"
+	"whitefi/internal/obs"
 	"whitefi/internal/phy"
 	"whitefi/internal/radio"
 	"whitefi/internal/spectrum"
@@ -66,6 +67,13 @@ type DenseCityConfig struct {
 	// O(nodes × transmissions) fan-out the culled medium replaces. For
 	// benchmarking the two paths; results are event-identical.
 	Brute bool
+	// Obs, when non-nil, is attached to the run's engine: the standard
+	// subsystem metrics are registered, assignment rounds are traced
+	// (span "assign.evaluate", event "bss.switch", histogram
+	// "assign.mcham"), and snapshots emit per the observer's Period to
+	// its Out. Snapshot bytes are a pure function of the config, so
+	// they are byte-identical across harness worker counts.
+	Obs *obs.Observer
 }
 
 // withDefaults fills the zero-valued fields.
@@ -197,6 +205,17 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 	w := spatialWorld(cfg.Seed)
 	w.air.NoCull = cfg.Brute
 
+	// Optional observability: wall phases bracket the host-side stages
+	// (strictly outside the deterministic snapshot stream); spans and
+	// the MCham histogram are recorded only when an observer is wired.
+	var wallBuild, wallRun, wallSummarize *obs.Phase
+	if cfg.Obs != nil && cfg.Obs.Wall != nil {
+		wallBuild = cfg.Obs.Wall.Phase("build")
+		wallRun = cfg.Obs.Wall.Phase("run")
+		wallSummarize = cfg.Obs.Wall.Phase("summarize")
+		wallBuild.Start()
+	}
+
 	areaKm2 := float64(cfg.APs) / cfg.DensityPerKm2
 	sideM := math.Sqrt(areaKm2) * 1000
 
@@ -267,13 +286,54 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 		a.Start()
 	}
 
+	// obsWindow is the trailing window of localObservation below; the
+	// airtime gauges reuse it so /metrics and the selector see the same
+	// horizon.
+	const obsWindow = 1 * time.Second
+
+	// Wire the observer: standard registrations over the whole city,
+	// aggregate traffic totals (per-flow counters would mean thousands
+	// of metrics here — whitefi-sim registers per-flow on its one-BSS
+	// path), the assignment histogram, and the span tracer.
+	var trc *obs.Tracer
+	var mchamHist *obs.Hist
+	var evalID, switchID obs.SpanID
+	if o := cfg.Obs; o != nil {
+		o.Attach(w.eng)
+		obs.RegisterEngine(o.Reg, w.eng)
+		obs.RegisterAir(o.Reg, w.air)
+		obs.RegisterAirtime(o.Reg, w.air, obsWindow, free)
+		var nodes []*mac.Node
+		var flows []*traffic.Flow
+		for _, b := range bss {
+			nodes = append(nodes, b.ap)
+			nodes = append(nodes, b.clients...)
+			flows = append(flows, b.flows...)
+		}
+		obs.RegisterNodes(o.Reg, "mac", nodes)
+		obs.RegisterFlowTotals(o.Reg, flows)
+		o.Reg.GaugeFunc("incumbent.active_mics", func() float64 {
+			n := 0
+			for _, m := range mics {
+				if m.Active() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+		mchamHist = o.Reg.Hist("assign.mcham")
+		trc = o.Tracer()
+		evalID = trc.ID("assign.evaluate")
+		switchID = trc.ID("bss.switch")
+		o.Start()
+	}
+
 	// localObservation is the AP's own view of the spectrum: airtime
 	// and AP counts as received at its position over the trailing
 	// window, own BSS excluded, fused with the current incumbent map.
 	// The window is long enough to average CBR burstiness into a stable
 	// airtime estimate — with a short one every observation is a fresh
 	// roll of the dice and hysteresis cannot hold.
-	const obsWindow = 1 * time.Second
 	localObservation := func(b *denseBSS, now time.Duration, m spectrum.Map) assign.Observation {
 		from := now - obsWindow
 		if from < 0 {
@@ -288,11 +348,21 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 	// switch only past the hysteresis margin or when a mic lands on the
 	// operating channel (Selector's involuntary path).
 	evaluate := func(b *denseBSS, countSwitches bool) {
+		startAt := w.eng.Now()
 		sel, switched := b.sel.Evaluate(localObservation(b, w.eng.Now(), micMap()), nil)
+		if mchamHist != nil && sel.OK {
+			mchamHist.Observe(sel.Metric)
+		}
+		if trc != nil {
+			trc.Span(evalID, startAt, int64(b.ap.ID))
+		}
 		if !switched || !sel.OK || sel.Channel == b.ap.Channel() {
 			return
 		}
 		b.retune(sel.Channel)
+		if trc != nil {
+			trc.Event(switchID, int64(b.ap.ID))
+		}
 		if countSwitches {
 			b.switches++
 		}
@@ -304,6 +374,10 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 	// independent APs, which lets each AP see its neighbors' moves
 	// instead of the whole city re-optimising against a stale snapshot
 	// in lockstep.
+	if wallBuild != nil {
+		wallBuild.Stop()
+		wallRun.Start()
+	}
 	w.eng.RunUntil(cfg.Settle)
 	for _, b := range bss {
 		evaluate(b, false)
@@ -341,6 +415,10 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 		}
 	}
 	w.eng.RunUntil(end)
+	if wallBuild != nil {
+		wallRun.Stop()
+		wallSummarize.Start()
+	}
 
 	// Metrics.
 	var bits float64
@@ -391,6 +469,13 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 	dropRate := 0.0
 	if generated > 0 {
 		dropRate = float64(dropped) / float64(generated)
+	}
+	if wallBuild != nil {
+		wallSummarize.Stop()
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.Stop()
+		cfg.Obs.Flush()
 	}
 	return DenseCityResult{
 		APs:                  cfg.APs,

@@ -8,6 +8,8 @@ import (
 	"whitefi/internal/core"
 	"whitefi/internal/fault"
 	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/obs"
 	"whitefi/internal/trace"
 )
 
@@ -78,6 +80,20 @@ type faultStormCell struct {
 // episodes still open at the end — the artifact the parallel-determinism
 // test pins byte-identical across worker counts.
 func faultStormRunCell(seed int64, rate float64) faultStormCell {
+	return faultStormObservedCell(seed, rate, nil)
+}
+
+// FaultStormObserved runs one seeded storm cell with the observer
+// attached: the engine, medium, MAC nodes, clients, AP, AP scanner and
+// fault injector are all registered before the storm starts, so the
+// observer's final snapshot carries the cell's domain counters
+// (crashes, outages, rendezvous attempts, injections). whitefi-bench
+// folds that snapshot into the benchmark baseline JSON.
+func FaultStormObserved(seed int64, rate float64, o *obs.Observer) {
+	faultStormObservedCell(seed, rate, o)
+}
+
+func faultStormObservedCell(seed int64, rate float64, o *obs.Observer) faultStormCell {
 	w := newWorld(seed)
 	base := incumbent.SimulationBaseMap()
 	sensors := sensorsFor(base, faultStormClients, 0, nil, nil)
@@ -92,6 +108,21 @@ func faultStormRunCell(seed int64, rate float64) faultStormCell {
 
 	inj := fault.NewInjector(w.eng, fault.Config{Seed: seed, Rate: rate})
 	inj.AddTarget(net.AP.ID, net.AP)
+	if o != nil {
+		o.Attach(w.eng)
+		obs.RegisterEngine(o.Reg, w.eng)
+		obs.RegisterAir(o.Reg, w.air)
+		nodes := []*mac.Node{net.AP.Node}
+		for _, c := range net.Clients {
+			nodes = append(nodes, c.Node)
+		}
+		obs.RegisterNodes(o.Reg, "mac", nodes)
+		obs.RegisterClients(o.Reg, net.Clients)
+		obs.RegisterAP(o.Reg, net.AP)
+		obs.RegisterScanner(o.Reg, "radio.ap", net.AP.Scanner)
+		obs.RegisterInjector(o.Reg, inj)
+		o.Start()
+	}
 	inj.Start()
 	var ge *fault.GilbertElliott
 	if rate > 0 {
@@ -130,6 +161,10 @@ func faultStormRunCell(seed int64, rate float64) faultStormCell {
 	}
 	cell.shedDrops = net.AP.Node.Stats.ShedDropped
 	cell.trace = sb.String()
+	if o != nil {
+		o.Stop()
+		o.Flush()
+	}
 	net.Stop()
 	return cell
 }

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"whitefi/internal/obs"
+	"whitefi/internal/trace"
+)
+
+// snapshotSweep runs a small grid of observed dense-city cells on the
+// parallel harness and returns the concatenated snapshot JSONL in cell
+// order. Wall timers stay off: only the deterministic stream is
+// compared.
+func snapshotSweep() string {
+	seeds := []int64{11, 23, 31, 47}
+	outs := make([]bytes.Buffer, len(seeds))
+	runIndexed(len(seeds), func(i int) {
+		o := &obs.Observer{Period: 2 * time.Second, Out: &outs[i]}
+		DenseCityRun(DenseCityConfig{
+			APs:     4,
+			Seed:    seeds[i],
+			Settle:  time.Second,
+			Measure: 3 * time.Second,
+			Obs:     o,
+		})
+	})
+	var sb strings.Builder
+	for i := range outs {
+		sb.Write(outs[i].Bytes())
+	}
+	return sb.String()
+}
+
+// TestSnapshotDeterminism is the observability determinism contract:
+// the simulation-time snapshot stream must be byte-identical at 1, 4
+// and 8 workers.
+func TestSnapshotDeterminism(t *testing.T) {
+	var at1, at4, at8 string
+	withWorkers(1, func() { at1 = snapshotSweep() })
+	withWorkers(4, func() { at4 = snapshotSweep() })
+	withWorkers(8, func() { at8 = snapshotSweep() })
+	if at1 != at4 {
+		t.Errorf("snapshot stream differs between 1 and 4 workers:\n--- 1 ---\n%s\n--- 4 ---\n%s", at1, at4)
+	}
+	if at1 != at8 {
+		t.Errorf("snapshot stream differs between 1 and 8 workers:\n--- 1 ---\n%s\n--- 8 ---\n%s", at1, at8)
+	}
+	if at1 == "" {
+		t.Fatal("no snapshots emitted")
+	}
+
+	// Every line must decode as a snapshot record carrying the wired
+	// domain metrics.
+	for _, line := range strings.Split(strings.TrimSpace(at1), "\n") {
+		var rec trace.SnapshotRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("snapshot line does not decode: %v\n%s", err, line)
+		}
+		if rec.Event != "snapshot" {
+			t.Fatalf("unexpected event %q in deterministic stream", rec.Event)
+		}
+		for _, key := range []string{"engine.dispatched", "air.launches", "mac.tx_data", "traffic.generated"} {
+			if _, ok := rec.Counters[key]; !ok {
+				t.Fatalf("snapshot missing counter %q: %s", key, line)
+			}
+		}
+	}
+}
+
+// TestObservedRunMatchesBare pins that attaching an observer does not
+// perturb the simulation: headline results are identical with and
+// without instrumentation.
+func TestObservedRunMatchesBare(t *testing.T) {
+	cfg := DenseCityConfig{APs: 4, Seed: 11, Settle: time.Second, Measure: 3 * time.Second}
+	bare := DenseCityRun(cfg)
+	cfg.Obs = &obs.Observer{Period: time.Second, Out: nil}
+	observed := DenseCityRun(cfg)
+	bare.WallClock, observed.WallClock = 0, 0
+	if bare != observed {
+		t.Errorf("observer perturbed the run:\nbare:     %+v\nobserved: %+v", bare, observed)
+	}
+}

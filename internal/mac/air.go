@@ -63,6 +63,22 @@ type carrierSenser interface {
 // transmission range of the AP).
 type PathLoss func(src, dst int) float64
 
+// AirCounters are the medium's cumulative delivery-outcome counts,
+// maintained inline on the launch and delivery paths (see
+// Air.Counters). Launches counts every Transmit; the remaining fields
+// classify candidate deliveries: Delivered reached a receiver,
+// BelowFloor fell under the decode SNR, HalfDuplex hit a receiver that
+// was itself transmitting, Collisions lost to an overlapping audible
+// transmission, FilterDrops were vetoed by DropFilter.
+type AirCounters struct {
+	Launches    int64
+	Delivered   int64
+	BelowFloor  int64
+	HalfDuplex  int64
+	Collisions  int64
+	FilterDrops int64
+}
+
 // Air is the shared UHF medium. All transmissions across all channels
 // are recorded here; carrier sense, frame delivery and airtime accounting
 // all derive from the record. Air is not safe for concurrent use: the
@@ -116,6 +132,11 @@ type Air struct {
 	// event-identical to it by the pool equivalence tests — not for
 	// correctness.
 	NoPool bool
+	// Counters accumulates medium-level delivery outcomes. Increments
+	// are plain field adds on paths that already run per launch or per
+	// candidate delivery, so keeping them costs no allocation and no
+	// extra pass.
+	Counters AirCounters
 
 	// The transmission history is a struct-of-arrays log: one parallel
 	// column per field, all in start order (the virtual clock is
@@ -595,6 +616,7 @@ func (a *Air) SensedBusy(id int) bool {
 func (a *Air) Transmit(id int, ch spectrum.Channel, f phy.Frame, powerDBm float64, noCS bool) *Transmission {
 	now := a.Eng.Now()
 	a.nextUID++
+	a.Counters.Launches++
 	var tx *Transmission
 	slot := int32(-1)
 	if a.NoPool {
@@ -699,8 +721,10 @@ func (a *Air) finish(tx *Transmission, slot int32) {
 				return
 			}
 			if a.DropFilter != nil && a.DropFilter(tx.Frame, tx.Src, n.id) {
+				a.Counters.FilterDrops++
 				return
 			}
+			a.Counters.Delivered++
 			n.deliver(tx.Frame, tx)
 		})
 	case tx.Frame.Dst != phy.Broadcast:
@@ -730,8 +754,10 @@ func (a *Air) deliverTo(n *airNode, tx *Transmission) {
 		return
 	}
 	if a.DropFilter != nil && a.DropFilter(tx.Frame, tx.Src, n.id) {
+		a.Counters.FilterDrops++
 		return
 	}
+	a.Counters.Delivered++
 	n.deliver(tx.Frame, tx)
 }
 
@@ -742,10 +768,12 @@ func (a *Air) deliverTo(n *airNode, tx *Transmission) {
 func (a *Air) cleanAt(n *airNode, tx *Transmission) bool {
 	rx := a.RxPowerOf(tx, n.id)
 	if rx-NoiseFloorDBm < decodeSNRdB {
+		a.Counters.BelowFloor++
 		return false
 	}
 	// Half duplex: receiver transmitting during any part of tx.
 	if n.txUntil > tx.Start {
+		a.Counters.HalfDuplex++
 		return false
 	}
 	// Interferer scan. Any transmission overlapping the receiver's span
@@ -760,10 +788,15 @@ func (a *Air) cleanAt(n *airNode, tx *Transmission) bool {
 			continue
 		}
 		if a.interferedIn(a.partition(c), n, tx) {
+			a.Counters.Collisions++
 			return false
 		}
 	}
-	return !a.interferedIn(a.other, n, tx)
+	if a.interferedIn(a.other, n, tx) {
+		a.Counters.Collisions++
+		return false
+	}
+	return true
 }
 
 // partitionReaches reports whether partition c could hold a
@@ -818,9 +851,11 @@ func dist2(p, q Position) float64 {
 func (a *Air) cleanAtLegacy(n *airNode, tx *Transmission) bool {
 	rx := a.RxPowerOf(tx, n.id)
 	if rx-NoiseFloorDBm < decodeSNRdB {
+		a.Counters.BelowFloor++
 		return false
 	}
 	if n.txUntil > tx.Start {
+		a.Counters.HalfDuplex++
 		return false
 	}
 	for i := int32(a.logLen() - 1); i >= 0; i-- {
@@ -837,6 +872,7 @@ func (a *Air) cleanAtLegacy(n *airNode, tx *Transmission) bool {
 			continue
 		}
 		if a.rxPowerAt(i, n.id) >= NoiseFloorDBm {
+			a.Counters.Collisions++
 			return false
 		}
 	}
@@ -904,6 +940,20 @@ const decodeSNRdB = 10
 // logLen returns the number of logged transmissions (all columns share
 // this length).
 func (a *Air) logLen() int { return len(a.logStart) }
+
+// ArenaLive returns the number of transmission-arena slots currently
+// occupied by in-flight transmissions.
+func (a *Air) ArenaLive() int { return len(a.txSlots) - len(a.txFreeList) }
+
+// ArenaCap returns the total number of arena slots ever allocated
+// (the high-water mark of concurrent transmissions).
+func (a *Air) ArenaCap() int { return len(a.txSlots) }
+
+// ActiveCount returns the number of transmissions currently on air.
+func (a *Air) ActiveCount() int { return len(a.active) }
+
+// LogSize returns the number of transmissions held in the history log.
+func (a *Air) LogSize() int { return a.logLen() }
 
 // record appends a transmission to the column-wise time-indexed log and
 // maintains the per-center partitions, the look-behind bound, and the

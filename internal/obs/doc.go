@@ -1,0 +1,29 @@
+// Package obs is the unified observability layer: a deterministic,
+// zero-alloc-on-hot-path metrics registry, a simulation-time span/event
+// tracer, and a periodic snapshot emitter with live HTTP export.
+//
+// The registry holds counters, gauges and streaming histograms (the P²
+// quantile sketch from internal/trace) registered by name at setup
+// time. Recording on the hot path is a plain field increment or sketch
+// update — no map lookups, no allocation — so instrumented scenarios
+// pass the alloc gate unchanged. Pull-style registration (CounterFunc,
+// GaugeFunc) samples the ad-hoc Stats counters the subsystems already
+// maintain, so instrumenting a layer costs nothing per event at all.
+//
+// The Tracer records spans and point events into a preallocated ring
+// buffer stamped with simulation time; recording never allocates, and
+// the ring keeps the most recent spans for the /trace endpoint.
+//
+// An Observer ties both to a sim.Engine: every Period of simulation
+// time it serializes the full registry to one JSON line (the
+// trace.SnapshotRecord schema), writes it to an optional JSONL sink,
+// and publishes a copy for the HTTP endpoints (/metrics and /trace,
+// see Observer.Serve). Snapshot bytes are a pure function of
+// simulation state — metric names are emitted in sorted order and no
+// wall-clock value ever enters the record — so snapshots are
+// byte-identical at any worker count of the experiment harness.
+// Wall-clock self-profiling (WallTimers) is kept strictly outside that
+// boundary: phase timers serialize as a separate "snapshot_wall"
+// record that is non-deterministic by nature and excluded from
+// determinism comparisons.
+package obs

@@ -1,0 +1,34 @@
+package obs_test
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"whitefi/internal/obs"
+	"whitefi/internal/sim"
+)
+
+// Example instruments a toy simulation: a counter incremented by the
+// hot path, a gauge sampling engine state, and an Observer emitting
+// one snapshot line per simulated second.
+func Example() {
+	eng := sim.New(1)
+	o := &obs.Observer{Period: time.Second, Out: os.Stdout}
+	o.Attach(eng)
+
+	work := o.Reg.Counter("work.done")
+	o.Reg.GaugeFunc("engine.pending", func() float64 { return float64(eng.Pending()) })
+
+	tick := eng.Every(150*time.Millisecond, func() { work.Inc() })
+	o.Start()
+	eng.RunUntil(2 * time.Second)
+	tick.Stop()
+	o.Stop()
+
+	fmt.Printf("final count: %d\n", work.Value())
+	// Output:
+	// {"event":"snapshot","t_ms":1000,"counters":{"work.done":6},"gauges":{"engine.pending":1}}
+	// {"event":"snapshot","t_ms":2000,"counters":{"work.done":13},"gauges":{"engine.pending":1}}
+	// final count: 13
+}

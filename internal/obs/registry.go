@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+
+	"whitefi/internal/trace"
+)
+
+// Counter is a monotonically increasing event count. Incrementing is a
+// plain field add — safe on the hot path, no allocation.
+type Counter struct {
+	v int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Hist is a streaming histogram: count, sum, min, max plus p50/p95/p99
+// estimated by three P² quantile sketches (trace.Quantile). Observe is
+// O(1) and allocation-free; memory stays constant regardless of sample
+// count.
+type Hist struct {
+	count         int64
+	sum, min, max float64
+	p50, p95, p99 trace.Quantile
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(x float64) {
+	if h.count == 0 || x < h.min {
+		h.min = x
+	}
+	if h.count == 0 || x > h.max {
+		h.max = x
+	}
+	h.count++
+	h.sum += x
+	h.p50.Add(x)
+	h.p95.Add(x)
+	h.p99.Add(x)
+}
+
+// Count returns the number of observed samples.
+func (h *Hist) Count() int64 { return h.count }
+
+// reset initializes the sketches to their target quantiles.
+func (h *Hist) reset() {
+	h.p50.Reset(0.50)
+	h.p95.Reset(0.95)
+	h.p99.Reset(0.99)
+}
+
+// namedCounter is one registered counter: either a push Counter or a
+// pull function sampling an existing subsystem stat.
+type namedCounter struct {
+	name string
+	c    *Counter
+	fn   func() int64
+}
+
+func (n namedCounter) value() int64 {
+	if n.fn != nil {
+		return n.fn()
+	}
+	return n.c.v
+}
+
+// namedGauge is one registered pull gauge.
+type namedGauge struct {
+	name string
+	fn   func() float64
+}
+
+// namedHist is one registered histogram.
+type namedHist struct {
+	name string
+	h    *Hist
+}
+
+// Registry holds the named metrics of one simulation. Registration
+// happens at setup time (by name, duplicates panic); recording happens
+// through the returned Counter/Hist handles so the hot path never
+// touches the name table. Snapshots serialize every metric in sorted
+// name order, making the byte output deterministic.
+type Registry struct {
+	counters []namedCounter
+	gauges   []namedGauge
+	hists    []namedHist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a push counter under name and returns its handle.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.addCounter(namedCounter{name: name, c: c})
+	return c
+}
+
+// CounterFunc registers a pull counter: fn is sampled at snapshot
+// time. Use it to expose the Stats counters subsystems already keep,
+// at zero per-event cost.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	r.addCounter(namedCounter{name: name, fn: fn})
+}
+
+// GaugeFunc registers a gauge: fn is sampled at snapshot time. The
+// function must derive its value from simulation state only, or the
+// snapshot determinism guarantee is lost.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	i := sort.Search(len(r.gauges), func(i int) bool { return r.gauges[i].name >= name })
+	if i < len(r.gauges) && r.gauges[i].name == name {
+		panic("obs: duplicate gauge " + name)
+	}
+	r.gauges = append(r.gauges, namedGauge{})
+	copy(r.gauges[i+1:], r.gauges[i:])
+	r.gauges[i] = namedGauge{name: name, fn: fn}
+}
+
+// Hist registers a streaming histogram under name and returns its
+// handle.
+func (r *Registry) Hist(name string) *Hist {
+	i := sort.Search(len(r.hists), func(i int) bool { return r.hists[i].name >= name })
+	if i < len(r.hists) && r.hists[i].name == name {
+		panic("obs: duplicate histogram " + name)
+	}
+	h := &Hist{}
+	h.reset()
+	r.hists = append(r.hists, namedHist{})
+	copy(r.hists[i+1:], r.hists[i:])
+	r.hists[i] = namedHist{name: name, h: h}
+	return h
+}
+
+func (r *Registry) addCounter(nc namedCounter) {
+	i := sort.Search(len(r.counters), func(i int) bool { return r.counters[i].name >= nc.name })
+	if i < len(r.counters) && r.counters[i].name == nc.name {
+		panic("obs: duplicate counter " + nc.name)
+	}
+	r.counters = append(r.counters, namedCounter{})
+	copy(r.counters[i+1:], r.counters[i:])
+	r.counters[i] = nc
+}
+
+// CounterValue returns the current value of the named counter, false
+// when no such counter is registered.
+func (r *Registry) CounterValue(name string) (int64, bool) {
+	i := sort.Search(len(r.counters), func(i int) bool { return r.counters[i].name >= name })
+	if i < len(r.counters) && r.counters[i].name == name {
+		return r.counters[i].value(), true
+	}
+	return 0, false
+}
+
+// AppendSnapshot appends one snapshot JSON object (no trailing
+// newline) to b and returns the extended slice: the
+// trace.SnapshotRecord schema, metric names in sorted order, every
+// value derived from simulation state at call time. The append style
+// lets the caller reuse one buffer across snapshots, so steady-state
+// emission does not allocate.
+func (r *Registry) AppendSnapshot(b []byte, tMs float64) []byte {
+	b = append(b, `{"event":"snapshot","t_ms":`...)
+	b = appendJSONFloat(b, tMs)
+	b = append(b, `,"counters":{`...)
+	for i, c := range r.counters {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, c.name)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, c.value(), 10)
+	}
+	b = append(b, `},"gauges":{`...)
+	for i, g := range r.gauges {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, g.name)
+		b = append(b, ':')
+		b = appendJSONFloat(b, g.fn())
+	}
+	b = append(b, '}')
+	if len(r.hists) > 0 {
+		b = append(b, `,"hists":{`...)
+		for i, nh := range r.hists {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, nh.name)
+			b = append(b, ':')
+			b = appendHist(b, nh.h)
+		}
+		b = append(b, '}')
+	}
+	return append(b, '}')
+}
+
+// appendHist appends one histogram snapshot object.
+func appendHist(b []byte, h *Hist) []byte {
+	mean := 0.0
+	if h.count > 0 {
+		mean = h.sum / float64(h.count)
+	}
+	b = append(b, `{"count":`...)
+	b = strconv.AppendInt(b, h.count, 10)
+	b = append(b, `,"min":`...)
+	b = appendJSONFloat(b, h.min)
+	b = append(b, `,"max":`...)
+	b = appendJSONFloat(b, h.max)
+	b = append(b, `,"mean":`...)
+	b = appendJSONFloat(b, mean)
+	b = append(b, `,"p50":`...)
+	b = appendJSONFloat(b, h.p50.Value())
+	b = append(b, `,"p95":`...)
+	b = appendJSONFloat(b, h.p95.Value())
+	b = append(b, `,"p99":`...)
+	b = appendJSONFloat(b, h.p99.Value())
+	return append(b, '}')
+}
+
+// appendJSONFloat appends a finite JSON number; NaN and infinities
+// (which JSON cannot carry) are written as 0.
+func appendJSONFloat(b []byte, v float64) []byte {
+	if v != v || v > 1e308 || v < -1e308 {
+		return append(b, '0')
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendJSONString appends a quoted, escaped JSON string.
+func appendJSONString(b []byte, s string) []byte {
+	return strconv.AppendQuote(b, s)
+}

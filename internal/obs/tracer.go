@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+
+	"whitefi/internal/sim"
+)
+
+// SpanID names a span/event kind. IDs are interned at setup time via
+// Tracer.ID so hot-path recording carries a small integer, never a
+// string.
+type SpanID uint32
+
+// Span is one recorded span (Start < End) or point event
+// (Start == End), stamped in simulation time.
+type Span struct {
+	// ID is the interned kind (see Tracer.ID).
+	ID SpanID
+	// Start and End bound the span in simulation time.
+	Start, End time.Duration
+	// Arg is a caller-defined word (a node id, a channel index).
+	Arg int64
+}
+
+// DefaultTraceCap is the ring capacity an Observer gives its Tracer.
+const DefaultTraceCap = 4096
+
+// Tracer records spans and point events into a preallocated ring
+// buffer. Recording is an index write — no allocation — so span
+// recording on the hot path passes the alloc gate. When the ring is
+// full the oldest span is overwritten and Dropped advances; the ring
+// always holds the most recent spans.
+type Tracer struct {
+	eng     *sim.Engine
+	names   []string
+	ring    []Span
+	head    int // next write index
+	n       int // occupied entries
+	dropped uint64
+}
+
+// NewTracer returns a tracer with a preallocated ring of the given
+// capacity (minimum 1), stamping records with eng's simulation clock.
+func NewTracer(eng *sim.Engine, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{eng: eng, ring: make([]Span, capacity)}
+}
+
+// ID interns a span/event name, returning the id to record with.
+// Setup-time only; repeated calls with the same name return the same
+// id.
+func (t *Tracer) ID(name string) SpanID {
+	for i, n := range t.names {
+		if n == name {
+			return SpanID(i)
+		}
+	}
+	t.names = append(t.names, name)
+	return SpanID(len(t.names) - 1)
+}
+
+// Event records a point event (zero-length span) at the current
+// simulation time.
+func (t *Tracer) Event(id SpanID, arg int64) {
+	now := t.eng.Now()
+	t.put(Span{ID: id, Start: now, End: now, Arg: arg})
+}
+
+// Span records a completed span that started at start and ends now.
+func (t *Tracer) Span(id SpanID, start time.Duration, arg int64) {
+	t.put(Span{ID: id, Start: start, End: t.eng.Now(), Arg: arg})
+}
+
+// put writes one span into the ring, overwriting the oldest when full.
+func (t *Tracer) put(s Span) {
+	t.ring[t.head] = s
+	t.head++
+	if t.head == len(t.ring) {
+		t.head = 0
+	}
+	if t.n < len(t.ring) {
+		t.n++
+	} else {
+		t.dropped++
+	}
+}
+
+// Len returns the number of spans currently held.
+func (t *Tracer) Len() int { return t.n }
+
+// Dropped returns how many spans have been overwritten by ring wrap.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// Each visits the held spans oldest first.
+func (t *Tracer) Each(f func(Span)) {
+	start := t.head - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		j := start + i
+		if j >= len(t.ring) {
+			j -= len(t.ring)
+		}
+		f(t.ring[j])
+	}
+}
+
+// Name returns the interned name of id ("" for an unknown id).
+func (t *Tracer) Name(id SpanID) string {
+	if int(id) < len(t.names) {
+		return t.names[id]
+	}
+	return ""
+}
+
+// AppendJSON appends the ring contents as one JSON object (no trailing
+// newline): {"event":"trace","t_ms":...,"dropped":N,"spans":[...]},
+// spans oldest first, each {"name","start_ms","end_ms","arg"}. The
+// append style lets the caller reuse its buffer across emissions.
+func (t *Tracer) AppendJSON(b []byte, tMs float64) []byte {
+	b = append(b, `{"event":"trace","t_ms":`...)
+	b = appendJSONFloat(b, tMs)
+	b = append(b, `,"dropped":`...)
+	b = strconv.AppendUint(b, t.dropped, 10)
+	b = append(b, `,"spans":[`...)
+	first := true
+	t.Each(func(s Span) {
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, `{"name":`...)
+		b = appendJSONString(b, t.Name(s.ID))
+		b = append(b, `,"start_ms":`...)
+		b = appendJSONFloat(b, float64(s.Start)/1e6)
+		b = append(b, `,"end_ms":`...)
+		b = appendJSONFloat(b, float64(s.End)/1e6)
+		b = append(b, `,"arg":`...)
+		b = strconv.AppendInt(b, s.Arg, 10)
+		b = append(b, '}')
+	})
+	return append(b, "]}"...)
+}

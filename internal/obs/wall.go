@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Phase accumulates wall-clock time spent in one named host-side phase
+// (building a world, running the event loop, summarizing). It is
+// explicitly non-deterministic: its values never enter a snapshot
+// record, only the separate "snapshot_wall" record.
+type Phase struct {
+	name    string
+	calls   int64
+	total   time.Duration
+	started time.Time
+}
+
+// Start begins timing one call of the phase.
+func (p *Phase) Start() { p.started = time.Now() }
+
+// Stop ends the call begun by Start and accumulates its duration.
+func (p *Phase) Stop() {
+	p.calls++
+	p.total += time.Since(p.started)
+}
+
+// Time runs f inside a Start/Stop pair.
+func (p *Phase) Time(f func()) {
+	p.Start()
+	f()
+	p.Stop()
+}
+
+// Calls returns how many Start/Stop pairs have completed.
+func (p *Phase) Calls() int64 { return p.calls }
+
+// Total returns the accumulated wall-clock time.
+func (p *Phase) Total() time.Duration { return p.total }
+
+// WallTimers is a set of named Phases — the wall-clock self-profiling
+// side of the observability layer, kept strictly outside the
+// deterministic snapshot boundary.
+type WallTimers struct {
+	phases []*Phase
+}
+
+// NewWallTimers returns an empty timer set.
+func NewWallTimers() *WallTimers { return &WallTimers{} }
+
+// Phase returns the named phase, creating it on first use.
+func (w *WallTimers) Phase(name string) *Phase {
+	i := sort.Search(len(w.phases), func(i int) bool { return w.phases[i].name >= name })
+	if i < len(w.phases) && w.phases[i].name == name {
+		return w.phases[i]
+	}
+	p := &Phase{name: name}
+	w.phases = append(w.phases, nil)
+	copy(w.phases[i+1:], w.phases[i:])
+	w.phases[i] = p
+	return p
+}
+
+// AppendRecord appends the wall-timer record as one JSON object (no
+// trailing newline): {"event":"snapshot_wall","t_ms":...,"wall":
+// {name:{"calls":N,"total_ms":X}}}. Callers that compare output across
+// runs must strip or skip these records — wall-clock totals are not
+// deterministic.
+func (w *WallTimers) AppendRecord(b []byte, tMs float64) []byte {
+	b = append(b, `{"event":"snapshot_wall","t_ms":`...)
+	b = appendJSONFloat(b, tMs)
+	b = append(b, `,"wall":{`...)
+	for i, p := range w.phases {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, p.name)
+		b = append(b, `:{"calls":`...)
+		b = strconv.AppendInt(b, p.calls, 10)
+		b = append(b, `,"total_ms":`...)
+		b = appendJSONFloat(b, float64(p.total)/1e6)
+		b = append(b, '}')
+	}
+	return append(b, "}}"...)
+}

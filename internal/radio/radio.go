@@ -24,10 +24,26 @@ type Scanner struct {
 	Cfg sift.Config
 	// ExtraLossDB models a front-end attenuator (Figure 7 experiments).
 	ExtraLossDB float64
+	// Stats accumulates the scanner's cumulative work counters for the
+	// observability layer; maintained inline, never reset by Scan.
+	Stats ScannerStats
 
 	renderer *iq.Renderer
 	air      *mac.Air
 	det      sift.Detector
+}
+
+// ScannerStats are the cumulative work counters of one Scanner:
+// Scans counts scan windows rendered, Pulses and Detections the SIFT
+// output volume, ChirpDecodes successfully decoded chirp values, and
+// Calibrations threshold recalibrations (CalibrateFor and
+// CalibrateForLink).
+type ScannerStats struct {
+	Scans        int64
+	Pulses       int64
+	Detections   int64
+	ChirpDecodes int64
+	Calibrations int64
 }
 
 // NewScanner creates a scanner at node id, with its own noise RNG.
@@ -45,6 +61,7 @@ func NewScanner(air *mac.Air, id int, rng *rand.Rand) *Scanner {
 // threshold stays above the worst-case rendered noise amplitude, so the
 // sparse scan path remains valid.
 func (s *Scanner) CalibrateFor(minRxDBm float64) {
+	s.Stats.Calibrations++
 	s.Cfg.Threshold = sift.ThresholdFor(iq.AmplitudeAt(minRxDBm), iq.MaxNoiseAmplitude())
 }
 
@@ -103,11 +120,15 @@ func (s *Scanner) scan(center spectrum.UHF, from, to time.Duration, spanMHz floa
 		s.renderer.EachBlock(center, from, to, push)
 	}
 	pulses := s.det.Finish()
+	detections := sift.MatchExchanges(pulses)
+	s.Stats.Scans++
+	s.Stats.Pulses += int64(len(pulses))
+	s.Stats.Detections += int64(len(detections))
 	return ScanResult{
 		Center:     center,
 		Window:     to - from,
 		Pulses:     pulses,
-		Detections: sift.MatchExchanges(pulses),
+		Detections: detections,
 		Airtime:    sift.AirtimeUtilization(pulses, to-from),
 	}
 }
@@ -149,6 +170,7 @@ func (s *Scanner) Chirps(center spectrum.UHF, from, to time.Duration) []int {
 			continue
 		}
 		if v, ok := sift.DecodeChirp(p.Duration()); ok {
+			s.Stats.ChirpDecodes++
 			vals = append(vals, v)
 		}
 	}

@@ -25,6 +25,11 @@ type Detector struct {
 	inPulse  bool
 	startIdx int
 	pulses   []Pulse
+
+	// lifetimePulses counts pulses across the detector's whole life —
+	// unlike pulses it survives Reset, giving the observability layer a
+	// cumulative work counter per detector.
+	lifetimePulses int64
 }
 
 // NewDetector returns a streaming detector for the given configuration
@@ -123,12 +128,17 @@ func (d *Detector) SkipNoise(k int) {
 
 func (d *Detector) close(endIdx int) {
 	if endIdx-d.startIdx >= minPulseSamples {
+		d.lifetimePulses++
 		d.pulses = append(d.pulses, Pulse{
 			Start: iq.SampleTime(d.startIdx),
 			End:   iq.SampleTime(endIdx),
 		})
 	}
 }
+
+// LifetimePulses returns the total number of pulses this detector has
+// emitted since construction, across Resets.
+func (d *Detector) LifetimePulses() int64 { return d.lifetimePulses }
 
 // Finish closes a pulse still above threshold at the stream boundary
 // and returns all detected pulses, in time order. The detector must be

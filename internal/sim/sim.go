@@ -75,11 +75,12 @@ func (q *eventQueue) Pop() interface{} {
 // Engine is a single-threaded discrete-event scheduler with a seeded
 // random number generator. Create one with New.
 type Engine struct {
-	now   time.Duration
-	seq   uint64
-	queue eventQueue
-	free  []*event
-	rng   *rand.Rand
+	now        time.Duration
+	seq        uint64
+	queue      eventQueue
+	free       []*event
+	rng        *rand.Rand
+	dispatched uint64
 }
 
 // New returns an engine whose random source is seeded with seed.
@@ -182,6 +183,7 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
+	e.dispatched++
 	fn, argFn, arg := ev.fn, ev.argFn, ev.arg
 	e.release(ev)
 	if argFn != nil {
@@ -255,3 +257,12 @@ func (t *Ticker) Stop() {
 // Pending returns the number of scheduled events. Cancelled events
 // leave the queue immediately, so every queued event counts.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// Dispatched returns the total number of events fired by Step since
+// the engine was created — the raw work counter the observability
+// layer samples.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// FreeEvents returns the current size of the engine's event free list
+// (pool occupancy, for pool telemetry).
+func (e *Engine) FreeEvents() int { return len(e.free) }

@@ -1,0 +1,78 @@
+package trace
+
+// This file holds the shared JSONL trace record types beyond flows and
+// outages: mobility positions, mic transitions, injected faults, and
+// the observability layer's snapshot records. cmd/whitefi-sim emits
+// them on -json, and the round-trip tests in records_test.go pin every
+// record's encode/decode behavior.
+
+// PositionRecord is one client position line of a mobility run (event
+// "pos").
+type PositionRecord struct {
+	Event string  `json:"event"`
+	T     float64 `json:"t_s"`
+	ID    int     `json:"id"`
+	X     float64 `json:"x_m"`
+	Y     float64 `json:"y_m"`
+	DistM float64 `json:"ap_dist_m"`
+}
+
+// MicRecord is one microphone transition line (event "mic").
+type MicRecord struct {
+	Event   string  `json:"event"`
+	T       float64 `json:"t_s"`
+	Channel string  `json:"channel"`
+	Active  bool    `json:"active"`
+}
+
+// FaultRecord is one injected-fault line (event "fault").
+type FaultRecord struct {
+	Event  string  `json:"event"`
+	T      float64 `json:"t_s"`
+	Kind   string  `json:"kind"`
+	Target int     `json:"target"`
+	DurS   float64 `json:"dur_s"`
+}
+
+// HistSnapshot is one streaming histogram inside a SnapshotRecord:
+// count, extrema, mean, and the P² percentile estimates.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// SnapshotRecord is one observability snapshot line (event
+// "snapshot"): every registered metric at one simulation time, counter
+// and gauge maps keyed by metric name. The obs package emits it with a
+// hand-rolled zero-alloc encoder whose output this type decodes; the
+// round-trip test pins the two against each other. Snapshot values are
+// a pure function of simulation state, so these lines are
+// byte-identical across worker counts.
+type SnapshotRecord struct {
+	Event    string                  `json:"event"`
+	TMs      float64                 `json:"t_ms"`
+	Counters map[string]int64        `json:"counters"`
+	Gauges   map[string]float64      `json:"gauges"`
+	Hists    map[string]HistSnapshot `json:"hists,omitempty"`
+}
+
+// WallPhase is one named phase inside a WallRecord.
+type WallPhase struct {
+	Calls   int64   `json:"calls"`
+	TotalMs float64 `json:"total_ms"`
+}
+
+// WallRecord is the wall-clock self-profiling line (event
+// "snapshot_wall") that accompanies snapshots when wall timers are
+// enabled. Its values are host timings — explicitly non-deterministic;
+// determinism comparisons must filter these lines out.
+type WallRecord struct {
+	Event string               `json:"event"`
+	TMs   float64              `json:"t_ms"`
+	Wall  map[string]WallPhase `json:"wall"`
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// roundTrip emits rec through the JSONEmitter, decodes the line back
+// into out (a pointer to the same type), and fails unless the decoded
+// value equals the original. It returns the emitted line.
+func roundTrip(t *testing.T, rec, out any) string {
+	t.Helper()
+	var buf bytes.Buffer
+	em := NewJSONEmitter(&buf)
+	em.Emit(rec)
+	if err := em.Err(); err != nil {
+		t.Fatalf("emit %T: %v", rec, err)
+	}
+	line := strings.TrimSuffix(buf.String(), "\n")
+	if strings.Contains(line, "\n") {
+		t.Fatalf("%T emitted more than one line: %q", rec, line)
+	}
+	if err := json.Unmarshal([]byte(line), out); err != nil {
+		t.Fatalf("decode %T: %v\n%s", rec, err, line)
+	}
+	got := reflect.ValueOf(out).Elem().Interface()
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("%T round-trip mismatch:\nsent: %+v\ngot:  %+v\nline: %s", rec, rec, got, line)
+	}
+	return line
+}
+
+func TestFlowRecordRoundTrip(t *testing.T) {
+	rec := FlowRecord{
+		Event: "flow", ID: 3, Model: "web", Direction: "up",
+		Src: 101, Dst: 1, Generated: 1200, Delivered: 1100, QueueDropped: 100,
+		GoodputMbps: 1.375, DelayP50Ms: 12.5, DelayP95Ms: 80.25,
+		DelayP99Ms: 140.125, DelayMaxMs: 512, JitterMs: 3.5,
+	}
+	var out FlowRecord
+	line := roundTrip(t, rec, &out)
+	for _, key := range []string{`"event":"flow"`, `"flow":3`, `"goodput_mbps":1.375`} {
+		if !strings.Contains(line, key) {
+			t.Errorf("flow line missing %s: %s", key, line)
+		}
+	}
+}
+
+func TestOutageRecordRoundTrip(t *testing.T) {
+	rec := OutageRecord{
+		Event: "outage", Node: 7, Cause: "ap_crash",
+		StartMs: 1500.5, EndMs: 3800.25, DurMs: 2299.75,
+		Path: "ch33/5MHz>ch12/5MHz",
+	}
+	var out OutageRecord
+	roundTrip(t, rec, &out)
+	if !out.Closed() {
+		t.Error("closed outage decoded as open")
+	}
+	open := OutageRecord{Event: "outage", Node: 7, Cause: "roam", StartMs: 10}
+	var out2 OutageRecord
+	roundTrip(t, open, &out2)
+	if out2.Closed() {
+		t.Error("open outage decoded as closed")
+	}
+}
+
+func TestFaultRecordRoundTrip(t *testing.T) {
+	rec := FaultRecord{Event: "fault", T: 42.5, Kind: "crash", Target: 1, DurS: 3.25}
+	var out FaultRecord
+	line := roundTrip(t, rec, &out)
+	if !strings.Contains(line, `"dur_s":3.25`) {
+		t.Errorf("fault line missing dur_s: %s", line)
+	}
+}
+
+func TestPositionRecordRoundTrip(t *testing.T) {
+	rec := PositionRecord{Event: "pos", T: 15, ID: 102, X: -120.5, Y: 88.25, DistM: 149.375}
+	var out PositionRecord
+	line := roundTrip(t, rec, &out)
+	if !strings.Contains(line, `"ap_dist_m":149.375`) {
+		t.Errorf("pos line missing ap_dist_m: %s", line)
+	}
+}
+
+func TestMicRecordRoundTrip(t *testing.T) {
+	rec := MicRecord{Event: "mic", T: 20.5, Channel: "uhf21", Active: true}
+	var out MicRecord
+	line := roundTrip(t, rec, &out)
+	if !strings.Contains(line, `"active":true`) {
+		t.Errorf("mic line missing active: %s", line)
+	}
+}
+
+func TestSnapshotRecordRoundTrip(t *testing.T) {
+	rec := SnapshotRecord{
+		Event: "snapshot", TMs: 1000,
+		Counters: map[string]int64{"air.launches": 42, "mac.tx_data": 7},
+		Gauges:   map[string]float64{"engine.pending": 12, "air.busy.uhf21": 0.25},
+		Hists: map[string]HistSnapshot{
+			"assign.mcham": {Count: 9, Min: 0.5, Max: 4.5, Mean: 2.25, P50: 2, P95: 4.25, P99: 4.5},
+		},
+	}
+	var out SnapshotRecord
+	roundTrip(t, rec, &out)
+
+	// hists is omitempty: a snapshot without histograms must not carry
+	// the key at all, matching the obs package's hand-rolled encoder.
+	bare := SnapshotRecord{
+		Event: "snapshot", TMs: 2000,
+		Counters: map[string]int64{"a": 1},
+		Gauges:   map[string]float64{"b": 2},
+	}
+	var out2 SnapshotRecord
+	line := roundTrip(t, bare, &out2)
+	if strings.Contains(line, "hists") {
+		t.Errorf("empty hists serialized: %s", line)
+	}
+}
+
+func TestWallRecordRoundTrip(t *testing.T) {
+	rec := WallRecord{
+		Event: "snapshot_wall", TMs: 3000,
+		Wall: map[string]WallPhase{
+			"build": {Calls: 1, TotalMs: 12.5},
+			"run":   {Calls: 1, TotalMs: 880.25},
+		},
+	}
+	var out WallRecord
+	roundTrip(t, rec, &out)
+}

@@ -10,8 +10,11 @@
 #
 # Output: BENCH_<git-short-sha>.json in the repository root — one JSON
 # object per line ("name", "iterations", "ns_per_op", plus
-# "bytes_per_op"/"allocs_per_op" when -benchmem reports them), followed
-# by a trailing metadata object with the commit, date and host.
+# "bytes_per_op"/"allocs_per_op" when -benchmem reports them), then a
+# {"domain_metrics":{...}} line with the final observability snapshot
+# counters of the instrumented reference scenarios (whitefi-bench
+# -metrics; skipped if BENCH_SKIP_METRICS=1), followed by a trailing
+# metadata object with the commit, date and host.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,5 +41,17 @@ END {
     printf "{\"meta\":{\"commit\":\"%s\",\"date\":\"%s\",\"benchtime\":\"'"$benchtime"'\"}}\n", commit, date
 }
 ' "$raw" >"$out"
+
+# Fold the domain counters (collisions, drops, outages) of the
+# instrumented reference scenarios in before the trailing meta object,
+# so bench_trend.sh can diff behavior as well as performance.
+if [ "${BENCH_SKIP_METRICS:-0}" != "1" ]; then
+    domain=$(go run ./cmd/whitefi-bench -exp none -metrics)
+    tmp=$(mktemp)
+    head -n -1 "$out" >"$tmp"
+    printf '%s\n' "$domain" >>"$tmp"
+    tail -n 1 "$out" >>"$tmp"
+    mv "$tmp" "$out"
+fi
 
 echo "wrote $out"

@@ -141,4 +141,46 @@ fileno == 2 && nbase == 2 {
 }
 ' <(tr -d '\r' < "$baseline") <(tr -d '\r' < "${prior:-/dev/null}") <(tr -d '\r' < "$new") || true
 
+# Domain-metrics diff: the {"domain_metrics":{...}} line carries the
+# final observability snapshot counters of the instrumented reference
+# scenarios (collisions, drops, outages, crashes). Behavior counters
+# are deterministic for a fixed seed, so any drift is a real behavior
+# change — but still warn-only, like the rest of this script, because
+# intentional protocol changes legitimately move them.
+dthreshold=${BENCH_TREND_DOMAIN_THRESHOLD:-5}
+base_dom=$(grep -h '"domain_metrics"' "$baseline" 2>/dev/null | head -n 1 || true)
+new_dom=$(grep -h '"domain_metrics"' "$new" 2>/dev/null | head -n 1 || true)
+if [ -n "$base_dom" ] && [ -n "$new_dom" ]; then
+    echo "bench-trend: domain metrics vs $baseline (warn at ±${dthreshold}%)"
+    awk -v thr="$dthreshold" '
+    function parse(line, arr,    n, i, kv, k) {
+        sub(/.*"domain_metrics":\{/, "", line)
+        sub(/\}.*/, "", line)
+        n = split(line, parts, ",")
+        for (i = 1; i <= n; i++) {
+            split(parts[i], kv, ":")
+            k = kv[1]; gsub(/"/, "", k)
+            arr[k] = kv[2] + 0
+        }
+        return n
+    }
+    NR == 1 { parse($0, base); next }
+    NR == 2 {
+        parse($0, cur)
+        for (k in cur) {
+            if (!(k in base)) { printf "NEW   %-45s %12d (no baseline)\n", k, cur[k]; continue }
+            if (base[k] == 0) {
+                if (cur[k] != 0) printf "WARN  %-45s 0 -> %d\n", k, cur[k]
+                continue
+            }
+            delta = (cur[k] - base[k]) / base[k] * 100
+            if (delta > thr || delta < -thr)
+                printf "WARN  %-45s %+7.1f%%  (%d -> %d)\n", k, delta, base[k], cur[k]
+        }
+    }
+    ' <(printf '%s\n' "$base_dom") <(printf '%s\n' "$new_dom") || true
+else
+    echo "bench-trend: domain metrics missing from baseline or new run; skipping"
+fi
+
 echo "bench-trend: done (warn-only)"

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# telemetry_smoke.sh — end-to-end smoke of the live observability
+# export: run a short dense-city scenario with -telemetry under the
+# race detector, probe /metrics and /trace over HTTP while the process
+# is up, and validate both against the snapshot schema
+# (trace.SnapshotRecord / the tracer dump) with jq.
+#
+# The probe loop retries until the first snapshot is published (the
+# endpoints answer 503 before that), and -telemetry-hold keeps the
+# endpoints alive after the simulation finishes so the probe always
+# lands even on slow runners.
+#
+# Usage: scripts/telemetry_smoke.sh [addr]   (default 127.0.0.1:18080)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+addr=${1:-127.0.0.1:18080}
+
+command -v jq >/dev/null || { echo "telemetry-smoke: jq required"; exit 1; }
+command -v curl >/dev/null || { echo "telemetry-smoke: curl required"; exit 1; }
+
+bin=$(mktemp -t whitefi-sim-race.XXXXXX)
+go build -race -o "$bin" ./cmd/whitefi-sim
+
+"$bin" -dense 20 -traffic mixed -duration 10s -seed 3 \
+    -telemetry "$addr" -telemetry-hold 30s -json >/dev/null &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -f "$bin"' EXIT
+
+# Probe until the first snapshot is published.
+metrics=""
+for _ in $(seq 1 120); do
+    if metrics=$(curl -sf "http://$addr/metrics" 2>/dev/null) && [ -n "$metrics" ]; then
+        break
+    fi
+    sleep 0.5
+done
+[ -n "$metrics" ] || { echo "telemetry-smoke: /metrics never answered"; exit 1; }
+trace=$(curl -sf "http://$addr/trace")
+
+echo "$metrics" | jq -e '
+    .event == "snapshot"
+    and (.t_ms | type == "number")
+    and (.counters | type == "object")
+    and (.gauges | type == "object")
+    and (.counters | has("engine.dispatched"))
+    and (.counters | has("air.launches"))
+    and (.counters | has("mac.tx_data"))
+    and (.counters | has("traffic.generated"))
+' >/dev/null || { echo "telemetry-smoke: /metrics failed schema check:"; echo "$metrics"; exit 1; }
+
+echo "$trace" | jq -e '
+    .event == "trace"
+    and (.dropped | type == "number")
+    and (.spans | type == "array")
+' >/dev/null || { echo "telemetry-smoke: /trace failed schema check:"; echo "$trace"; exit 1; }
+
+kill "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+trap 'rm -f "$bin"' EXIT
+
+echo "telemetry-smoke: PASS ($(echo "$metrics" | jq '.counters | length') counters, $(echo "$trace" | jq '.spans | length') spans)"
