@@ -12,6 +12,7 @@ package whitefi
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"whitefi/internal/exp"
 	"whitefi/internal/traffic"
@@ -231,6 +232,44 @@ func BenchmarkAllocGateMixedTraffic(b *testing.B) {
 			APs: 30, Seed: 5,
 			Traffic: traffic.Models(), UplinkFrac: 0.3, QueueLimit: 128,
 		})
+	}
+}
+
+// The DenseCitySharded pair measures the parallel speedup of the
+// sharded engine at the paper's city scale: a 1002-node (334 BSS)
+// 30-second dense city tiled over 8 guard-spaced regions, run once on
+// a single shard (the serial reference schedule) and once on 8 shards
+// with a worker per shard. Both produce byte-identical digests (the
+// shard-equivalence harness pins that); the ns/op ratio is pure
+// wall-clock speedup.
+func BenchmarkDenseCityShardedSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.DenseCityRun(denseCityShardedCfg(1))
+	}
+}
+
+func BenchmarkDenseCitySharded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.DenseCityRun(denseCityShardedCfg(8))
+	}
+}
+
+// denseCityShardedCfg is the 1002-node tiled city the sharded-engine
+// speedup pair runs: 334 APs x (1 AP + 2 clients) over 8 tiles, 2 s
+// settle + 28 s measure.
+func denseCityShardedCfg(shards int) exp.DenseCityConfig {
+	return exp.DenseCityConfig{
+		APs: 334, Tiles: 8, Shards: shards, Seed: 5,
+		Settle: 2 * time.Second, Measure: 28 * time.Second,
+	}
+}
+
+// BenchmarkAllocGateShardedCity extends the alloc gate over the
+// sharded hot path: per-shard queues, arenas and barrier rounds must
+// stay amortized-zero like their serial counterparts.
+func BenchmarkAllocGateShardedCity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.DenseCityRun(exp.DenseCityConfig{APs: 16, Tiles: 8, Shards: 8, Seed: 5})
 	}
 }
 

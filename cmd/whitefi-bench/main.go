@@ -28,7 +28,9 @@
 // mixedtraffic (per-flow telemetry under generated flow mixes),
 // densecity-traffic (the city sweep crossed with traffic mixes) and
 // faultstorm (injected AP crashes, scanner stalls, overload and bursty
-// loss vs goodput retained and MTTR).
+// loss vs goodput retained and MTTR), and densecity-sharded (the tiled
+// city on the sharded parallel engine across shard counts, pinning
+// byte-identical digests and reporting the wall-clock speedup).
 package main
 
 import (
@@ -158,6 +160,7 @@ func main() {
 		"mixedtraffic":      exp.MixedTrafficTable,
 		"densecity-traffic": exp.DenseCityTrafficTable,
 		"faultstorm":        exp.FaultStormTable,
+		"densecity-sharded": exp.ShardedCityTable,
 	}
 	order := []string{
 		"sec2.1", "fig2", "sec2.3", "fig5", "table1", "fig6", "fig7",
@@ -166,6 +169,7 @@ func main() {
 		"ablation-hysteresis", "ablation-weight",
 		"driveby", "roaming", "mic-churn", "densecity",
 		"mixedtraffic", "densecity-traffic", "faultstorm",
+		"densecity-sharded",
 	}
 
 	var ids []string

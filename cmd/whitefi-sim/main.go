@@ -118,6 +118,8 @@ type denseRecord struct {
 	Event        string  `json:"event"`
 	APs          int     `json:"aps"`
 	Nodes        int     `json:"nodes"`
+	Tiles        int     `json:"tiles,omitempty"`
+	Shards       int     `json:"shards,omitempty"`
 	AreaKm2      float64 `json:"area_km2"`
 	GoodputMbps  float64 `json:"goodput_mbps"`
 	MChamQuality float64 `json:"mcham_quality"`
@@ -165,8 +167,9 @@ func holdTelemetry(srv *obs.Server, hold time.Duration) {
 // runDenseCity executes the exp.DenseCity scenario once with the CLI's
 // duration split into the default settle plus the remaining measurement
 // window, and prints (or emits as JSON) the summary metrics.
-func runDenseCity(aps int, duration time.Duration, seed int64, micDuty float64, models []traffic.Model, uplinkFrac float64, jsonOut bool, o *obs.Observer) {
-	cfg := exp.DenseCityConfig{APs: aps, Seed: seed, MicDuty: micDuty, Traffic: models, UplinkFrac: uplinkFrac, Obs: o}
+func runDenseCity(aps, tiles, shards, workers int, duration time.Duration, seed int64, micDuty float64, models []traffic.Model, uplinkFrac float64, jsonOut bool, o *obs.Observer) {
+	cfg := exp.DenseCityConfig{APs: aps, Tiles: tiles, Shards: shards, Workers: workers,
+		Seed: seed, MicDuty: micDuty, Traffic: models, UplinkFrac: uplinkFrac, Obs: o}
 	if len(models) > 0 {
 		cfg.QueueLimit = 128 // engine runs bound the AP egress queue so drops are measured
 	}
@@ -183,7 +186,8 @@ func runDenseCity(aps int, duration time.Duration, seed int64, micDuty float64, 
 	if jsonOut {
 		em := trace.NewJSONEmitter(os.Stdout)
 		em.Emit(denseRecord{
-			Event: "dense", APs: r.APs, Nodes: r.Nodes, AreaKm2: r.AreaKm2,
+			Event: "dense", APs: r.APs, Nodes: r.Nodes,
+			Tiles: r.Tiles, Shards: r.Shards, AreaKm2: r.AreaKm2,
 			GoodputMbps: r.GoodputMbps, MChamQuality: r.MChamQuality,
 			IFreeFrac: r.InterferenceFreeFrac, SwitchPerBSS: r.SwitchesPerBSS,
 			FlowP50Ms: r.FlowDelayP50Ms, FlowP95Ms: r.FlowDelayP95Ms,
@@ -244,6 +248,9 @@ func main() {
 	speed := flag.Float64("speed", 15, "mobility speed in m/s")
 	micDuty := flag.Float64("mic-duty", 0, "Markov mic duty cycle: one stochastic mic per free channel, busy this fraction of a 20 s mean cycle (0 = only the scripted -mic-at mic)")
 	denseAPs := flag.Int("dense", 0, "run the city-scale dense-deployment scenario with this many APs (2 clients each) instead of the single-BSS scenario; -duration, -seed, -mic-duty, -traffic and -uplink-frac apply")
+	denseTiles := flag.Int("tiles", 0, "tile the -dense city into this many guard-spaced regions and run it on the sharded parallel engine (0 = the legacy single-region serial city)")
+	denseShards := flag.Int("shards", 0, "shard count of the tiled -dense city: results are byte-identical at any value; 0 = one shard per tile")
+	denseWorkers := flag.Int("workers", 0, "worker threads driving the shards (0 = GOMAXPROCS); results are byte-identical at any value")
 	trafficModel := flag.String("traffic", "backlog", "per-client flow model: backlog (legacy saturating downlink) | cbr | poisson | burst | web | mixed (cycle all four)")
 	uplinkFrac := flag.Float64("uplink-frac", 0, "fraction of generated flows reversed client -> AP (traffic engine models only)")
 	faults := flag.Bool("faults", false, "inject seeded faults against the AP: crash/restart cycles, scanner stalls, overload bursts and bursty frame loss")
@@ -274,7 +281,7 @@ func main() {
 
 	if *denseAPs > 0 {
 		o, srv := startTelemetry(*telemetry, *jsonOut)
-		runDenseCity(*denseAPs, *duration, *seed, *micDuty, models, *uplinkFrac, *jsonOut, o)
+		runDenseCity(*denseAPs, *denseTiles, *denseShards, *denseWorkers, *duration, *seed, *micDuty, models, *uplinkFrac, *jsonOut, o)
 		holdTelemetry(srv, *teleHold)
 		return
 	}

@@ -114,6 +114,9 @@ func NewClient(eng *sim.Engine, air *mac.Air, id int, cfg Config, sensor *radio.
 		air.SetPosition(id, sensor.Pos)
 	}
 	c.Node = mac.NewNode(eng, air, id, c.apChannel, false)
+	if cfg.Rand != nil {
+		c.Node.SetRand(cfg.Rand(id))
+	}
 	c.Node.OnReceive = c.receive
 	c.Airtime = &radio.TrueAirtime{Air: air, Exclude: ap.own, Observer: id}
 	ap.RegisterOwn(id)

@@ -44,6 +44,21 @@ type Config struct {
 	// indiscriminate tail drop — the graceful-degradation half of the
 	// overload fault model.
 	Shedding bool
+	// IDBase offsets every node id the network allocates (AP = IDBase+1,
+	// clients from IDBase+100), so several networks can share one medium
+	// without colliding — the sharded storm scenario places its tiles'
+	// networks on a single Air in the serial reference layout. Zero (the
+	// default) keeps the legacy ids.
+	IDBase int
+	// Rand, when non-nil, supplies a per-entity random stream for each
+	// node id the network allocates, installed at construction — before
+	// the AP's very first backup draw and the nodes' first backoff draw.
+	// A post-construction AP.SetRand cannot retroactively cover those,
+	// so shard-invariant scenarios (which need every draw to come from a
+	// stream keyed by entity, not by engine) must pass the hook here,
+	// typically func(id int) *rand.Rand { return eng.RandFor(id) }.
+	// Nil keeps the legacy engine-shared stream.
+	Rand func(id int) *rand.Rand
 }
 
 func (c *Config) fill() {
@@ -164,6 +179,7 @@ type AP struct {
 	clients  map[int]*clientState
 	backup   spectrum.Channel
 	ssidCode int
+	rng      *rand.Rand // non-nil overrides the engine RNG for backup draws (see SetRand)
 
 	// Own-network node ids excluded from airtime measurement.
 	own map[int]bool
@@ -241,6 +257,9 @@ func NewAP(eng *sim.Engine, air *mac.Air, id int, cfg Config, sensor *radio.Incu
 	ap.Node = mac.NewNode(eng, air, id, ch, true)
 	ap.Node.OnReceive = ap.receive
 	ap.Node.OnSent = ap.sent
+	if cfg.Rand != nil {
+		ap.SetRand(cfg.Rand(id))
+	}
 	ap.pickBackup()
 	ap.Switches = append(ap.Switches, SwitchEvent{At: eng.Now(), To: ch, Reason: SwitchInitial, Metric: sel.Metric})
 
@@ -445,9 +464,24 @@ func (a *AP) pickBackup() {
 		!a.backup.Overlaps(a.Node.Channel()) {
 		return
 	}
-	if b, ok := chirp.ChooseBackup(m, a.Node.Channel(), a.eng.Rand()); ok {
+	r := a.eng.Rand()
+	if a.rng != nil {
+		r = a.rng
+	}
+	if b, ok := chirp.ChooseBackup(m, a.Node.Channel(), r); ok {
 		a.backup = b
 	}
+}
+
+// SetRand makes the AP draw its backup-channel choices from r instead
+// of the engine's shared random source, and hands the same stream to
+// its MAC node's backoff. The shared source couples entities through
+// global event order; sharded scenarios give each AP a per-entity
+// stream (typically eng.RandFor(id)) so the realisation is invariant
+// to how the world is partitioned. Nil keeps the legacy behavior.
+func (a *AP) SetRand(r *rand.Rand) {
+	a.rng = r
+	a.Node.SetRand(r)
 }
 
 // beaconTick sends the periodic beacon.

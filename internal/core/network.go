@@ -32,9 +32,9 @@ func NewNetwork(eng *sim.Engine, air *mac.Air, cfg Config, sensors []*radio.Incu
 		panic("core: NewNetwork needs at least the AP sensor")
 	}
 	n := &Network{Eng: eng, Air: air}
-	n.AP = NewAP(eng, air, 1, cfg, sensors[0])
+	n.AP = NewAP(eng, air, cfg.IDBase+1, cfg, sensors[0])
 	for i, s := range sensors[1:] {
-		c := NewClient(eng, air, 100+i, cfg, s, n.AP)
+		c := NewClient(eng, air, cfg.IDBase+100+i, cfg, s, n.AP)
 		n.Clients = append(n.Clients, c)
 	}
 	return n

@@ -67,6 +67,26 @@ type DenseCityConfig struct {
 	// O(nodes × transmissions) fan-out the culled medium replaces. For
 	// benchmarking the two paths; results are event-identical.
 	Brute bool
+	// Tiles, when positive, selects the tiled-metro variant of the
+	// scenario (see DenseCityTiled): the APs are spread over Tiles
+	// guard-spaced city tiles instead of one continuous square, and the
+	// run executes on the sharded parallel engine. The tile count fixes
+	// the geometry; vary Shards and Workers freely — results are
+	// byte-identical across both. Zero keeps the legacy continuous
+	// city on the serial engine, byte-for-byte.
+	Tiles int
+	// Shards is the number of execution shards the tiled city runs on
+	// (contiguous runs of tiles per shard). Zero selects one shard per
+	// tile; values above Tiles are clamped. Only meaningful with
+	// Tiles > 0.
+	Shards int
+	// Workers bounds the OS threads advancing shards in parallel; zero
+	// selects GOMAXPROCS. Wall clock only — never results.
+	Workers int
+	// Mobility, in the tiled variant, walks every client on a seeded
+	// random-waypoint trajectory around its AP (per-tile epoch
+	// updaters), so the equivalence artifact covers moving worlds too.
+	Mobility bool
 	// Obs, when non-nil, is attached to the run's engine: the standard
 	// subsystem metrics are registered, assignment rounds are traced
 	// (span "assign.evaluate", event "bss.switch", histogram
@@ -110,6 +130,11 @@ type DenseCityResult struct {
 	APs     int
 	Nodes   int     // APs + clients on the medium
 	AreaKm2 float64 // world area
+	// Tiles and Shards echo the tiled-variant execution shape (zero on
+	// the continuous city): how many guard-spaced tiles the metro was
+	// split into, and how many parallel shards actually ran it.
+	Tiles  int
+	Shards int
 	// GoodputMbps is the aggregate delivered downlink payload rate
 	// across every BSS over the measurement window.
 	GoodputMbps float64
@@ -199,6 +224,10 @@ func (b *denseBSS) retune(ch spectrum.Channel) {
 // and assignment quality rather than protocol dynamics (MicChurn
 // covers those).
 func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
+	if cfg.Tiles > 0 {
+		r, _ := DenseCityTiled(cfg)
+		return r
+	}
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	rng := rand.New(rand.NewSource(cfg.Seed))

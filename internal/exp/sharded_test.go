@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"whitefi/internal/obs"
+)
+
+// shardEquivCityCfg is the tiled-city configuration the equivalence
+// matrix runs: small enough for a -race matrix cell, big enough that
+// every mechanism is live — 16 BSSs over 8 tiles, mobility on, mics
+// churning, staggered assignment rounds inside the measure window.
+func shardEquivCityCfg(shards, workers int, out *bytes.Buffer) DenseCityConfig {
+	cfg := DenseCityConfig{
+		APs:      16,
+		Tiles:    8,
+		Shards:   shards,
+		Workers:  workers,
+		Seed:     4242,
+		Settle:   1 * time.Second,
+		Measure:  5 * time.Second,
+		Mobility: true,
+	}
+	if out != nil {
+		cfg.Obs = &obs.Observer{Period: 500 * time.Millisecond, Out: out}
+	}
+	return cfg
+}
+
+// cityArtifact runs one tiled-city cell and returns the full
+// equivalence artifact: the canonical digest plus the observer's
+// snapshot stream.
+func cityArtifact(t *testing.T, shards, workers int) string {
+	t.Helper()
+	var snaps bytes.Buffer
+	_, dg := DenseCityTiled(shardEquivCityCfg(shards, workers, &snaps))
+	return dg + "--snapshots--\n" + snaps.String()
+}
+
+// stormArtifact runs one tiled-storm cell and returns its trace plus
+// the headline counters (the trace alone could stay identical while a
+// counter drifted).
+func stormArtifact(t *testing.T, shards, workers int) string {
+	t.Helper()
+	res, tr := ShardedStorm(ShardedStormConfig{
+		Tiles:   2,
+		Shards:  shards,
+		Workers: workers,
+		Seed:    8191,
+		Rate:    2,
+		Run:     40 * time.Second,
+		Quiesce: 25 * time.Second,
+	})
+	return tr + fmt.Sprintf("crashes=%d stalls=%d outages=%d orphans=%d goodput=%.9f\n",
+		res.Crashes, res.Stalls, res.Outages, res.Orphans, res.GoodputMbps)
+}
+
+// TestShardEquivalence is the determinism harness of the sharded
+// engine: the tiled city (steady-state scale, mobility, mic churn,
+// assignment) and the tiled storm (mid-run faults, recovery, bursty
+// loss) must produce byte-identical artifacts — result digests, trace
+// streams and metric snapshots — at every shard count × worker count
+// combination. The serial reference is the 1-shard cell: all tiles on
+// one engine and one medium, no parallelism anywhere.
+func TestShardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sharded matrix")
+	}
+	t.Run("city", func(t *testing.T) {
+		t.Parallel()
+		ref := cityArtifact(t, 1, 1)
+		if len(ref) == 0 {
+			t.Fatal("empty city artifact")
+		}
+		for _, shards := range []int{2, 4, 8} {
+			for _, workers := range []int{1, 4, 8} {
+				got := cityArtifact(t, shards, workers)
+				if got != ref {
+					t.Fatalf("city artifact diverged at shards=%d workers=%d:\n%s",
+						shards, workers, firstDiff(ref, got))
+				}
+			}
+		}
+	})
+	t.Run("storm", func(t *testing.T) {
+		t.Parallel()
+		ref := stormArtifact(t, 1, 1)
+		if len(ref) == 0 {
+			t.Fatal("empty storm artifact")
+		}
+		for _, shards := range []int{2} {
+			for _, workers := range []int{1, 4, 8} {
+				got := stormArtifact(t, shards, workers)
+				if got != ref {
+					t.Fatalf("storm artifact diverged at shards=%d workers=%d:\n%s",
+						shards, workers, firstDiff(ref, got))
+				}
+			}
+		}
+	})
+}
+
+// TestShardedCityDispatch pins the DenseCityRun dispatch: Tiles > 0
+// routes through the tiled variant and reports its execution shape.
+func TestShardedCityDispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small tiled city")
+	}
+	r := DenseCityRun(DenseCityConfig{
+		APs: 4, Tiles: 2, Seed: 7, Settle: 500 * time.Millisecond, Measure: 1 * time.Second,
+	})
+	if r.Tiles != 2 || r.Shards != 2 {
+		t.Fatalf("tiled dispatch lost execution shape: tiles=%d shards=%d", r.Tiles, r.Shards)
+	}
+	if r.Nodes != 12 {
+		t.Fatalf("nodes = %d, want 12", r.Nodes)
+	}
+}
+
+// firstDiff renders the first differing line of two artifacts with a
+// little context — a full multi-hundred-line dump would drown the
+// signal.
+func firstDiff(a, b string) string {
+	al, bl := bytes.Split([]byte(a), []byte("\n")), bytes.Split([]byte(b), []byte("\n"))
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  ref: %s\n  got: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length differs: ref %d lines, got %d lines", len(al), len(bl))
+}

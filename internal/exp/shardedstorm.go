@@ -1,0 +1,236 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"whitefi/internal/core"
+	"whitefi/internal/fault"
+	"whitefi/internal/incumbent"
+	"whitefi/internal/mac"
+	"whitefi/internal/phy"
+	"whitefi/internal/sim"
+	"whitefi/internal/trace"
+)
+
+// Sharded fault storm: Tiles independent stormed BSSs — each the full
+// FaultStorm cell, with its own crash/restart injector and detached
+// Gilbert–Elliott loss overlay — placed on guard-spaced positions and
+// run on the sharded parallel engine. It is the adversarial half of
+// the shard-equivalence artifact: where the tiled city exercises
+// steady-state scale, the tiled storm exercises exactly the dynamics
+// most likely to betray hidden cross-shard coupling (mid-run faults,
+// recovery scans, rendezvous chirps, bursty loss), and its byte-stable
+// fault + outage trace is what TestShardEquivalence pins identical
+// across shard and worker counts.
+//
+// Two mechanisms carry the storm's shard invariance beyond what the
+// city already establishes:
+//
+//   - Loss overlays run detached (fault.GilbertElliott.StartDetached)
+//     behind a per-medium multiplexer that routes each candidate
+//     delivery to the destination tile's overlay. Each overlay's RNG
+//     is consumed only by its own tile's flips and deliveries — in
+//     tile-local engine order, which is invariant — so the loss
+//     realisation per tile does not depend on how many tiles share a
+//     medium. (The medium consults DropFilter only after every
+//     physical check passed, and cross-tile candidates never pass the
+//     noise floor, so co-hosted tiles add zero filter calls.)
+//   - Every tile's node ids live in their own core.Config.IDBase
+//     block, so client and scanner RNGs (seeded by id), trace lines
+//     and the overlay multiplexer stay tile-keyed no matter which
+//     engine hosts the tile.
+const (
+	// shardedStormIDStride is the id block reserved per storm tile;
+	// tile t's nodes live in [t*stride, (t+1)*stride).
+	shardedStormIDStride = 1000
+	// shardedStormSpacing is the in-tile client spacing in meters —
+	// deep inside decode range, matching the spatial scenarios.
+	shardedStormSpacing = 20.0
+)
+
+// ShardedStormConfig parameterizes one tiled storm.
+type ShardedStormConfig struct {
+	// Tiles is the number of independent stormed BSSs; 0 selects 2.
+	Tiles int
+	// Shards and Workers choose the execution schedule exactly as in
+	// DenseCityConfig: contiguous tiles per shard, Shards 0 selecting
+	// one shard per tile, Workers 0 selecting GOMAXPROCS. Results are
+	// byte-identical at any combination.
+	Shards  int
+	Workers int
+	// Seed derives every tile's injector and loss-overlay seeds.
+	Seed int64
+	// Rate is the fault-rate multiplier of every tile's injector
+	// (FaultStorm's sweep variable).
+	Rate float64
+	// Run and Quiesce override the storm length and injection cutoff;
+	// zero selects the FaultStorm defaults.
+	Run     time.Duration
+	Quiesce time.Duration
+}
+
+// ShardedStormResult aggregates the tiled storm's outcome.
+type ShardedStormResult struct {
+	Tiles, Shards int
+	Crashes       int // total AP crashes across tiles
+	Stalls        int // total scanner stalls across tiles
+	GoodputMbps   float64
+	Outages       int // completed client outage episodes
+	Orphans       int // clients still disconnected at the end
+	WallClock     time.Duration
+}
+
+// shardedStormTileSeed spaces per-tile seeds like the FaultStorm
+// sweep spaces its rep seeds.
+func shardedStormTileSeed(seed int64, t int) int64 { return seed + 53*int64(t) }
+
+// ShardedStorm runs the tiled fault storm and returns the aggregate
+// result plus the combined byte-stable trace: per tile in tile order,
+// every injector event in engine order, then every client outage
+// episode in closing order, then any episodes still open at the end.
+func ShardedStorm(cfg ShardedStormConfig) (ShardedStormResult, string) {
+	if cfg.Tiles < 1 {
+		cfg.Tiles = 2
+	}
+	shards := cfg.Shards
+	if shards < 1 || shards > cfg.Tiles {
+		shards = cfg.Tiles
+	}
+	runFor := cfg.Run
+	if runFor <= 0 {
+		runFor = faultStormRun
+	}
+	quiesce := cfg.Quiesce
+	if quiesce <= 0 || quiesce > runFor {
+		quiesce = faultStormQuiesce
+	}
+	if quiesce > runFor {
+		quiesce = runFor
+	}
+	start := time.Now()
+
+	prop := mac.LogDistance{}
+	se := sim.NewSharded(cfg.Seed, shards)
+	se.Workers = cfg.Workers
+	worlds := make([]*world, shards)
+	// geMux holds each shard medium's tile-indexed overlay table; the
+	// DropFilter installed on the medium routes by destination id.
+	geMux := make([][]*fault.GilbertElliott, shards)
+	for s := range worlds {
+		eng := se.Shard(s)
+		air := mac.NewAir(eng)
+		air.Retention = historyRetention
+		air.Prop = prop
+		air.PruneClock = se.Floor
+		worlds[s] = &world{eng: eng, air: air}
+		if cfg.Rate > 0 {
+			geMux[s] = make([]*fault.GilbertElliott, cfg.Tiles)
+			mux := geMux[s]
+			air.DropFilter = func(f phy.Frame, src, dst int) bool {
+				t := dst / shardedStormIDStride
+				if t < 0 || t >= len(mux) || mux[t] == nil {
+					return false
+				}
+				return mux[t].FilterFrame(f, src, dst)
+			}
+		}
+	}
+	shardOf := func(t int) int { return t * shards / cfg.Tiles }
+	pitch := 2*mac.InteractionRange(prop, mac.DefaultTxPowerDBm) + tileGuardMargin
+
+	base := incumbent.SimulationBaseMap()
+	type stormTile struct {
+		net   *core.Network
+		inj   *fault.Injector
+		ge    *fault.GilbertElliott
+		lines []string
+	}
+	tiles := make([]*stormTile, cfg.Tiles)
+	var positions []mac.Position
+	var groups []int
+	for t := 0; t < cfg.Tiles; t++ {
+		s := shardOf(t)
+		w := worlds[s]
+		tl := &stormTile{}
+		sensors := sensorsFor(base, faultStormClients, 0, nil, nil)
+		// The Rand hook must ride in the Config: the AP's first backup
+		// draw happens inside construction, before any SetRand call
+		// could land, and it must come from the AP's own stream or the
+		// choice depends on what else shares the engine.
+		tl.net = core.NewNetwork(w.eng, w.air, core.Config{
+			Shedding: true,
+			IDBase:   t * shardedStormIDStride,
+			Rand:     w.eng.RandFor,
+		}, sensors)
+		tl.net.AP.Node.SetQueueLimit(faultStormQueue)
+		origin := float64(t) * pitch
+		tl.net.AP.Node.SetPosition(mac.Position{X: origin})
+		positions = append(positions, mac.Position{X: origin})
+		groups = append(groups, s)
+		for i, c := range tl.net.Clients {
+			p := mac.Position{X: origin + shardedStormSpacing*float64(i+1)}
+			c.Node.SetPosition(p)
+			positions = append(positions, p)
+			groups = append(groups, s)
+			tl := tl
+			c.OnOutage = func(r trace.OutageRecord) { tl.lines = append(tl.lines, r.Line()) }
+		}
+		tl.net.StartDownlink(1000)
+		tileSeed := shardedStormTileSeed(cfg.Seed, t)
+		tl.inj = fault.NewInjector(w.eng, fault.Config{Seed: tileSeed, Rate: cfg.Rate})
+		tl.inj.AddTarget(tl.net.AP.ID, tl.net.AP)
+		tl.inj.Start()
+		if cfg.Rate > 0 {
+			tl.ge = fault.NewGilbertElliott(w.eng, w.air, fault.GEConfig{LossBad: faultStormLossBad}, tileSeed*31+7)
+			tl.ge.StartDetached()
+			geMux[s][t] = tl.ge
+		}
+		tiles[t] = tl
+	}
+	if shards > 1 {
+		if i, j, ok := mac.VerifyPartition(positions, mac.DefaultTxPowerDBm, prop, groups); !ok {
+			panic(fmt.Sprintf("exp: tiled storm partition unsound: nodes %d and %d are cross-shard yet within interaction range", i, j))
+		}
+	}
+
+	se.RunUntil(quiesce)
+	for _, tl := range tiles {
+		tl.inj.Quiesce()
+		if tl.ge != nil {
+			tl.ge.Stop()
+		}
+	}
+	se.RunUntil(runFor)
+
+	res := ShardedStormResult{Tiles: cfg.Tiles, Shards: shards}
+	var sb strings.Builder
+	var bytesDelivered int64
+	for t, tl := range tiles {
+		fmt.Fprintf(&sb, "== tile %d ==\n", t)
+		for _, e := range tl.inj.Events {
+			sb.WriteString(e.Line())
+			sb.WriteByte('\n')
+		}
+		for _, l := range tl.lines {
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+		res.Crashes += tl.net.AP.Crashes
+		res.Stalls += tl.net.AP.Stalls
+		bytesDelivered += tl.net.GoodputBytes()
+		for _, c := range tl.net.Clients {
+			res.Outages += len(c.Outages)
+			if open, ok := c.OpenOutage(); ok {
+				res.Orphans++
+				sb.WriteString(open.Line())
+				sb.WriteByte('\n')
+			}
+		}
+		tl.net.Stop()
+	}
+	res.GoodputMbps = float64(bytesDelivered) * 8 / runFor.Seconds() / 1e6
+	res.WallClock = time.Since(start)
+	return res, sb.String()
+}

@@ -53,13 +53,14 @@ type GilbertElliott struct {
 	Drops      int
 	Deliveries int
 
-	eng     *sim.Engine
-	air     *mac.Air
-	rng     *rand.Rand
-	bad     bool
-	running bool
-	ev      sim.Handle
-	flipFn  func() // bound once so rescheduling does not allocate
+	eng      *sim.Engine
+	air      *mac.Air
+	rng      *rand.Rand
+	bad      bool
+	running  bool
+	detached bool
+	ev       sim.Handle
+	flipFn   func() // bound once so rescheduling does not allocate
 }
 
 // NewGilbertElliott creates a stopped overlay for air.
@@ -80,18 +81,48 @@ func (g *GilbertElliott) Start() {
 		return
 	}
 	g.running = true
+	g.detached = false
 	g.bad = false
 	g.air.DropFilter = g.filter
 	g.ev = g.eng.After(dynamics.ExpHolding(g.rng, g.Cfg.MeanGood), g.flipFn)
 }
 
-// Stop uninstalls the overlay and halts state flips.
+// StartDetached begins state flips without claiming the medium's
+// DropFilter. A detached overlay only drops what is routed to it
+// through FilterFrame — the mode a multiplexed filter needs when one
+// medium hosts several independently-faded regions (e.g. the tiles of
+// a sharded storm): each region gets its own overlay, each overlay's
+// RNG is consumed only by its region's flips and deliveries, and the
+// realisation per region is therefore invariant to how many regions
+// share the medium.
+func (g *GilbertElliott) StartDetached() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.detached = true
+	g.bad = false
+	g.ev = g.eng.After(dynamics.ExpHolding(g.rng, g.Cfg.MeanGood), g.flipFn)
+}
+
+// FilterFrame applies the overlay's per-delivery loss draw to one
+// candidate delivery, exactly as the installed DropFilter would —
+// returning true suppresses the delivery. It is the routing target for
+// detached overlays behind a caller-owned multiplexer.
+func (g *GilbertElliott) FilterFrame(f phy.Frame, src, dst int) bool {
+	return g.filter(f, src, dst)
+}
+
+// Stop uninstalls the overlay (when it owns the medium filter) and
+// halts state flips.
 func (g *GilbertElliott) Stop() {
 	if !g.running {
 		return
 	}
 	g.running = false
-	g.air.DropFilter = nil
+	if !g.detached {
+		g.air.DropFilter = nil
+	}
 	g.eng.Cancel(g.ev)
 	g.ev = sim.Handle{}
 }

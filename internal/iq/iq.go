@@ -255,6 +255,21 @@ func (r *Renderer) streamRange(salt uint64, center spectrum.UHF, from time.Durat
 // sampleRange is a half-open range of window sample indices.
 type sampleRange struct{ s, e int }
 
+// belowFloor reports whether tx arrives at this scanner's position
+// below the thermal noise floor. Such a signal is silence to every
+// other medium mechanism (decode, carrier sense, interference — see
+// mac.InteractionRange), and the renderer culls it for the same
+// reason: it cannot be detected (amplitude under the noise deviates),
+// and rendering it anyway would make scan output — including the
+// sparse-scan active ranges — depend on transmitters beyond the
+// interaction range, breaking the spatial decoupling the mac layer
+// guarantees. The cull uses the physical received power, before
+// ExtraLossDB: front-end attenuation is the scanner's own business,
+// not the medium's reach.
+func (r *Renderer) belowFloor(tx *mac.Transmission) bool {
+	return r.Air.RxPowerOf(tx, r.ScannerID) < mac.NoiseFloorDBm
+}
+
 // EachActiveBlock is EachBlock for sparse windows: stretches of pure
 // receiver noise are not rendered at all — skip(k) reports them — and
 // only ranges around transmissions (padded by margin samples on each
@@ -281,7 +296,7 @@ func (r *Renderer) EachActiveBlock(center spectrum.UHF, from, to time.Duration, 
 			continue
 		}
 		r.Air.ForEachCenterOverlapping(u, from, to, func(tx *mac.Transmission) {
-			if bandOverlapFraction(center, tx.Channel, span) == 0 {
+			if bandOverlapFraction(center, tx.Channel, span) == 0 || r.belowFloor(tx) {
 				return
 			}
 			s := int((tx.Start-from)/SamplePeriod) - margin
@@ -359,7 +374,7 @@ func (r *Renderer) renderRange(dst []float64, salt uint64, center spectrum.UHF, 
 		}
 		r.Air.ForEachCenterOverlapping(u, blockFrom, blockTo, func(tx *mac.Transmission) {
 			frac := bandOverlapFraction(center, tx.Channel, span)
-			if frac == 0 {
+			if frac == 0 || r.belowFloor(tx) {
 				return
 			}
 			rxDBm := r.Air.RxPowerOf(tx, r.ScannerID) - r.ExtraLossDB
@@ -372,8 +387,14 @@ func (r *Renderer) renderRange(dst []float64, salt uint64, center spectrum.UHF, 
 // addEnvelope adds one transmission's amplitude envelope into the
 // sample range [i0, i1) of the window starting at from. Fading and the
 // 5 MHz leading-ramp fraction derive from the window salt and the
-// transmission UID, so a transmission spanning a block boundary renders
-// identically however the window is chunked.
+// transmission's physical identity — source id and launch instant —
+// so a transmission spanning a block boundary renders identically
+// however the window is chunked, and the realisation does not depend
+// on the medium hosting it. (The medium's UID is a per-Air counter:
+// salting with it would make a transmission's fade depend on how many
+// other transmissions share the Air, which breaks the sharded
+// scenarios' guarantee that a tile renders identically whether it has
+// the medium to itself or shares it.)
 func (r *Renderer) addEnvelope(dst []float64, salt uint64, from time.Duration, i0, i1 int, tx *mac.Transmission, base float64) {
 	startIdx := int((tx.Start - from) / SamplePeriod)
 	endIdx := int((tx.End - from) / SamplePeriod)
@@ -383,7 +404,7 @@ func (r *Renderer) addEnvelope(dst []float64, salt uint64, from time.Duration, i
 	if endIdx > i1 {
 		endIdx = i1
 	}
-	h := mix64(salt ^ tx.UID*uidStride)
+	h := mix64(salt ^ uint64(tx.Src)*uidStride ^ mix64(uint64(tx.Start)))
 	is5 := tx.Channel.Width == spectrum.W5
 	var rampEnd time.Duration
 	if is5 {

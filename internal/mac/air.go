@@ -104,6 +104,17 @@ type Air struct {
 	// pruned automatically. Scan windows must not reach further back
 	// than Retention. Zero (the default) keeps the full history.
 	Retention time.Duration
+	// PruneClock, when non-nil, supplies the reference time the
+	// automatic retention prune subtracts Retention from, instead of
+	// the engine's own clock. A sharded run sets it to the sharded
+	// coordinator's Floor (a lower bound on every shard's clock): a
+	// shard's engine clock can run ahead of the rest of the world
+	// within a conservative window, and pruning against that leading
+	// clock could discard history that a lagging reader — a
+	// barrier-time observer sweeping all shards, or a fuzz harness
+	// comparing media — is still entitled to scan. Nil (the default)
+	// keeps the serial behavior: prune against Eng.Now().
+	PruneClock func() time.Duration
 	// NoCull selects the legacy brute-force medium paths: every launch
 	// and delivery fan-out visits every attached node and the
 	// interference check scans the whole recent log, exactly as the
@@ -981,7 +992,13 @@ func (a *Air) record(tx *Transmission) {
 		a.maxDur = d
 	}
 	if a.Retention > 0 && a.logLen() >= a.pruneAt {
-		a.Prune(a.Eng.Now() - a.Retention)
+		ref := a.Eng.Now()
+		if a.PruneClock != nil {
+			if c := a.PruneClock(); c < ref {
+				ref = c
+			}
+		}
+		a.Prune(ref - a.Retention)
 		a.pruneAt = 2*a.logLen() + minPruneWatermark
 	}
 }

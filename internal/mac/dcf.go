@@ -1,6 +1,7 @@
 package mac
 
 import (
+	"math/rand"
 	"time"
 
 	"whitefi/internal/phy"
@@ -66,6 +67,7 @@ type Node struct {
 
 	state     dcfState
 	cw        int
+	rng       *rand.Rand // non-nil overrides the engine RNG for backoff draws (see SetRand)
 	slotsLeft int
 	retries   int
 	seq       uint64
@@ -357,9 +359,24 @@ func (n *Node) kick() {
 	n.beginAccess()
 }
 
+// SetRand makes the node draw its DCF backoff slots from r instead of
+// the engine's shared random source. The shared source couples every
+// node through global event order — reorder any two events anywhere
+// and every subsequent backoff changes — which is fine on one engine
+// but breaks shard-count invariance. Sharded scenarios pass each node
+// its own stream (typically eng.RandFor(id)), making the node's
+// backoff realisation a pure function of (seed, id, its own history).
+// Nil (the default) keeps the legacy shared-source behavior and its
+// byte-exact traces.
+func (n *Node) SetRand(r *rand.Rand) { n.rng = r }
+
 // beginAccess draws a fresh backoff and starts waiting for DIFS idle.
 func (n *Node) beginAccess() {
-	n.slotsLeft = n.eng.Rand().Intn(n.cw + 1)
+	if n.rng != nil {
+		n.slotsLeft = n.rng.Intn(n.cw + 1)
+	} else {
+		n.slotsLeft = n.eng.Rand().Intn(n.cw + 1)
+	}
 	n.startDIFS()
 }
 

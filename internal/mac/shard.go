@@ -1,0 +1,173 @@
+package mac
+
+import "math"
+
+// Spatial shard planning. A sharded run gives every shard its own Air:
+// transmissions in one shard are never even candidates for delivery,
+// carrier sense or interference in another. That is only sound when no
+// physical coupling crosses the partition, and this file is where that
+// property is established: InteractionRange bounds how far any effect
+// of a transmission can reach, PlanShards builds a provably safe
+// partition from node positions, and VerifyPartition checks a
+// partition somebody else proposed (e.g. exp's guard-spaced tiling).
+// The FuzzShardBorder harness pins the behavioral claim — per-shard
+// media deliver and sense exactly what the single combined medium does.
+
+// InteractionRange returns the distance in meters beyond which a
+// transmission at powerDBm can have no effect whatsoever on a
+// receiver: past it the received power is guaranteed below the thermal
+// noise floor, which every medium mechanism (decode, carrier sense,
+// interference accounting, observation rendering) treats as silence.
+// It inherits MaxRangeFor's conservatism — an upper bound, including
+// the propagation model's worst-case shadowing deviate. Unbounded
+// propagation (e.g. FlatPropagation's +Inf) means no finite distance
+// decouples two nodes and the world cannot be spatially sharded.
+func InteractionRange(p Propagation, powerDBm float64) float64 {
+	if p == nil {
+		return math.Inf(1)
+	}
+	return p.MaxRangeFor(powerDBm, NoiseFloorDBm)
+}
+
+// ShardPlan is a sound node→shard assignment produced by PlanShards.
+type ShardPlan struct {
+	// Shards is the number of shards actually used (<= the requested
+	// count; interaction components cannot be split, so a densely
+	// coupled world may fold into fewer shards than asked for).
+	Shards int
+	// Assign maps node index (into the positions given to PlanShards)
+	// to its shard in [0, Shards).
+	Assign []int
+}
+
+// PlanShards partitions positioned nodes into at most want shards such
+// that nodes in different shards are pairwise beyond InteractionRange
+// for the given maximum transmit power. Nodes within range are merged
+// transitively (union-find), so each interaction component stays
+// whole; components are then packed onto shards greedily by size,
+// largest first, always onto the currently lightest shard — a
+// deterministic balance-oriented packing. ok is false when the world
+// cannot be split at all: unbounded propagation, or every node in one
+// interaction component (the plan returned then has a single shard).
+func PlanShards(pos []Position, maxPowerDBm float64, p Propagation, want int) (plan ShardPlan, ok bool) {
+	n := len(pos)
+	plan = ShardPlan{Shards: 1, Assign: make([]int, n)}
+	if want < 1 {
+		want = 1
+	}
+	r := InteractionRange(p, maxPowerDBm)
+	if math.IsInf(r, 1) {
+		return plan, false
+	}
+	// Union-find over interaction edges.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	r2 := r * r
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := pos[i].X-pos[j].X, pos[i].Y-pos[j].Y
+			if dx*dx+dy*dy <= r2 {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	// Components in first-seen (node index) order.
+	compOf := make(map[int]int)
+	var sizes []int
+	comp := make([]int, n)
+	for i := 0; i < n; i++ {
+		root := find(i)
+		c, seen := compOf[root]
+		if !seen {
+			c = len(sizes)
+			compOf[root] = c
+			sizes = append(sizes, 0)
+		}
+		comp[i] = c
+		sizes[c]++
+	}
+	shards := want
+	if len(sizes) < shards {
+		shards = len(sizes)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	// Pack: largest component first onto the lightest shard. Sort by
+	// (size desc, component index asc) — fully deterministic.
+	order := make([]int, len(sizes))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if sizes[b] > sizes[a] || (sizes[b] == sizes[a] && b < a) {
+				order[j-1], order[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	load := make([]int, shards)
+	compShard := make([]int, len(sizes))
+	for _, c := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		compShard[c] = best
+		load[best] += sizes[c]
+	}
+	for i := 0; i < n; i++ {
+		plan.Assign[i] = compShard[comp[i]]
+	}
+	plan.Shards = shards
+	return plan, shards > 1
+}
+
+// VerifyPartition checks a caller-proposed node→group assignment
+// against the no-cross-shard-coupling requirement: it returns the
+// first pair of nodes that are in different groups yet within
+// InteractionRange of each other, or ok=true when the partition is
+// sound. Scenario builders that lay out guard-spaced tiles call this
+// at build time so a geometry bug fails fast instead of silently
+// desynchronising shard counts.
+func VerifyPartition(pos []Position, maxPowerDBm float64, p Propagation, group []int) (i, j int, ok bool) {
+	r := InteractionRange(p, maxPowerDBm)
+	if math.IsInf(r, 1) {
+		for a := range group {
+			for b := a + 1; b < len(group); b++ {
+				if group[a] != group[b] {
+					return a, b, false
+				}
+			}
+		}
+		return 0, 0, true
+	}
+	r2 := r * r
+	for a := range group {
+		for b := a + 1; b < len(group); b++ {
+			if group[a] == group[b] {
+				continue
+			}
+			dx, dy := pos[a].X-pos[b].X, pos[a].Y-pos[b].Y
+			if dx*dx+dy*dy <= r2 {
+				return a, b, false
+			}
+		}
+	}
+	return 0, 0, true
+}

@@ -42,6 +42,34 @@ func RegisterAir(r *Registry, air *mac.Air) {
 	r.GaugeFunc("air.log_size", func() float64 { return float64(air.LogSize()) })
 }
 
+// RegisterAirs registers the medium delivery counters summed over a
+// set of airs — the sharded-run counterpart of RegisterAir, under the
+// same air.* counter names, so a snapshot stream reads identically
+// whether the world runs on one medium or one per shard. Only the
+// physical outcome counters are summed; the storage gauges RegisterAir
+// also exposes (arena occupancy, log size) are deliberately omitted,
+// because they describe per-medium layout and prune timing, which
+// legitimately vary with the shard count even when the physics is
+// byte-identical. Reads must happen at a barrier (the observer attached
+// to the sharded coordinator's global engine guarantees this).
+func RegisterAirs(r *Registry, airs []*mac.Air) {
+	sum := func(f func(*mac.AirCounters) int64) func() int64 {
+		return func() int64 {
+			var t int64
+			for _, a := range airs {
+				t += f(&a.Counters)
+			}
+			return t
+		}
+	}
+	r.CounterFunc("air.launches", sum(func(c *mac.AirCounters) int64 { return c.Launches }))
+	r.CounterFunc("air.delivered", sum(func(c *mac.AirCounters) int64 { return c.Delivered }))
+	r.CounterFunc("air.collisions", sum(func(c *mac.AirCounters) int64 { return c.Collisions }))
+	r.CounterFunc("air.below_floor", sum(func(c *mac.AirCounters) int64 { return c.BelowFloor }))
+	r.CounterFunc("air.half_duplex", sum(func(c *mac.AirCounters) int64 { return c.HalfDuplex }))
+	r.CounterFunc("air.filter_drops", sum(func(c *mac.AirCounters) int64 { return c.FilterDrops }))
+}
+
 // RegisterAirtime registers one air.busy.uhfN gauge per given center:
 // the medium's busy fraction over the trailing window at snapshot
 // time.

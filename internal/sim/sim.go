@@ -79,20 +79,60 @@ type Engine struct {
 	seq        uint64
 	queue      eventQueue
 	free       []*event
+	seed       int64
 	rng        *rand.Rand
+	nodeRngs   map[int]*rand.Rand
 	dispatched uint64
 }
 
 // New returns an engine whose random source is seeded with seed.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
-// Rand returns the engine's deterministic random source.
+// Rand returns the engine's deterministic random source. Draws from it
+// are consumed in global event order, so two entities sharing it are
+// coupled through the schedule; entity-local determinism (the property
+// the sharded engine needs) comes from RandFor instead.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// RandFor returns a deterministic random stream private to the given
+// entity id, lazily created and cached. The stream's seed mixes only
+// the engine seed and the id, so an entity sees the same realisation
+// on any engine created with the same seed — in particular on any
+// shard of a ShardedEngine, at any shard count. Entities that must
+// stay identical across execution layouts (e.g. per-node DCF backoff)
+// draw from here instead of Rand.
+func (e *Engine) RandFor(id int) *rand.Rand {
+	if r, ok := e.nodeRngs[id]; ok {
+		return r
+	}
+	if e.nodeRngs == nil {
+		e.nodeRngs = make(map[int]*rand.Rand)
+	}
+	r := rand.New(rand.NewSource(mixSeed(e.seed, int64(id))))
+	e.nodeRngs[id] = r
+	return r
+}
+
+// mixSeed hashes (seed, id) into a well-spread 63-bit stream seed
+// (splitmix64 finalizer), so per-entity streams are decorrelated even
+// for adjacent ids.
+func mixSeed(seed, id int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(id)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z >> 1)
+}
 
 // alloc takes an event from the free list, or grows the pool.
 func (e *Engine) alloc() *event {
@@ -257,6 +297,16 @@ func (t *Ticker) Stop() {
 // Pending returns the number of scheduled events. Cancelled events
 // leave the queue immediately, so every queued event counts.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// NextAt returns the virtual time of the earliest pending event, or
+// ok=false when the queue is empty. The sharded coordinator peeks it to
+// size the next conservative window.
+func (e *Engine) NextAt() (time.Duration, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
 
 // Dispatched returns the total number of events fired by Step since
 // the engine was created — the raw work counter the observability
