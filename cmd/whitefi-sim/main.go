@@ -11,6 +11,10 @@
 //	whitefi-sim -dense 334 -duration 30s
 //	whitefi-sim -faults -fault-rate 2 -duration 120s
 //	whitefi-sim -json | jq .goodput_mbps
+//	whitefi-sim -serve :8090 -serve-workers 4
+//	whitefi-sim -scenario densecity -scenario-config '{"aps":8}' \
+//	    -checkpoint-at 5s -checkpoint city.ckpt
+//	whitefi-sim -restore city.ckpt | jq .result.GoodputMbps
 //
 // The default topology is "colocated": every node in perfect range on
 // the legacy flat medium, reproducing the paper's single-cell setups
@@ -65,6 +69,17 @@
 // outage episodes (cause, duration, rendezvous path) are printed after
 // the run — or emitted live as "fault" and "outage" JSON lines with
 // -json — together with MTTR and p95 outage aggregates.
+//
+// -serve addr turns the process into the simulation server
+// (internal/server): scenario sessions are submitted, streamed, paused,
+// checkpointed, forked and resumed over a JSON/JSONL HTTP API, with at
+// most -serve-workers runs advancing concurrently. The batch flags
+// drive the same sessions without the server: -scenario kind with
+// -scenario-config runs one session to the end and prints its result
+// JSON; adding -checkpoint-at t -checkpoint file writes a checkpoint
+// document mid-run; -restore file replays such a document and continues
+// it to the end, printing a result byte-identical to the uninterrupted
+// run's.
 package main
 
 import (
@@ -260,6 +275,12 @@ func main() {
 	telemetry := flag.String("telemetry", "", "serve live observability on this address (e.g. :8080): GET /metrics returns the latest metrics snapshot, GET /trace the latest span-ring dump (empty = off)")
 	teleHold := flag.Duration("telemetry-hold", 0, "keep the -telemetry endpoints alive this long after the run finishes")
 	flag.Parse()
+
+	// Session-based modes (-serve / -scenario / -restore, see serve.go)
+	// replace the classic single-scenario run entirely.
+	if maybeSession() {
+		return
+	}
 
 	var models []traffic.Model
 	switch *trafficModel {

@@ -1,0 +1,26 @@
+package checkpoint
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// HashSection digests one state component: write renders the
+// component's canonical state into the hash (the DigestState pattern —
+// every stateful package exposes one), and the result carries the
+// 16-hex-digit FNV-1a 64 sum. FNV is not cryptographic; the digest
+// defends against divergence and corruption, not adversaries, and
+// matches the repository's other determinism artifacts.
+func HashSection(name string, items int, write func(io.Writer)) Section {
+	h := fnv.New64a()
+	write(h)
+	return Section{Name: name, Items: items, Digest: fmt.Sprintf("%016x", h.Sum64())}
+}
+
+// hashBytes returns the 16-hex-digit FNV-1a 64 digest of b.
+func hashBytes(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,277 @@
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+)
+
+// FormatVersion is the checkpoint format version written by Encode and
+// required by Decode. The version rides in the header's magic key, so
+// a future format bump is rejected with a clear error rather than
+// misparsed.
+const FormatVersion = 1
+
+// maxSections bounds the section count a decoder will accept; real
+// checkpoints carry a handful per session, so anything huge is a
+// corrupt or hostile header, rejected before allocation.
+const maxSections = 4096
+
+// maxLineBytes bounds one checkpoint line; the config JSON is the only
+// line that grows with the scenario and stays far below this.
+const maxLineBytes = 16 << 20
+
+// ErrCorrupt is wrapped by every Decode failure caused by malformed,
+// truncated, or checksum-failing input (as opposed to I/O errors from
+// the reader itself). Fuzzed garbage must land here — never a panic.
+var ErrCorrupt = errors.New("checkpoint: corrupt")
+
+// Checkpoint is a decoded (or freshly captured) checkpoint document:
+// the replay recipe (Kind + Config + At) plus the verification surface
+// (Sections).
+type Checkpoint struct {
+	// Version is the format version (always FormatVersion after a
+	// successful Decode).
+	Version int
+	// Kind is the registered session kind to rebuild with.
+	Kind string
+	// At is the virtual time the state was captured at.
+	At time.Duration
+	// Config is the session's config JSON, exactly as captured.
+	Config json.RawMessage
+	// Sections holds the per-component state digests captured at At.
+	Sections []Section
+}
+
+// Capture snapshots a session into a Checkpoint document: its kind,
+// marshaled config, current virtual time, and section digests.
+func Capture(s Session) (*Checkpoint, error) {
+	cfg, err := json.Marshal(s.Config())
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: marshal %s config: %w", s.Kind(), err)
+	}
+	return &Checkpoint{
+		Version:  FormatVersion,
+		Kind:     s.Kind(),
+		At:       s.Now(),
+		Config:   cfg,
+		Sections: s.Sections(),
+	}, nil
+}
+
+// header is the first checkpoint line. Magic is a pointer so decode
+// can distinguish "key absent" from a zero version.
+type header struct {
+	Magic        *int   `json:"whitefi_checkpoint"`
+	Kind         string `json:"kind"`
+	AtNS         int64  `json:"at_ns"`
+	Sections     int    `json:"sections"`
+	ConfigDigest string `json:"config_digest"`
+}
+
+// configLine is the second checkpoint line.
+type configLine struct {
+	Config json.RawMessage `json:"config"`
+}
+
+// trailer is the last checkpoint line: a line count and a checksum
+// over every preceding body byte, so truncation and bit rot fail
+// decode instead of producing a plausible document.
+type trailer struct {
+	Trailer  bool   `json:"trailer"`
+	Lines    int    `json:"lines"`
+	BodyFNV  string `json:"body_fnv"`
+	Sentinel string `json:"end"`
+}
+
+// Encode writes the checkpoint as JSONL: header, config, one line per
+// section, trailer.
+func (cp *Checkpoint) Encode(w io.Writer) error {
+	if cp.Version != FormatVersion {
+		return fmt.Errorf("checkpoint: cannot encode version %d (format is %d)", cp.Version, FormatVersion)
+	}
+	var body []byte
+	appendLine := func(v interface{}) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		body = append(body, b...)
+		body = append(body, '\n')
+		return nil
+	}
+	v := FormatVersion
+	if err := appendLine(header{
+		Magic:        &v,
+		Kind:         cp.Kind,
+		AtNS:         int64(cp.At),
+		Sections:     len(cp.Sections),
+		ConfigDigest: hashBytes(cp.Config),
+	}); err != nil {
+		return fmt.Errorf("checkpoint: encode header: %w", err)
+	}
+	if err := appendLine(configLine{Config: cp.Config}); err != nil {
+		return fmt.Errorf("checkpoint: encode config: %w", err)
+	}
+	for _, s := range cp.Sections {
+		if err := appendLine(s); err != nil {
+			return fmt.Errorf("checkpoint: encode section %s: %w", s.Name, err)
+		}
+	}
+	t := trailer{Trailer: true, Lines: 2 + len(cp.Sections), BodyFNV: hashBytes(body), Sentinel: "whitefi"}
+	tb, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode trailer: %w", err)
+	}
+	body = append(body, tb...)
+	body = append(body, '\n')
+	_, err = w.Write(body)
+	return err
+}
+
+// corrupt wraps a decode failure under ErrCorrupt.
+func corrupt(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Decode reads and validates one checkpoint document. Every
+// malformed-input failure wraps ErrCorrupt; arbitrary bytes never
+// panic (FuzzCheckpointRoundTrip pins this).
+func Decode(r io.Reader) (*Checkpoint, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	bodyHash := fnv.New64a()
+	nextLine := func() ([]byte, bool) {
+		if !sc.Scan() {
+			return nil, false
+		}
+		return sc.Bytes(), true
+	}
+	bodyLine := func() ([]byte, bool) {
+		b, ok := nextLine()
+		if !ok {
+			return nil, false
+		}
+		bodyHash.Write(b)
+		bodyHash.Write([]byte{'\n'})
+		return b, true
+	}
+
+	hb, ok := bodyLine()
+	if !ok {
+		if err := sc.Err(); err != nil {
+			return nil, corrupt("reading header: %v", err)
+		}
+		return nil, corrupt("empty input")
+	}
+	var h header
+	if err := json.Unmarshal(hb, &h); err != nil {
+		return nil, corrupt("header not JSON: %v", err)
+	}
+	if h.Magic == nil {
+		return nil, corrupt("missing whitefi_checkpoint magic")
+	}
+	if *h.Magic != FormatVersion {
+		return nil, corrupt("unsupported format version %d (decoder handles %d)", *h.Magic, FormatVersion)
+	}
+	if h.Kind == "" {
+		return nil, corrupt("empty kind")
+	}
+	if h.AtNS < 0 {
+		return nil, corrupt("negative capture time %d", h.AtNS)
+	}
+	if h.Sections < 0 || h.Sections > maxSections {
+		return nil, corrupt("implausible section count %d", h.Sections)
+	}
+
+	cb, ok := bodyLine()
+	if !ok {
+		return nil, corrupt("truncated before config line")
+	}
+	var cl configLine
+	if err := json.Unmarshal(cb, &cl); err != nil {
+		return nil, corrupt("config line not JSON: %v", err)
+	}
+	if cl.Config == nil {
+		return nil, corrupt("config line missing config key")
+	}
+	if got := hashBytes(cl.Config); got != h.ConfigDigest {
+		return nil, corrupt("config digest mismatch: header %s, computed %s", h.ConfigDigest, got)
+	}
+
+	sections := make([]Section, 0, h.Sections)
+	for i := 0; i < h.Sections; i++ {
+		sb, ok := bodyLine()
+		if !ok {
+			return nil, corrupt("truncated at section %d of %d", i, h.Sections)
+		}
+		var s Section
+		if err := json.Unmarshal(sb, &s); err != nil {
+			return nil, corrupt("section %d not JSON: %v", i, err)
+		}
+		if s.Name == "" {
+			return nil, corrupt("section %d missing name", i)
+		}
+		if !validDigest(s.Digest) {
+			return nil, corrupt("section %q digest %q is not 16 hex digits", s.Name, s.Digest)
+		}
+		if s.Items < 0 {
+			return nil, corrupt("section %q negative item count %d", s.Name, s.Items)
+		}
+		sections = append(sections, s)
+	}
+
+	wantBody := fmt.Sprintf("%016x", bodyHash.Sum64())
+	tb, ok := nextLine()
+	if !ok {
+		if err := sc.Err(); err != nil {
+			return nil, corrupt("reading trailer: %v", err)
+		}
+		return nil, corrupt("truncated before trailer")
+	}
+	var t trailer
+	if err := json.Unmarshal(tb, &t); err != nil {
+		return nil, corrupt("trailer not JSON: %v", err)
+	}
+	if !t.Trailer || t.Sentinel != "whitefi" {
+		return nil, corrupt("malformed trailer")
+	}
+	if t.Lines != 2+h.Sections {
+		return nil, corrupt("trailer line count %d, body has %d", t.Lines, 2+h.Sections)
+	}
+	if t.BodyFNV != wantBody {
+		return nil, corrupt("body checksum mismatch: trailer %s, computed %s", t.BodyFNV, wantBody)
+	}
+	if sc.Scan() {
+		return nil, corrupt("trailing data after trailer")
+	}
+	if err := sc.Err(); err != nil {
+		return nil, corrupt("scanning: %v", err)
+	}
+
+	return &Checkpoint{
+		Version:  *h.Magic,
+		Kind:     h.Kind,
+		At:       time.Duration(h.AtNS),
+		Config:   cl.Config,
+		Sections: sections,
+	}, nil
+}
+
+// validDigest reports whether d is exactly 16 lowercase hex digits.
+func validDigest(d string) bool {
+	if len(d) != 16 {
+		return false
+	}
+	for i := 0; i < len(d); i++ {
+		c := d[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

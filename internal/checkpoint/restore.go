@@ -1,0 +1,80 @@
+package checkpoint
+
+import (
+	"fmt"
+)
+
+// Restore rebuilds a live session from a checkpoint: it constructs a
+// fresh session from the checkpoint's config through the registered
+// builder, replays it to the capture time, and verifies the
+// reconstruction by recomputing every section digest against the
+// checkpoint's. A mismatch fails loudly — a checkpoint that cannot be
+// proven to continue bit-identically is rejected, not resumed
+// divergently.
+func Restore(cp *Checkpoint, opt Options) (Session, error) {
+	if cp.Version != FormatVersion {
+		return nil, fmt.Errorf("checkpoint: version %d not restorable (format is %d)", cp.Version, FormatVersion)
+	}
+	s, err := Build(cp.Kind, cp.Config, opt)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: rebuild %s: %w", cp.Kind, err)
+	}
+	if cp.At < 0 || cp.At > s.End() {
+		return nil, fmt.Errorf("checkpoint: capture time %v outside run [0, %v]", cp.At, s.End())
+	}
+	s.AdvanceTo(cp.At)
+	if err := VerifySections(cp.Sections, s.Sections()); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s replay to %v did not reproduce captured state: %w", cp.Kind, cp.At, err)
+	}
+	return s, nil
+}
+
+// Fork restores a checkpoint and applies what-if edits at the capture
+// time, returning a session whose future diverges from the original
+// only through the edits. An empty edit list is a plain verified
+// restore.
+func Fork(cp *Checkpoint, edits []Edit, opt Options) (Session, error) {
+	s, err := Restore(cp, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(edits) == 0 {
+		return s, nil
+	}
+	ed, ok := s.(Editable)
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: session kind %s does not support edits", cp.Kind)
+	}
+	for i, e := range edits {
+		if err := ed.Apply(e); err != nil {
+			return nil, fmt.Errorf("checkpoint: fork edit %d (%s): %w", i, e.Op, err)
+		}
+	}
+	return s, nil
+}
+
+// VerifySections compares captured section digests against recomputed
+// ones, reporting the first difference (missing section, reordered
+// section, item-count drift, or digest mismatch).
+func VerifySections(want, got []Section) error {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		w, g := want[i], got[i]
+		if w.Name != g.Name {
+			return fmt.Errorf("section %d: captured %q, recomputed %q", i, w.Name, g.Name)
+		}
+		if w.Items != g.Items {
+			return fmt.Errorf("section %q: captured %d items, recomputed %d", w.Name, w.Items, g.Items)
+		}
+		if w.Digest != g.Digest {
+			return fmt.Errorf("section %q: captured digest %s, recomputed %s", w.Name, w.Digest, g.Digest)
+		}
+	}
+	if len(want) != len(got) {
+		return fmt.Errorf("captured %d sections, recomputed %d", len(want), len(got))
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DigestState writes the AP's canonical protocol state to w, for
+// checkpoint section digests: channel selection (current selector
+// channel, backup, previous channel for voluntary-switch revert),
+// per-client observation bookkeeping, the disconnection-recovery
+// machine (onBackup, chirp collection progress, switch generation),
+// fault state (incarnation, crashed, stall horizon), and the recorded
+// switch/crash/stall counters. The AP's MAC node is digested
+// separately by mac.Node.DigestState; backup-draw RNG positions are
+// excluded like every other RNG stream (see sim.Engine.DigestState).
+func (ap *AP) DigestState(w io.Writer) {
+	cur, hasCur := ap.selector.Current()
+	fmt.Fprintf(w, "ap id=%d cur=%d/%d has=%t backup=%d/%d ssid=%d run=%t\n",
+		ap.ID, cur.Center, cur.Width, hasCur, ap.backup.Center, ap.backup.Width, ap.ssidCode, ap.running)
+	fmt.Fprintf(w, "ap onbackup=%t collecting=%t retries=%d sensedinc=%t maps=%d seen=%d switchgen=%d pending=%t lastswitch=%d\n",
+		ap.onBackup, ap.collecting, ap.collectRetries, ap.apSensedIncumbent,
+		len(ap.chirpMaps), len(ap.chirpSeen), ap.switchGen, ap.switchPending, int64(ap.lastSwitchDone))
+	fmt.Fprintf(w, "ap inc=%d crashed=%t stalled=%d reconn=%d crashes=%d stalls=%d\n",
+		ap.incarnation, ap.crashed, int64(ap.stalledUntil), ap.Reconnections, ap.Crashes, ap.Stalls)
+	fmt.Fprintf(w, "ap lastgood=%v prev=%d/%d revert=%t base=%d baseat=%d\n",
+		ap.lastGoodput, ap.prevChannel.Center, ap.prevChannel.Width,
+		ap.pendingRevert, ap.goodputBase, int64(ap.goodputBaseAt))
+	ids := make([]int, 0, len(ap.clients))
+	for id := range ap.clients {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		cs := ap.clients[id]
+		fmt.Fprintf(w, "apclient id=%d hasobs=%t lastseen=%d\n", cs.id, cs.hasObs, int64(cs.lastSeen))
+	}
+	for _, s := range ap.Switches {
+		fmt.Fprintf(w, "switch at=%d from=%d/%d to=%d/%d reason=%d metric=%v\n",
+			int64(s.At), s.From.Center, s.From.Width, s.To.Center, s.To.Width, s.Reason, s.Metric)
+	}
+}
+
+// DigestState writes the client's canonical protocol state to w:
+// association (AP channel, backup, last beacon), the outage episode
+// machine (onBackup, open-episode fields, rotation generation), the
+// recovery counters, and every completed outage record. The client's
+// MAC node is digested separately by mac.Node.DigestState; the
+// client's recovery RNG position is excluded like every other RNG
+// stream (see sim.Engine.DigestState).
+func (c *Client) DigestState(w io.Writer) {
+	fmt.Fprintf(w, "client id=%d ap=%d assoc=%t apch=%d/%d backup=%d/%d beacon=%d ssid=%d run=%t\n",
+		c.ID, c.apID, c.associated, c.apChannel.Center, c.apChannel.Width,
+		c.backup.Center, c.backup.Width, int64(c.lastBeacon), c.ssidCode, c.running)
+	fmt.Fprintf(w, "client onbackup=%t chirps=%d open=%t start=%d cause=%q hops=%d gen=%d\n",
+		c.onBackup, c.ChirpsSent(), c.outOpen, int64(c.outStart), c.outCause, len(c.outPath), c.episodeGen)
+	fmt.Fprintf(w, "client reconn=%d disc=%d rdv=%d\n",
+		c.Reconnections, c.Disconnects, c.RendezvousAttempts)
+	for _, o := range c.Outages {
+		fmt.Fprintf(w, "%s\n", o.Line())
+	}
+}

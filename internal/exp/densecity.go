@@ -13,6 +13,7 @@ import (
 	"whitefi/internal/obs"
 	"whitefi/internal/phy"
 	"whitefi/internal/radio"
+	"whitefi/internal/sim"
 	"whitefi/internal/spectrum"
 	"whitefi/internal/trace"
 	"whitefi/internal/traffic"
@@ -205,6 +206,60 @@ func (b *denseBSS) retune(ch spectrum.Channel) {
 	}
 }
 
+// runAfterTies schedules fn at virtual time t so it fires after every
+// other event at exactly t: the wrapper yields (reschedules itself at
+// the current instant, which places it behind everything queued there)
+// until no earlier-scheduled event shares the instant. This reproduces
+// byte-for-byte the ordering of the pre-session host loops, which ran
+// their work after RunUntil(t) had drained every event at ≤ t — the
+// property the absolute goodput pins (TestDenseCityTrafficDefault-
+// Unchanged) hold the refactor to. At most one runAfterTies event may
+// occupy a given instant on a given engine: two would yield to each
+// other forever.
+func runAfterTies(eng *sim.Engine, t time.Duration, fn func()) {
+	var wrapped func()
+	wrapped = func() {
+		if next, ok := eng.NextAt(); ok && next == eng.Now() {
+			eng.Schedule(eng.Now(), wrapped)
+			return
+		}
+		fn()
+	}
+	eng.Schedule(t, wrapped)
+}
+
+// cityRun is one dense-city world mid-flight: everything DenseCityRun
+// used to drive from host loops is pre-scheduled on the engine at
+// build, so the run can be advanced to any virtual time, digested,
+// checkpointed, and resumed with no behavioral seam. Built by
+// buildDenseCity; advanced by advanceTo; summarized once by finish.
+type cityRun struct {
+	cfg     DenseCityConfig
+	start   time.Time
+	w       *world
+	bss     []*denseBSS
+	mics    []*incumbent.Mic
+	acts    []*dynamics.Activity
+	areaKm2 float64
+	end     time.Duration
+
+	freeSamples, totalSamples int64
+
+	// sideM and free capture the placement geometry and the channel
+	// pool so fork-time edits can place new BSSs the same way the
+	// build did.
+	sideM float64
+	free  []spectrum.UHF
+
+	micMap   func() spectrum.Map
+	localObs func(b *denseBSS, now time.Duration, m spectrum.Map) assign.Observation
+
+	wallRun, wallSummarize *obs.Phase
+
+	finished bool
+	result   DenseCityResult
+}
+
 // DenseCityRun executes one dense-deployment world and reports its
 // metrics. The run is deterministic per config (placement, channels and
 // mic schedules all derive from Seed) and identical with and without
@@ -228,6 +283,17 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 		r, _ := DenseCityTiled(cfg)
 		return r
 	}
+	r := buildDenseCity(cfg)
+	r.advanceTo(r.end)
+	return r.finish()
+}
+
+// buildDenseCity constructs the world and pre-schedules every stage of
+// the run — the settle-time assignment round, the staggered periodic
+// re-evaluations, and the mic-occupancy sampling — as engine events,
+// so DenseCityRun is build + advance + finish and a checkpoint can
+// pause the run at any instant in between.
+func buildDenseCity(cfg DenseCityConfig) *cityRun {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -397,24 +463,40 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 		}
 	}
 
+	r := &cityRun{
+		cfg:           cfg,
+		start:         start,
+		w:             w,
+		bss:           bss,
+		mics:          mics,
+		acts:          acts,
+		areaKm2:       areaKm2,
+		end:           cfg.Settle + cfg.Measure,
+		sideM:         sideM,
+		free:          free,
+		micMap:        micMap,
+		localObs:      localObservation,
+		wallRun:       wallRun,
+		wallSummarize: wallSummarize,
+	}
+
 	// Settle, one unconditional assignment for everyone, then staggered
 	// periodic re-evaluation: AP i re-runs its selector every
 	// AssignPeriod at phase i/N — the desynchronised probing of real
 	// independent APs, which lets each AP see its neighbors' moves
 	// instead of the whole city re-optimising against a stale snapshot
-	// in lockstep.
-	if wallBuild != nil {
-		wallBuild.Stop()
-		wallRun.Start()
-	}
-	w.eng.RunUntil(cfg.Settle)
-	for _, b := range bss {
-		evaluate(b, false)
-	}
-	for _, b := range bss {
-		b.snapshotRx()
-	}
-	end := cfg.Settle + cfg.Measure
+	// in lockstep. All of it is pre-scheduled here: the settle round
+	// and the mic samples ride runAfterTies so they observe exactly the
+	// state the old host loops saw after RunUntil.
+	runAfterTies(w.eng, cfg.Settle, func() {
+		for _, b := range bss {
+			evaluate(b, false)
+		}
+		for _, b := range bss {
+			b.snapshotRx()
+		}
+	})
+	end := r.end
 	for i, b := range bss {
 		b := b
 		phase := cfg.AssignPeriod * time.Duration(i) / time.Duration(len(bss))
@@ -425,28 +507,63 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 
 	// Measurement window: sample mic occupancy of each operating
 	// channel as the Markov schedules churn.
-	const sampleStep = 250 * time.Millisecond
-	var freeSamples, totalSamples int64
-	for t := cfg.Settle + sampleStep; t <= end; t += sampleStep {
-		w.eng.RunUntil(t)
-		for _, b := range bss {
-			totalSamples++
-			hit := false
-			for _, mic := range mics {
-				if mic.Active() && b.ap.Channel().Contains(mic.Channel) {
-					hit = true
-					break
-				}
-			}
-			if !hit {
-				freeSamples++
+	for t := cfg.Settle + denseCitySampleStep; t <= end; t += denseCitySampleStep {
+		runAfterTies(w.eng, t, r.sampleMics)
+	}
+	if wallBuild != nil {
+		wallBuild.Stop()
+		wallRun.Start()
+	}
+	return r
+}
+
+// denseCitySampleStep is the mic-occupancy sampling cadence of the
+// measurement window.
+const denseCitySampleStep = 250 * time.Millisecond
+
+// sampleMics takes one mic-occupancy sample across every BSS.
+func (r *cityRun) sampleMics() {
+	for _, b := range r.bss {
+		r.totalSamples++
+		hit := false
+		for _, mic := range r.mics {
+			if mic.Active() && b.ap.Channel().Contains(mic.Channel) {
+				hit = true
+				break
 			}
 		}
+		if !hit {
+			r.freeSamples++
+		}
 	}
-	w.eng.RunUntil(end)
-	if wallBuild != nil {
-		wallRun.Stop()
-		wallSummarize.Start()
+}
+
+// advanceTo runs the world to virtual time t (clamped to the run's
+// end; never backwards). Every scenario stage is an engine event, so
+// advancing in any number of steps is byte-identical to advancing in
+// one — the property the checkpoint replay tests pin.
+func (r *cityRun) advanceTo(t time.Duration) {
+	if t > r.end {
+		t = r.end
+	}
+	r.w.eng.RunUntil(t)
+}
+
+// now returns the run's current virtual time.
+func (r *cityRun) now() time.Duration { return r.w.eng.Now() }
+
+// finish summarizes the completed run. It is memoized: the first call
+// stops the generators and the observer and computes the metrics;
+// later calls return the same result.
+func (r *cityRun) finish() DenseCityResult {
+	if r.finished {
+		return r.result
+	}
+	r.finished = true
+	cfg, bss, end := r.cfg, r.bss, r.end
+	if r.wallRun != nil {
+		r.wallRun.Stop()
+		r.wallSummarize.Start()
 	}
 
 	// Metrics.
@@ -454,12 +571,12 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 	for _, b := range bss {
 		bits += float64(b.deliveredSince()) * 8
 	}
-	m := micMap()
+	m := r.micMap()
 	var quality float64
 	var switches int
 	for _, b := range bss {
 		switches += b.switches
-		obs := localObservation(b, end, m)
+		obs := r.localObs(b, end, m)
 		cur := assign.MCham(obs, b.ap.Channel())
 		best := cur
 		for _, c := range spectrum.AllChannels() {
@@ -475,12 +592,12 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 			quality++ // nothing is free anywhere: the AP is trivially optimal
 		}
 	}
-	for _, a := range acts {
+	for _, a := range r.acts {
 		a.Stop()
 	}
 	ifree := 1.0
-	if totalSamples > 0 {
-		ifree = float64(freeSamples) / float64(totalSamples)
+	if r.totalSamples > 0 {
+		ifree = float64(r.freeSamples) / float64(r.totalSamples)
 	}
 	// Per-flow telemetry: medians across flows of each flow's sketch
 	// estimates, and the city-wide drop rate.
@@ -499,17 +616,17 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 	if generated > 0 {
 		dropRate = float64(dropped) / float64(generated)
 	}
-	if wallBuild != nil {
-		wallSummarize.Stop()
+	if r.wallRun != nil {
+		r.wallSummarize.Stop()
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.Stop()
 		cfg.Obs.Flush()
 	}
-	return DenseCityResult{
+	r.result = DenseCityResult{
 		APs:                  cfg.APs,
 		Nodes:                cfg.APs * (1 + cfg.ClientsPerAP),
-		AreaKm2:              areaKm2,
+		AreaKm2:              r.areaKm2,
 		GoodputMbps:          bits / cfg.Measure.Seconds() / 1e6,
 		MChamQuality:         quality / float64(cfg.APs),
 		InterferenceFreeFrac: ifree,
@@ -517,8 +634,9 @@ func DenseCityRun(cfg DenseCityConfig) DenseCityResult {
 		FlowDelayP50Ms:       trace.Median(p50s),
 		FlowDelayP95Ms:       trace.Median(p95s),
 		FlowDropRate:         dropRate,
-		WallClock:            time.Since(start),
+		WallClock:            time.Since(r.start),
 	}
+	return r.result
 }
 
 // DenseCityMediumLoad drives a dense-city transmission load through the

@@ -94,6 +94,61 @@ func FaultStormObserved(seed int64, rate float64, o *obs.Observer) {
 }
 
 func faultStormObservedCell(seed int64, rate float64, o *obs.Observer) faultStormCell {
+	r := buildFaultStorm(FaultStormCellConfig{Seed: seed, Rate: rate}, o)
+	r.advanceTo(r.end)
+	return r.finish()
+}
+
+// FaultStormCellConfig parameterizes one hermetic storm cell. The zero
+// durations select the sweep's defaults (150 s run, quiesce at 95 s).
+type FaultStormCellConfig struct {
+	// Seed drives the world, injector schedule and loss overlay.
+	Seed int64
+	// Rate scales the injector's fault schedule; 0 is fault-free.
+	Rate float64
+	// Run is the cell's full virtual length; 0 selects 150 s.
+	Run time.Duration
+	// Quiesce is when injection stops; 0 selects 95 s. It is clamped
+	// to Run.
+	Quiesce time.Duration
+}
+
+func (c FaultStormCellConfig) withDefaults() FaultStormCellConfig {
+	if c.Run == 0 {
+		c.Run = faultStormRun
+	}
+	if c.Quiesce == 0 {
+		c.Quiesce = faultStormQuiesce
+	}
+	if c.Quiesce > c.Run {
+		c.Quiesce = c.Run
+	}
+	return c
+}
+
+// stormRun is one in-flight FaultStorm cell: the built world plus the
+// mutable outage log and everything finish needs. The quiesce stage is
+// an engine event, so the run can be advanced in arbitrary steps.
+type stormRun struct {
+	cfg FaultStormCellConfig
+	w   *world
+	net *core.Network
+	inj *fault.Injector
+	ge  *fault.GilbertElliott
+	o   *obs.Observer
+	end time.Duration
+
+	lines []string // client outage episodes, in engine (closing) order
+
+	finished bool
+	result   faultStormCell
+}
+
+// buildFaultStorm constructs one storm cell at virtual time zero with
+// the quiesce stage pre-scheduled.
+func buildFaultStorm(cfg FaultStormCellConfig, o *obs.Observer) *stormRun {
+	cfg = cfg.withDefaults()
+	seed, rate := cfg.Seed, cfg.Rate
 	w := newWorld(seed)
 	base := incumbent.SimulationBaseMap()
 	sensors := sensorsFor(base, faultStormClients, 0, nil, nil)
@@ -101,13 +156,14 @@ func faultStormObservedCell(seed int64, rate float64, o *obs.Observer) faultStor
 	net.AP.Node.SetQueueLimit(faultStormQueue)
 	net.StartDownlink(1000)
 
-	var lines []string
+	r := &stormRun{cfg: cfg, w: w, net: net, o: o, end: cfg.Run}
 	for _, c := range net.Clients {
-		c.OnOutage = func(r trace.OutageRecord) { lines = append(lines, r.Line()) }
+		c.OnOutage = func(rec trace.OutageRecord) { r.lines = append(r.lines, rec.Line()) }
 	}
 
 	inj := fault.NewInjector(w.eng, fault.Config{Seed: seed, Rate: rate})
 	inj.AddTarget(net.AP.ID, net.AP)
+	r.inj = inj
 	if o != nil {
 		o.Attach(w.eng)
 		obs.RegisterEngine(o.Reg, w.eng)
@@ -124,30 +180,54 @@ func faultStormObservedCell(seed int64, rate float64, o *obs.Observer) faultStor
 		o.Start()
 	}
 	inj.Start()
-	var ge *fault.GilbertElliott
 	if rate > 0 {
-		ge = fault.NewGilbertElliott(w.eng, w.air, fault.GEConfig{LossBad: faultStormLossBad}, seed*31+7)
-		ge.Start()
+		r.ge = fault.NewGilbertElliott(w.eng, w.air, fault.GEConfig{LossBad: faultStormLossBad}, seed*31+7)
+		r.ge.Start()
 	}
 
-	w.eng.RunUntil(faultStormQuiesce)
-	inj.Quiesce()
-	if ge != nil {
-		ge.Stop()
+	// Injection stops at quiesce; the remainder is the drain window.
+	// runAfterTies lands the stop behind every event queued at the
+	// quiesce instant, exactly where the old host loop placed it.
+	runAfterTies(w.eng, cfg.Quiesce, func() {
+		inj.Quiesce()
+		if r.ge != nil {
+			r.ge.Stop()
+		}
+	})
+	return r
+}
+
+// advanceTo runs the cell to virtual time t, clamped to the run end.
+func (r *stormRun) advanceTo(t time.Duration) {
+	if t > r.end {
+		t = r.end
 	}
-	w.eng.RunUntil(faultStormRun)
+	r.w.eng.RunUntil(t)
+}
+
+// now returns the cell's current virtual time.
+func (r *stormRun) now() time.Duration { return r.w.eng.Now() }
+
+// finish summarizes the cell and tears the network down. Memoized:
+// only the first call mutates (observer flush, net.Stop).
+func (r *stormRun) finish() faultStormCell {
+	if r.finished {
+		return r.result
+	}
+	r.finished = true
+	net, inj := r.net, r.inj
 
 	cell := faultStormCell{
 		crashes: net.AP.Crashes,
 		stalls:  net.AP.Stalls,
-		goodput: float64(net.GoodputBytes()) * 8 / faultStormRun.Seconds(),
+		goodput: float64(net.GoodputBytes()) * 8 / r.cfg.Run.Seconds(),
 	}
 	var sb strings.Builder
 	for _, e := range inj.Events {
 		sb.WriteString(e.Line())
 		sb.WriteByte('\n')
 	}
-	for _, l := range lines {
+	for _, l := range r.lines {
 		sb.WriteString(l)
 		sb.WriteByte('\n')
 	}
@@ -161,11 +241,12 @@ func faultStormObservedCell(seed int64, rate float64, o *obs.Observer) faultStor
 	}
 	cell.shedDrops = net.AP.Node.Stats.ShedDropped
 	cell.trace = sb.String()
-	if o != nil {
-		o.Stop()
-		o.Flush()
+	if r.o != nil {
+		r.o.Stop()
+		r.o.Flush()
 	}
 	net.Stop()
+	r.result = cell
 	return cell
 }
 

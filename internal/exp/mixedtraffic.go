@@ -99,6 +99,31 @@ type MixedTrafficResult struct {
 // schedules, flow models, directions and generator realizations all
 // derive from the seeds.
 func MixedTrafficRun(cfg MixedTrafficConfig) MixedTrafficResult {
+	r := buildMixedTraffic(cfg)
+	r.advanceTo(r.end)
+	return r.finish()
+}
+
+// mixedRun is one in-flight MixedTraffic scenario: the built world plus
+// everything finish needs. All scenario stages (flow start at settle)
+// are engine events, so the run can be advanced in arbitrary steps —
+// the checkpoint layer's session contract.
+type mixedRun struct {
+	cfg   MixedTrafficConfig
+	w     *world
+	net   *core.Network
+	mics  []*incumbent.Mic
+	acts  []*dynamics.Activity
+	flows []*traffic.Flow
+	end   time.Duration
+
+	finished bool
+	result   MixedTrafficResult
+}
+
+// buildMixedTraffic constructs the scenario world at virtual time zero
+// with every stage pre-scheduled.
+func buildMixedTraffic(cfg MixedTrafficConfig) *mixedRun {
 	cfg = cfg.withDefaults()
 	w := newWorld(cfg.Seed)
 	base := incumbent.SimulationBaseMap()
@@ -124,11 +149,36 @@ func MixedTrafficRun(cfg MixedTrafficConfig) MixedTrafficResult {
 		a.Start()
 	}
 
+	r := &mixedRun{cfg: cfg, w: w, net: net, mics: mics, acts: acts, end: cfg.Settle + cfg.Measure}
 	// Flows start only after association settles, so telemetry covers
-	// exactly the measurement window.
-	w.eng.RunUntil(cfg.Settle)
-	flows := net.StartTraffic(cfg.Mix.Specs(cfg.Clients), cfg.QueueLimit)
-	w.eng.RunUntil(cfg.Settle + cfg.Measure)
+	// exactly the measurement window. runAfterTies keeps the start
+	// behind every event already queued at the settle instant, exactly
+	// where the old host loop placed it.
+	runAfterTies(w.eng, cfg.Settle, func() {
+		r.flows = net.StartTraffic(cfg.Mix.Specs(cfg.Clients), cfg.QueueLimit)
+	})
+	return r
+}
+
+// advanceTo runs the world to virtual time t, clamped to the run end.
+func (r *mixedRun) advanceTo(t time.Duration) {
+	if t > r.end {
+		t = r.end
+	}
+	r.w.eng.RunUntil(t)
+}
+
+// now returns the run's current virtual time.
+func (r *mixedRun) now() time.Duration { return r.w.eng.Now() }
+
+// finish stops traffic and summarizes the run. Memoized: only the
+// first call mutates (flow stop, record extraction).
+func (r *mixedRun) finish() MixedTrafficResult {
+	if r.finished {
+		return r.result
+	}
+	r.finished = true
+	cfg, net, flows := r.cfg, r.net, r.flows
 	net.StopTraffic()
 
 	res := MixedTrafficResult{Flows: len(flows)}
@@ -154,6 +204,7 @@ func MixedTrafficRun(cfg MixedTrafficConfig) MixedTrafficResult {
 		res.DropRate = float64(dropped) / float64(generated)
 	}
 	res.Switches = len(net.AP.Switches)
+	r.result = res
 	return res
 }
 

@@ -90,6 +90,49 @@ type denseTile struct {
 // not shard-invariant, and the culled path is the one the sharded
 // engine exists to scale.
 func DenseCityTiled(cfg DenseCityConfig) (DenseCityResult, string) {
+	r := buildTiledCity(cfg)
+	r.advanceTo(r.end)
+	return r.finish()
+}
+
+// tiledRun is one tiled-metro city mid-flight on the sharded engine.
+// Every stage the old host loop drove at barriers — the settle
+// assignment round, mic-occupancy sampling — is pre-scheduled on the
+// coordinator engine at build, so the run advances in arbitrary steps
+// with the identical barrier schedule: a coordinator event at T bounds
+// the conservative window at T exactly like a host RunUntil(T) call
+// did, and shard events at T fire during the shard advance, before any
+// coordinator callback at T.
+type tiledRun struct {
+	cfg     DenseCityConfig
+	shards  int
+	start   time.Time
+	se      *sim.ShardedEngine
+	airs    []*mac.Air
+	bss     []*denseBSS
+	bssTile []int
+	tiles   []*denseTile
+
+	globalMics   []*incumbent.Mic
+	globalMicMap func() spectrum.Map
+	allActs      []*dynamics.Activity
+	updaters     []*dynamics.Updater
+	end          time.Duration
+
+	freeSamples, totalSamples int64
+
+	localObs func(b *denseBSS, tl *denseTile, now time.Duration, m spectrum.Map) assign.Observation
+
+	wallRun, wallSummarize *obs.Phase
+
+	finished bool
+	result   DenseCityResult
+	digest   string
+}
+
+// buildTiledCity constructs the tiled world at virtual time zero with
+// every barrier stage pre-scheduled on the coordinator engine.
+func buildTiledCity(cfg DenseCityConfig) *tiledRun {
 	cfg = cfg.withDefaults()
 	if cfg.Tiles < 1 {
 		cfg.Tiles = 1
@@ -352,22 +395,38 @@ func DenseCityTiled(cfg DenseCityConfig) (DenseCityResult, string) {
 		}
 	}
 
-	// Settle, one unconditional assignment for everyone (host side, at
-	// the settle barrier — every shard is paused on the same instant),
-	// then staggered periodic re-evaluation pre-scheduled on each BSS's
-	// own shard engine.
-	if wallBuild != nil {
-		wallBuild.Stop()
-		wallRun.Start()
+	r := &tiledRun{
+		cfg:           cfg,
+		shards:        shards,
+		start:         start,
+		se:            se,
+		airs:          airs,
+		bss:           bss,
+		bssTile:       bssTile,
+		tiles:         tiles,
+		globalMics:    globalMics,
+		globalMicMap:  globalMicMap,
+		allActs:       allActs,
+		updaters:      updaters,
+		end:           cfg.Settle + cfg.Measure,
+		localObs:      localObservation,
+		wallRun:       wallRun,
+		wallSummarize: wallSummarize,
 	}
-	se.RunUntil(cfg.Settle)
-	for i, b := range bss {
-		evaluate(b, tiles[bssTile[i]], false)
-	}
-	for _, b := range bss {
-		b.snapshotRx()
-	}
-	end := cfg.Settle + cfg.Measure
+
+	// Settle, one unconditional assignment for everyone (as a
+	// coordinator event at the settle barrier — every shard is paused
+	// on the same instant), then staggered periodic re-evaluation
+	// pre-scheduled on each BSS's own shard engine.
+	runAfterTies(se.Global(), cfg.Settle, func() {
+		for i, b := range bss {
+			evaluate(b, tiles[bssTile[i]], false)
+		}
+		for _, b := range bss {
+			b.snapshotRx()
+		}
+	})
+	end := r.end
 	for i, b := range bss {
 		b, tl := b, tiles[bssTile[i]]
 		phase := cfg.AssignPeriod * time.Duration(i) / time.Duration(len(bss))
@@ -377,43 +436,75 @@ func DenseCityTiled(cfg DenseCityConfig) (DenseCityResult, string) {
 	}
 
 	// Measurement window: mic-occupancy sampling against the
-	// coordinator's replica set, at barriers.
-	const sampleStep = 250 * time.Millisecond
-	var freeSamples, totalSamples int64
-	for t := cfg.Settle + sampleStep; t <= end; t += sampleStep {
-		se.RunUntil(t)
-		for _, b := range bss {
-			totalSamples++
-			hit := false
-			for _, mic := range globalMics {
-				if mic.Active() && b.ap.Channel().Contains(mic.Channel) {
-					hit = true
-					break
-				}
-			}
-			if !hit {
-				freeSamples++
+	// coordinator's replica set, at barriers (each sample event bounds
+	// a conservative window at its instant, exactly as the old
+	// per-step RunUntil deadlines did, so the floor/prune schedule is
+	// byte-identical too).
+	for t := cfg.Settle + denseCitySampleStep; t <= end; t += denseCitySampleStep {
+		runAfterTies(se.Global(), t, r.sampleMics)
+	}
+	if wallBuild != nil {
+		wallBuild.Stop()
+		wallRun.Start()
+	}
+	return r
+}
+
+// sampleMics takes one mic-occupancy sample across every BSS against
+// the coordinator's replica set.
+func (r *tiledRun) sampleMics() {
+	for _, b := range r.bss {
+		r.totalSamples++
+		hit := false
+		for _, mic := range r.globalMics {
+			if mic.Active() && b.ap.Channel().Contains(mic.Channel) {
+				hit = true
+				break
 			}
 		}
+		if !hit {
+			r.freeSamples++
+		}
 	}
-	se.RunUntil(end)
-	if wallBuild != nil {
-		wallRun.Stop()
-		wallSummarize.Start()
+}
+
+// advanceTo runs the tiled world to virtual time t, clamped to the run
+// end.
+func (r *tiledRun) advanceTo(t time.Duration) {
+	if t > r.end {
+		t = r.end
+	}
+	r.se.RunUntil(t)
+}
+
+// now returns the run's current virtual time (the coordinator clock).
+func (r *tiledRun) now() time.Duration { return r.se.Now() }
+
+// finish summarizes the completed run: the continuous city's metrics,
+// computed in the same fixed BSS order, plus the canonical digest.
+// Memoized: only the first call stops the walkers, activities, flows
+// and observer.
+func (r *tiledRun) finish() (DenseCityResult, string) {
+	if r.finished {
+		return r.result, r.digest
+	}
+	r.finished = true
+	cfg, bss, end := r.cfg, r.bss, r.end
+	if r.wallRun != nil {
+		r.wallRun.Stop()
+		r.wallSummarize.Start()
 	}
 
-	// Metrics — the continuous city's, computed in the same fixed BSS
-	// order, plus the canonical digest.
 	var bits float64
 	for _, b := range bss {
 		bits += float64(b.deliveredSince()) * 8
 	}
-	m := globalMicMap()
+	m := r.globalMicMap()
 	var quality float64
 	var switches int
 	for i, b := range bss {
 		switches += b.switches
-		o := localObservation(b, tiles[bssTile[i]], end, m)
+		o := r.localObs(b, r.tiles[r.bssTile[i]], end, m)
 		cur := assign.MCham(o, b.ap.Channel())
 		best := cur
 		for _, c := range spectrum.AllChannels() {
@@ -429,15 +520,15 @@ func DenseCityTiled(cfg DenseCityConfig) (DenseCityResult, string) {
 			quality++
 		}
 	}
-	for _, u := range updaters {
+	for _, u := range r.updaters {
 		u.Stop()
 	}
-	for _, a := range allActs {
+	for _, a := range r.allActs {
 		a.Stop()
 	}
 	ifree := 1.0
-	if totalSamples > 0 {
-		ifree = float64(freeSamples) / float64(totalSamples)
+	if r.totalSamples > 0 {
+		ifree = float64(r.freeSamples) / float64(r.totalSamples)
 	}
 	var p50s, p95s []float64
 	var generated, dropped int
@@ -459,7 +550,7 @@ func DenseCityTiled(cfg DenseCityConfig) (DenseCityResult, string) {
 	fmt.Fprintf(&dg, "tiledcity seed=%d aps=%d tiles=%d clients=%d mobility=%t settle=%s measure=%s\n",
 		cfg.Seed, cfg.APs, cfg.Tiles, cfg.ClientsPerAP, cfg.Mobility, cfg.Settle, cfg.Measure)
 	for i, b := range bss {
-		fmt.Fprintf(&dg, "bss %d tile=%d ch=%s sw=%d rx=%d", i, bssTile[i], b.ap.Channel(), b.switches, b.ap.Stats.PayloadRxOK)
+		fmt.Fprintf(&dg, "bss %d tile=%d ch=%s sw=%d rx=%d", i, r.bssTile[i], b.ap.Channel(), b.switches, b.ap.Stats.PayloadRxOK)
 		for _, cl := range b.clients {
 			fmt.Fprintf(&dg, ",%d", cl.Stats.PayloadRxOK)
 		}
@@ -473,7 +564,7 @@ func DenseCityTiled(cfg DenseCityConfig) (DenseCityResult, string) {
 	// are disjoint, so the totals are shard-invariant even though the
 	// per-medium split is not.
 	var ac mac.AirCounters
-	for _, a := range airs {
+	for _, a := range r.airs {
 		c := &a.Counters
 		ac.Launches += c.Launches
 		ac.Delivered += c.Delivered
@@ -484,21 +575,21 @@ func DenseCityTiled(cfg DenseCityConfig) (DenseCityResult, string) {
 	fmt.Fprintf(&dg, "air launches=%d delivered=%d collisions=%d below=%d half=%d\n",
 		ac.Launches, ac.Delivered, ac.Collisions, ac.BelowFloor, ac.HalfDuplex)
 	fmt.Fprintf(&dg, "sum bits=%.0f quality=%.9f ifree=%d/%d switches=%d drop=%.9f\n",
-		bits, quality, freeSamples, totalSamples, switches, dropRate)
+		bits, quality, r.freeSamples, r.totalSamples, switches, dropRate)
 
-	if wallBuild != nil {
-		wallSummarize.Stop()
+	if r.wallRun != nil {
+		r.wallSummarize.Stop()
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.Stop()
 		cfg.Obs.Flush()
 	}
-	return DenseCityResult{
+	r.result = DenseCityResult{
 		APs:                  cfg.APs,
 		Nodes:                cfg.APs * (1 + cfg.ClientsPerAP),
 		AreaKm2:              float64(cfg.APs) / cfg.DensityPerKm2,
 		Tiles:                cfg.Tiles,
-		Shards:               shards,
+		Shards:               r.shards,
 		GoodputMbps:          bits / cfg.Measure.Seconds() / 1e6,
 		MChamQuality:         quality / float64(cfg.APs),
 		InterferenceFreeFrac: ifree,
@@ -506,8 +597,10 @@ func DenseCityTiled(cfg DenseCityConfig) (DenseCityResult, string) {
 		FlowDelayP50Ms:       trace.Median(p50s),
 		FlowDelayP95Ms:       trace.Median(p95s),
 		FlowDropRate:         dropRate,
-		WallClock:            time.Since(start),
-	}, dg.String()
+		WallClock:            time.Since(r.start),
+	}
+	r.digest = dg.String()
+	return r.result, r.digest
 }
 
 // ShardedCityTable sweeps the tiled city across shard counts at a

@@ -1,0 +1,40 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+)
+
+// DigestState writes the injector's canonical state to w, for
+// checkpoint section digests: the configuration identity, run/stop
+// generation, every fired fault event in engine order (the
+// determinism-pinned fault trace), and each registered target's
+// current down flag. The per-(target, kind) schedule RNGs are excluded
+// like every other RNG stream (see sim.Engine.DigestState); their
+// positions are pinned transitively by the fired-event record plus the
+// engine's pending-event digest, which carries the next scheduled
+// fault of every stream.
+func (in *Injector) DigestState(w io.Writer) {
+	fmt.Fprintf(w, "inj seed=%d rate=%v running=%t gen=%d targets=%d events=%d\n",
+		in.Cfg.Seed, in.Cfg.Rate, in.running, in.gen, len(in.targets), len(in.Events))
+	for _, e := range in.Events {
+		fmt.Fprintf(w, "%s\n", e.Line())
+	}
+	for _, t := range in.targets {
+		fmt.Fprintf(w, "target id=%d down=%t\n", t.id, t.down)
+	}
+}
+
+// EventCount reports the number of fired fault events — the item count
+// of the injector's checkpoint section.
+func (in *Injector) EventCount() int { return len(in.Events) }
+
+// DigestState writes the loss overlay's canonical state to w: the
+// configuration, the running flag, and the current Gilbert–Elliott
+// channel state. The flip/filter RNG position is excluded like every
+// other RNG stream; it is pinned transitively by the medium's
+// FilterDrops counter and delivery record.
+func (g *GilbertElliott) DigestState(w io.Writer) {
+	fmt.Fprintf(w, "ge lossgood=%v lossbad=%v bad=%t running=%t detached=%t drops=%d deliveries=%d\n",
+		g.Cfg.LossGood, g.Cfg.LossBad, g.bad, g.running, g.detached, g.Drops, g.Deliveries)
+}

@@ -1,6 +1,8 @@
 package incumbent
 
 import (
+	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"time"
@@ -285,3 +287,11 @@ func (m *Mic) ScheduleOn(at time.Duration) { m.eng.Schedule(at, m.TurnOn) }
 
 // ScheduleOff turns the microphone off at virtual time at.
 func (m *Mic) ScheduleOff(at time.Duration) { m.eng.Schedule(at, m.TurnOff) }
+
+// DigestState writes the microphone's canonical state to w, for
+// checkpoint section digests: its channel and current activity.
+// Scheduled on/off transitions live in the engine's pending-event
+// digest, not here.
+func (m *Mic) DigestState(w io.Writer) {
+	fmt.Fprintf(w, "mic u=%d active=%t\n", m.Channel, m.active)
+}

@@ -1,0 +1,86 @@
+package mac
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"whitefi/internal/phy"
+)
+
+// DigestState writes a canonical rendition of the medium's live state
+// to w, for checkpoint section digests: the outcome counters, every
+// attached node's tuning (id, channel, position, role, carrier-sense
+// count), every in-flight transmission, the full struct-of-arrays
+// transmission log in start order, and the arena occupancy. Two media
+// built by the same deterministic scenario at the same virtual time
+// render byte-identically, so an FNV digest of this stream pins the
+// whole physical layer.
+func (a *Air) DigestState(w io.Writer) {
+	c := a.Counters
+	fmt.Fprintf(w, "air launches=%d delivered=%d below=%d half=%d coll=%d filter=%d nextuid=%d log=%d arena=%d/%d\n",
+		c.Launches, c.Delivered, c.BelowFloor, c.HalfDuplex, c.Collisions, c.FilterDrops,
+		a.nextUID, len(a.logStart), a.ArenaLive(), a.ArenaCap())
+	ids := make([]int, 0, len(a.pos))
+	for id := range a.pos {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		p := a.pos[id]
+		fmt.Fprintf(w, "pos id=%d x=%v y=%v\n", id, p.X, p.Y)
+	}
+	for _, n := range a.nodes {
+		fmt.Fprintf(w, "node id=%d ch=%d/%d ap=%t sensed=%d txuntil=%d span=%v\n",
+			n.id, n.channel.Center, n.channel.Width, n.isAP, n.sensedCnt, int64(n.txUntil), n.span)
+	}
+	for _, at := range a.active {
+		tx := at.tx
+		fmt.Fprintf(w, "active uid=%d src=%d ch=%d/%d start=%d end=%d pwr=%v nocs=%t sensed=%d\n",
+			tx.UID, tx.Src, tx.Channel.Center, tx.Channel.Width,
+			int64(tx.Start), int64(tx.End), tx.PowerDB, tx.NoCS, len(at.sensed))
+	}
+	for i := range a.logStart {
+		f := a.logFrame[i]
+		fmt.Fprintf(w, "tx uid=%d src=%d ch=%d/%d start=%d end=%d pwr=%v nocs=%t x=%v y=%v kind=%d dst=%d bytes=%d seq=%d\n",
+			a.logUID[i], a.logSrc[i], a.logCh[i].Center, a.logCh[i].Width,
+			int64(a.logStart[i]), int64(a.logEnd[i]), a.logPower[i], a.logNoCS[i],
+			a.logSrcPos[i].X, a.logSrcPos[i].Y, f.Kind, f.Dst, f.Bytes, f.Seq)
+	}
+}
+
+// NodeCount reports the number of attached nodes — the item count of
+// the medium's checkpoint section.
+func (a *Air) NodeCount() int { return len(a.nodes) }
+
+// DigestState writes the node's canonical MAC state to w: the DCF
+// machine (state, contention window, backoff slots, retry count), the
+// bounded egress queue contents, the pending/current frame registers,
+// and the delivery statistics. Together with Air.DigestState this
+// covers every mutable field the transceiver owns; the node's backoff
+// RNG position is excluded like every other RNG stream (see
+// sim.Engine.DigestState).
+func (n *Node) DigestState(w io.Writer) {
+	fmt.Fprintf(w, "mac id=%d ap=%t ch=%d/%d pwr=%v st=%d cw=%d slots=%d retries=%d seq=%d txgen=%d down=%t hold=%t shed=%t maxq=%d\n",
+		n.ID, n.IsAP, n.channel.Center, n.channel.Width, n.Power,
+		n.state, n.cw, n.slotsLeft, n.retries, n.seq, n.txGen,
+		n.down, n.holdData, n.shed, n.maxQueue)
+	fmt.Fprintf(w, "mac pending=%t cur=%t q=%d\n", n.hasPending, n.state == stTransmitting, len(n.queue))
+	if n.hasPending {
+		writeFrame(w, "pendf", n.pending)
+	}
+	for _, f := range n.queue {
+		writeFrame(w, "qf", f)
+	}
+	s := n.Stats
+	fmt.Fprintf(w, "stats tx=%d ok=%d drop=%d bc=%d rx=%d rxb=%d rxf=%d ackto=%d pay=%d qdrop=%d shed=%d lastrx=%d lasttx=%d del=%d\n",
+		s.TxData, s.TxOK, s.TxDropped, s.TxBroadcast, s.RxData, s.RxBytes, s.RxFrames,
+		s.AckTimeouts, s.PayloadRxOK, s.QueueDropped, s.ShedDropped,
+		int64(s.LastRxAt), int64(s.LastTxOKAt), s.DeliveredData)
+}
+
+// writeFrame renders one frame's identity fields (Meta payloads are
+// protocol state digested by their owning layer).
+func writeFrame(w io.Writer, tag string, f phy.Frame) {
+	fmt.Fprintf(w, "%s kind=%d src=%d dst=%d bytes=%d seq=%d\n", tag, f.Kind, f.Src, f.Dst, f.Bytes, f.Seq)
+}

@@ -1,0 +1,45 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"whitefi/internal/exp"
+	"whitefi/internal/server"
+)
+
+// Example submits a small dense-city run over the HTTP API and polls
+// it to completion.
+func Example() {
+	exp.RegisterSessions()
+	ts := httptest.NewServer(server.New(1).Handler())
+	defer ts.Close()
+
+	body := `{"kind":"densecity","spec":{"aps":2,"seed":1,"measure_ms":1000}}`
+	resp, _ := http.Post(ts.URL+"/api/runs", "application/json", strings.NewReader(body))
+	var sub struct {
+		ID string `json:"id"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+
+	for {
+		st, _ := http.Get(ts.URL + "/api/runs/" + sub.ID)
+		var got struct {
+			State string `json:"state"`
+		}
+		_ = json.NewDecoder(st.Body).Decode(&got)
+		st.Body.Close()
+		if got.State == "done" || got.State == "failed" {
+			fmt.Println(sub.ID, got.State)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Output:
+	// r1 done
+}

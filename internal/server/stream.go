@@ -1,0 +1,75 @@
+package server
+
+import "sync"
+
+// stream is an append-only byte log with blocking readers: the
+// session's observer writes snapshot JSONL into it from the run loop,
+// and any number of HTTP streamers replay it from offset zero and
+// then follow the live tail.
+type stream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+// newStream creates an open stream.
+func newStream() *stream {
+	st := &stream{}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// Write appends p; it never fails, so a slow or absent reader can
+// never stall the simulation.
+func (st *stream) Write(p []byte) (int, error) {
+	st.mu.Lock()
+	st.buf = append(st.buf, p...)
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	return len(p), nil
+}
+
+// Close marks the stream complete, releasing blocked readers.
+func (st *stream) Close() {
+	st.mu.Lock()
+	st.closed = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// waitFrom returns a copy of the bytes past off, blocking until data
+// arrives, the stream closes, or cancel is closed. The second result
+// reports whether the stream is closed.
+func (st *stream) waitFrom(off int, cancel <-chan struct{}) ([]byte, bool) {
+	// A cancel watcher wakes the condition variable so an abandoned
+	// HTTP streamer does not leak its goroutine.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-cancel:
+			st.mu.Lock()
+			st.cond.Broadcast()
+			st.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for off >= len(st.buf) && !st.closed {
+		select {
+		case <-cancel:
+			return nil, st.closed
+		default:
+		}
+		st.cond.Wait()
+	}
+	if off >= len(st.buf) {
+		return nil, st.closed
+	}
+	out := make([]byte, len(st.buf)-off)
+	copy(out, st.buf[off:])
+	return out, st.closed
+}

@@ -1,6 +1,10 @@
 package trace
 
-import "sort"
+import (
+	"fmt"
+	"io"
+	"sort"
+)
 
 // Quantile is a streaming estimator of one quantile using the P² (P
 // squared) algorithm of Jain & Chlamtac (CACM 1985): five markers whose
@@ -133,4 +137,16 @@ func (s *Quantile) Value() float64 {
 		return tmp[rank]
 	}
 	return s.q[2]
+}
+
+// DigestState writes the sketch's full internal state to w, for
+// checkpoint section digests: the target quantile, observation count,
+// marker heights, positions and desired positions. A P² sketch is
+// order-sensitive mid-stream (its markers encode the adjustment
+// history, not just the observed set), so checkpoint verification must
+// digest these internals rather than Value() alone — two sketches can
+// briefly agree on the estimate while holding different marker states
+// that diverge on later observations.
+func (s *Quantile) DigestState(w io.Writer) {
+	fmt.Fprintf(w, "p2 p=%v n=%d q=%v pos=%v des=%v\n", s.P, s.n, s.q, s.pos, s.des)
 }

@@ -1,0 +1,31 @@
+package traffic
+
+import (
+	"fmt"
+	"io"
+)
+
+// DigestState writes the flow's canonical generator and telemetry
+// state to w, for checkpoint section digests: the spec identity, the
+// generator's position (running flag, start time, burst ON budget,
+// duplicate-filter watermarks, pending timers), and the full streaming
+// telemetry including the internal P² sketch markers — mid-stream
+// sketch state is order-sensitive and must round-trip exactly (see
+// trace.Quantile.DigestState). The flow's inter-arrival RNG position
+// is excluded like every other RNG stream (see
+// sim.Engine.DigestState); its draws are pinned transitively by the
+// generated-packet counts and the engine's pending-event digest.
+func (f *Flow) DigestState(w io.Writer) {
+	fmt.Fprintf(w, "flow id=%d model=%d up=%t bytes=%d ival=%d run=%t start=%d on=%d lastdata=%d lastreq=%d evs=%t timeout=%t\n",
+		f.ID, f.Spec.Model, f.Spec.Uplink, f.Spec.Bytes, int64(f.Spec.Interval),
+		f.running, int64(f.startAt), int64(f.onLeft), f.lastDataSeq, f.lastReqSeq,
+		f.ev.Scheduled(), f.timeoutEv.Scheduled())
+	t := &f.Tel
+	fmt.Fprintf(w, "tel gen=%d req=%d qdrop=%d reqdrop=%d del=%d bytes=%d max=%d lastat=%d sum=%d last=%d have=%t jsum=%d jn=%d\n",
+		t.Generated, t.Requests, t.QueueDropped, t.RequestDropped,
+		t.Delivered, t.DeliveredBytes, int64(t.DelayMax), int64(t.LastDeliveredAt),
+		int64(t.delaySum), int64(t.lastDelay), t.haveLast, int64(t.jitterSum), t.jitterN)
+	t.p50.DigestState(w)
+	t.p95.DigestState(w)
+	t.p99.DigestState(w)
+}
